@@ -1,0 +1,55 @@
+//===- bench/BenchCommon.h - Shared bench plumbing --------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries. Set KHAOS_QUICK=1 in
+/// the environment to run each figure on a reduced workload sample (for
+/// smoke-testing the harness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_BENCH_BENCHCOMMON_H
+#define KHAOS_BENCH_BENCHCOMMON_H
+
+#include "harness/BinTuner.h"
+#include "harness/Evaluator.h"
+#include "harness/TableRenderer.h"
+#include "support/Statistics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+inline bool quickMode() {
+  const char *Env = std::getenv("KHAOS_QUICK");
+  return Env && Env[0] == '1';
+}
+
+/// Thins a workload list to every Nth element in quick mode.
+inline std::vector<Workload> maybeThin(std::vector<Workload> W,
+                                       size_t KeepEvery = 6) {
+  if (!quickMode())
+    return W;
+  std::vector<Workload> Out;
+  for (size_t I = 0; I < W.size(); I += KeepEvery)
+    Out.push_back(std::move(W[I]));
+  return Out;
+}
+
+inline void printHeader(const char *Id, const char *Caption) {
+  std::printf("==============================================================="
+              "=\n%s — %s\n"
+              "================================================================"
+              "\n",
+              Id, Caption);
+}
+
+} // namespace khaos
+
+#endif // KHAOS_BENCH_BENCHCOMMON_H

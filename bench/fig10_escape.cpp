@@ -1,0 +1,77 @@
+//===- bench/fig10_escape.cpp - Paper Figure 10 -------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 10: escape@1/10/50 ratio of the T-III vulnerable functions under
+/// six obfuscations (Fla at 100% here, per the paper), for VulSeeker,
+/// Asm2Vec and SAFE. Higher = better hiding.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "diffing/Metrics.h"
+
+using namespace khaos;
+
+int main() {
+  printHeader("Figure 10",
+              "escape@k of vulnerable functions on T-III (higher = better "
+              "hiding)");
+
+  std::vector<Workload> Suite = vulnerableSuite();
+  const ObfuscationMode Modes[] = {
+      ObfuscationMode::Sub,     ObfuscationMode::Bog,
+      ObfuscationMode::Fla,     ObfuscationMode::FuFiSep,
+      ObfuscationMode::FuFiOri, ObfuscationMode::FuFiAll};
+  const char *ModeNames[] = {"Sub",      "Bog",      "Fla",
+                             "FuFi.sep", "FuFi.ori", "FuFi.all"};
+  const unsigned Ks[] = {1, 10, 50};
+
+  std::vector<std::unique_ptr<DiffTool>> Tools;
+  Tools.push_back(createVulSeekerTool());
+  Tools.push_back(createAsm2VecTool());
+  Tools.push_back(createSafeTool());
+
+  // ranks[tool][mode] -> all vulnerable-function ranks.
+  std::vector<std::vector<std::vector<uint32_t>>> Ranks(
+      Tools.size(),
+      std::vector<std::vector<uint32_t>>(std::size(Modes)));
+  for (const Workload &W : Suite) {
+    for (size_t M = 0; M != std::size(Modes); ++M) {
+      DiffImages Imgs = buildDiffImages(W, Modes[M]);
+      if (!Imgs.Ok)
+        continue;
+      for (size_t T = 0; T != Tools.size(); ++T) {
+        DiffOutcome O = runDiffTool(*Tools[T], Imgs);
+        for (const std::string &V : W.VulnFunctions)
+          Ranks[T][M].push_back(
+              trueMatchRank(Imgs.A, Imgs.B, O.Raw, V));
+      }
+    }
+  }
+  (void)ModeNames;
+  for (unsigned K : Ks) {
+    TableRenderer Table({"tool", "Sub", "Bog", "Fla", "FuFi.sep",
+                         "FuFi.ori", "FuFi.all"});
+    for (size_t T = 0; T != Tools.size(); ++T) {
+      std::vector<std::string> Row{Tools[T]->getName()};
+      for (size_t M = 0; M != std::size(Modes); ++M) {
+        double Escaped = 0.0;
+        for (uint32_t R : Ranks[T][M])
+          if (R > K)
+            Escaped += 1.0;
+        Row.push_back(TableRenderer::fmtRatio(
+            Ranks[T][M].empty() ? 0.0
+                                : Escaped / Ranks[T][M].size()));
+      }
+      Table.addRow(std::move(Row));
+    }
+    std::printf("\nescape@%u\n", K);
+    Table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/fig6_overhead.cpp - Paper Figure 6 -----------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6: runtime overhead of Fission / Fusion / FuFi.sep / FuFi.ori /
+/// FuFi.all on every SPEC CPU 2006 and 2017 C/C++ benchmark (plus the
+/// geometric mean), measured as the VM dynamic-cost ratio against the
+/// O2+LTO baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace khaos;
+
+namespace {
+
+void runSuite(const char *Caption, std::vector<Workload> Suite) {
+  const ObfuscationMode Modes[] = {
+      ObfuscationMode::Fission, ObfuscationMode::Fusion,
+      ObfuscationMode::FuFiSep, ObfuscationMode::FuFiOri,
+      ObfuscationMode::FuFiAll};
+
+  TableRenderer Table({"benchmark", "Fission", "Fusion", "FuFi.sep",
+                       "FuFi.ori", "FuFi.all"});
+  std::vector<std::vector<double>> PerMode(5);
+
+  for (const Workload &W : Suite) {
+    std::vector<std::string> Row{W.Name};
+    for (size_t M = 0; M != 5; ++M) {
+      double Ov = 0.0;
+      if (measureOverheadPercent(W, Modes[M], Ov)) {
+        PerMode[M].push_back(Ov);
+        Row.push_back(TableRenderer::fmtPercent(Ov));
+      } else {
+        Row.push_back("n/a");
+      }
+    }
+    Table.addRow(std::move(Row));
+  }
+  std::vector<std::string> Geo{"GEOMEAN"};
+  for (size_t M = 0; M != 5; ++M)
+    Geo.push_back(
+        TableRenderer::fmtPercent(geomeanOverheadPercent(PerMode[M])));
+  Table.addRow(std::move(Geo));
+
+  std::printf("\n%s\n", Caption);
+  Table.print();
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure 6",
+              "runtime overhead of the Khaos modes on SPEC CPU 2006/2017");
+  runSuite("SPEC CPU 2006 C/C++ (ref-like input)",
+           maybeThin(specCpu2006Suite()));
+  runSuite("SPEC CPU 2017 C/C++ (ref-like input)",
+           maybeThin(specCpu2017Suite()));
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/fig7_ollvm_overhead.cpp - Paper Figure 7 ------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7: geometric-mean runtime overhead of O-LLVM (Sub, Bog, Fla,
+/// Fla-10) next to the Khaos configurations, on SPEC CPU 2006 and 2017.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace khaos;
+
+int main() {
+  printHeader("Figure 7",
+              "O-LLVM vs Khaos geomean overhead (SPEC CPU 2006/2017)");
+
+  const ObfuscationMode Modes[] = {
+      ObfuscationMode::Sub,     ObfuscationMode::Bog,
+      ObfuscationMode::Fla,     ObfuscationMode::Fla10,
+      ObfuscationMode::Fission, ObfuscationMode::Fusion,
+      ObfuscationMode::FuFiSep, ObfuscationMode::FuFiOri,
+      ObfuscationMode::FuFiAll};
+
+  struct SuiteDef {
+    const char *Name;
+    std::vector<Workload> Programs;
+  };
+  std::vector<SuiteDef> Suites;
+  Suites.push_back({"SPEC CPU 2006", maybeThin(specCpu2006Suite())});
+  Suites.push_back({"SPEC CPU 2017", maybeThin(specCpu2017Suite())});
+
+  TableRenderer Table({"suite", "Sub", "Bog", "Fla", "Fla-10", "Fission",
+                       "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"});
+  std::vector<std::vector<double>> All(std::size(Modes));
+
+  for (const SuiteDef &S : Suites) {
+    std::vector<std::string> Row{S.Name};
+    for (size_t M = 0; M != std::size(Modes); ++M) {
+      std::vector<double> Ovs;
+      for (const Workload &W : S.Programs) {
+        double Ov = 0.0;
+        if (measureOverheadPercent(W, Modes[M], Ov)) {
+          Ovs.push_back(Ov);
+          All[M].push_back(Ov);
+        }
+      }
+      Row.push_back(
+          TableRenderer::fmtPercent(geomeanOverheadPercent(Ovs)));
+    }
+    Table.addRow(std::move(Row));
+  }
+  std::vector<std::string> Geo{"GEOMEAN"};
+  for (size_t M = 0; M != std::size(Modes); ++M)
+    Geo.push_back(TableRenderer::fmtPercent(geomeanOverheadPercent(All[M])));
+  Table.addRow(std::move(Geo));
+  Table.print();
+  return 0;
+}

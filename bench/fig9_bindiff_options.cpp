@@ -1,0 +1,107 @@
+//===- bench/fig9_bindiff_options.cpp - Paper Figure 9 ------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 9: BinDiff similarity scores of BinTuner's best option tuple and
+/// of Khaos (FuFi.all) against reference builds at O0..O3, for the
+/// SPECint 2006 / SPECspeed 2017 benchmarks the paper plots — plus
+/// BinTuner's runtime overhead (the paper reports 30.35%).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace khaos;
+
+namespace {
+
+const char *Fig9Names[] = {
+    "400.perlbench", "401.bzip2",      "429.mcf",
+    "445.gobmk",     "456.hmmer",      "458.sjeng",
+    "462.libquantum", "464.h264ref",   "473.astar",
+    "483.xalancbmk", "600.perlbench_s", "605.mcf_s",
+    "620.omnetpp_s", "623.xalancbmk_s", "625.x264_s",
+    "631.deepsjeng_s", "641.leela_s",  "657.xz_s"};
+
+/// BinDiff similarity of a Khaos(FuFi.all) build against a build at the
+/// given reference level.
+double khaosSimilarityVsLevel(const Workload &W, OptLevel Level) {
+  CompiledWorkload Ref = compileBaseline(W, Level);
+  if (!Ref)
+    return 0.0;
+  CodegenOptions RefCG;
+  RefCG.SpillEverything = Level == OptLevel::O0;
+  BinaryImage A = lowerToBinary(*Ref.M, RefCG);
+  ImageFeatures FA = extractFeatures(A);
+
+  CompiledWorkload Obf = compileObfuscated(W, ObfuscationMode::FuFiAll);
+  if (!Obf)
+    return 0.0;
+  BinaryImage B = lowerToBinary(*Obf.M);
+  ImageFeatures FB = extractFeatures(B);
+  return createBinDiffTool()->diff(A, FA, B, FB).WholeBinarySimilarity;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure 9", "BinDiff similarity: BinTuner vs Khaos across "
+                          "compiler option levels");
+
+  std::vector<Workload> All = specCpu2006Suite();
+  for (Workload &W : specCpu2017Suite())
+    All.push_back(std::move(W));
+
+  std::vector<Workload> Picked;
+  for (const char *Name : Fig9Names)
+    for (Workload &W : All)
+      if (W.Name == Name)
+        Picked.push_back(W);
+  if (quickMode())
+    Picked.resize(4);
+
+  TableRenderer Table({"benchmark", "BT.vsO0", "BT.vsO1", "BT.vsO2",
+                       "BT.vsO3", "Kh.vsO0", "Kh.vsO1", "Kh.vsO2",
+                       "Kh.vsO3"});
+  std::vector<std::vector<double>> Cols(8);
+  std::vector<double> BTOverheads;
+
+  for (const Workload &W : Picked) {
+    BinTunerOptions Opts;
+    Opts.Budget = quickMode() ? 6 : 24;
+    BinTunerResult BT = runBinTuner(W, Opts);
+    std::vector<std::string> Row{W.Name};
+    for (int L = 0; L != 4; ++L) {
+      double S = BT.Ok ? BT.SimilarityVsLevel[L] : 0.0;
+      Cols[L].push_back(S);
+      Row.push_back(TableRenderer::fmtRatio(S));
+    }
+    for (int L = 0; L != 4; ++L) {
+      double S = khaosSimilarityVsLevel(W, static_cast<OptLevel>(L));
+      Cols[4 + L].push_back(S);
+      Row.push_back(TableRenderer::fmtRatio(S));
+    }
+    if (BT.Ok)
+      BTOverheads.push_back(BT.OverheadPercent);
+    Table.addRow(std::move(Row));
+  }
+  std::vector<std::string> Geo{"GEOMEAN"};
+  for (auto &C : Cols) {
+    std::vector<double> Pos;
+    for (double V : C)
+      Pos.push_back(std::max(V, 0.01));
+    Geo.push_back(TableRenderer::fmtRatio(geomean(Pos)));
+  }
+  Table.addRow(std::move(Geo));
+  Table.print();
+
+  std::printf("\nBinTuner best-configuration overhead vs the O2 baseline: "
+              "%s (paper: 30.35%%)\n",
+              TableRenderer::fmtPercent(
+                  geomeanOverheadPercent(BTOverheads))
+                  .c_str());
+  return 0;
+}

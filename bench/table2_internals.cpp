@@ -1,0 +1,122 @@
+//===- bench/table2_internals.cpp - Paper Table 2 -----------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2: internal statistics of the fission and fusion primitives on
+/// SPEC CPU 2006, SPEC CPU 2017 and CoreUtils — fission ratio, average
+/// basic blocks per sepFunc, reduction ratio; fusion ratio, compressed
+/// parameters per pair, innocuous blocks merged per pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "frontend/IRGen.h"
+
+using namespace khaos;
+
+namespace {
+
+struct SuiteStats {
+  FissionStats Fission;
+  FusionStats Fusion;
+};
+
+SuiteStats gather(const std::vector<Workload> &Suite) {
+  SuiteStats S;
+  KhaosOptions Opts;
+  Opts.RunPostOpt = false; // Statistics describe the primitives themselves.
+  for (const Workload &W : Suite) {
+    {
+      CompiledWorkload C = compileBaseline(W, OptLevel::O0);
+      if (C) {
+        ObfuscationResult R;
+        Context Ctx2;
+        std::string Err;
+        // Fission statistics.
+        auto M = compileMiniC(W.Source, Ctx2, W.Name, Err);
+        if (M) {
+          R = obfuscateModule(*M, ObfuscationMode::Fission, Opts);
+          S.Fission.OriFuncs += R.Fission.OriFuncs;
+          S.Fission.ProcessedFuncs += R.Fission.ProcessedFuncs;
+          S.Fission.SepFuncs += R.Fission.SepFuncs;
+          S.Fission.SepBlocks += R.Fission.SepBlocks;
+          S.Fission.LazyAllocas += R.Fission.LazyAllocas;
+          S.Fission.OriInstructions += R.Fission.OriInstructions;
+          S.Fission.MovedInstructions += R.Fission.MovedInstructions;
+        }
+      }
+    }
+    {
+      Context Ctx2;
+      std::string Err;
+      auto M = compileMiniC(W.Source, Ctx2, W.Name, Err);
+      if (M) {
+        ObfuscationResult R = obfuscateModule(*M, ObfuscationMode::Fusion,
+                                              Opts);
+        S.Fusion.Candidates += R.Fusion.Candidates;
+        S.Fusion.Fused += R.Fusion.Fused;
+        S.Fusion.Pairs += R.Fusion.Pairs;
+        S.Fusion.CompressedParams += R.Fusion.CompressedParams;
+        S.Fusion.DeepMergedBlocks += R.Fusion.DeepMergedBlocks;
+        S.Fusion.Trampolines += R.Fusion.Trampolines;
+      }
+    }
+  }
+  return S;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Table 2", "statistics of the fission and the fusion");
+
+  struct SuiteDef {
+    const char *Name;
+    std::vector<Workload> Programs;
+  };
+  std::vector<SuiteDef> Suites;
+  Suites.push_back({"SPEC CPU 2006", maybeThin(specCpu2006Suite())});
+  Suites.push_back({"SPEC CPU 2017", maybeThin(specCpu2017Suite())});
+  Suites.push_back({"CoreUtils", maybeThin(coreUtilsSuite(), 12)});
+
+  TableRenderer Table({"metric", "SPEC CPU 2006", "SPEC CPU 2017",
+                       "CoreUtils"});
+  std::vector<SuiteStats> Stats;
+  for (const SuiteDef &S : Suites)
+    Stats.push_back(gather(S.Programs));
+
+  auto Row = [&](const char *Name, auto Extract) {
+    std::vector<std::string> Cells{Name};
+    for (const SuiteStats &S : Stats)
+      Cells.push_back(Extract(S));
+    Table.addRow(std::move(Cells));
+  };
+
+  Row("Fission Ratio", [](const SuiteStats &S) {
+    return TableRenderer::fmtPercent(S.Fission.fissionRatio() * 100.0);
+  });
+  Row("#BB (per sepFunc)", [](const SuiteStats &S) {
+    return TableRenderer::fmtRatio(S.Fission.avgBlocksPerSepFunc());
+  });
+  Row("RR (reduced ratio)", [](const SuiteStats &S) {
+    return TableRenderer::fmtPercent(S.Fission.reductionRatio() * 100.0);
+  });
+  Row("Fusion Ratio", [](const SuiteStats &S) {
+    return TableRenderer::fmtPercent(S.Fusion.fusionRatio() * 100.0);
+  });
+  Row("#RP (compressed params/pair)", [](const SuiteStats &S) {
+    return TableRenderer::fmtRatio(S.Fusion.avgReducedParams());
+  });
+  Row("#HBB (innocuous blocks/pair)", [](const SuiteStats &S) {
+    return TableRenderer::fmtRatio(S.Fusion.avgDeepBlocks());
+  });
+  Table.print();
+  std::printf("\nPaper reference: Fission Ratio 116-152%%, #BB 5.4-6.5, RR "
+              "34-44%%,\nFusion Ratio 97-99%%, #RP 1.27-1.47, #HBB "
+              "1.02-1.89.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- examples/diff_arms_race.cpp - Obfuscation vs diffing matrix -------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arms race in one matrix: every obfuscation mode against every
+/// diffing tool on one SPEC-like workload, with the runtime overhead next
+/// to the accuracy — the trade-off at the heart of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Evaluator.h"
+#include "harness/TableRenderer.h"
+
+#include <cstdio>
+
+using namespace khaos;
+
+int main(int argc, char **argv) {
+  std::vector<Workload> Suite = specCpu2006Suite();
+  std::string Name = argc > 1 ? argv[1] : "458.sjeng";
+  const Workload *W = nullptr;
+  for (const Workload &Cand : Suite)
+    if (Cand.Name == Name)
+      W = &Cand;
+  if (!W) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:\n",
+                 Name.c_str());
+    for (const Workload &Cand : Suite)
+      std::fprintf(stderr, "  %s\n", Cand.Name.c_str());
+    return 1;
+  }
+
+  std::printf("workload: %s\n\n", W->Name.c_str());
+  auto Tools = createAllDiffTools();
+
+  TableRenderer Table({"mode", "overhead", "BinDiff", "VulSeeker",
+                       "Asm2Vec", "SAFE", "DeepBinDiff"});
+  for (ObfuscationMode Mode : allObfuscationModes()) {
+    std::vector<std::string> Row{obfuscationModeName(Mode)};
+    double Ov = 0.0;
+    Row.push_back(measureOverheadPercent(*W, Mode, Ov)
+                      ? TableRenderer::fmtPercent(Ov)
+                      : "n/a");
+    DiffImages Imgs = buildDiffImages(*W, Mode);
+    for (const auto &Tool : Tools)
+      Row.push_back(Imgs.Ok ? TableRenderer::fmtRatio(
+                                  runDiffTool(*Tool, Imgs).Precision)
+                            : "n/a");
+    Table.addRow(std::move(Row));
+  }
+  Table.print();
+  std::printf("\nColumns are Precision@1 under the paper's relaxed pairing "
+              "judgment.\nKhaos (Fission/Fusion/FuFi.*) trades single-digit "
+              "overhead for large accuracy drops;\nO-LLVM's intra-procedural "
+              "passes leave the tools mostly intact.\n");
+  return 0;
+}

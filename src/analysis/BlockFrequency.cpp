@@ -1,0 +1,54 @@
+//===- analysis/BlockFrequency.cpp - Static execution frequency ---------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockFrequency.h"
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+
+#include <cmath>
+
+using namespace khaos;
+
+BlockFrequency::BlockFrequency(const DominatorTree &DT, const LoopInfo &LI) {
+  const Function &F = DT.getFunction();
+  if (F.blocks().empty())
+    return;
+
+  // Pass 1: propagate probabilities along the RPO, dropping back edges
+  // (edges into a dominator). Entry gets probability 1.
+  for (BasicBlock *BB : DT.getRPO())
+    Freq[BB] = 0.0;
+  Freq[F.getEntryBlock()] = 1.0;
+
+  for (BasicBlock *BB : DT.getRPO()) {
+    double P = Freq[BB];
+    if (P == 0.0)
+      continue;
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Succs.empty())
+      continue;
+    double Share = P / Succs.size();
+    for (BasicBlock *S : Succs) {
+      if (DT.dominates(S, BB))
+        continue; // Back edge: the loop scale below accounts for it.
+      Freq[S] += Share;
+    }
+  }
+
+  // Pass 2: scale by assumed trip count per loop nesting level.
+  for (const auto &BB : F.blocks()) {
+    unsigned Depth = LI.getLoopDepth(BB.get());
+    if (Depth)
+      Freq[BB.get()] *= std::pow((double)LoopInfo::AssumedTripCount, Depth);
+  }
+}
+
+double BlockFrequency::getFrequency(const BasicBlock *BB) const {
+  auto It = Freq.find(BB);
+  return It == Freq.end() ? 0.0 : It->second;
+}

@@ -1,0 +1,41 @@
+//===- analysis/BlockFrequency.h - Static execution frequency ---*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static block frequency estimation in the spirit of LLVM's
+/// BlockFrequencyInfo: probabilities flow along the acyclic CFG (back edges
+/// removed) with equal branch splitting, then every block is scaled by the
+/// assumed trip count of each enclosing loop. Algorithm 1 uses this as the
+/// "cost" of cutting a region at its head.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_ANALYSIS_BLOCKFREQUENCY_H
+#define KHAOS_ANALYSIS_BLOCKFREQUENCY_H
+
+#include <map>
+
+namespace khaos {
+
+class BasicBlock;
+class DominatorTree;
+class LoopInfo;
+
+/// Per-block static execution frequency (entry block = 1.0).
+class BlockFrequency {
+public:
+  BlockFrequency(const DominatorTree &DT, const LoopInfo &LI);
+
+  /// Estimated executions of \p BB per function invocation.
+  double getFrequency(const BasicBlock *BB) const;
+
+private:
+  std::map<const BasicBlock *, double> Freq;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_ANALYSIS_BLOCKFREQUENCY_H

@@ -1,0 +1,61 @@
+//===- analysis/CallGraph.cpp - Module call graph ------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ir/Module.h"
+
+using namespace khaos;
+
+const std::set<Function *> CallGraph::EmptySet;
+const std::vector<CallInst *> CallGraph::EmptyVec;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->insts()) {
+        auto *CI = dyn_cast<CallInst>(I.get());
+        if (!CI)
+          continue;
+        if (Function *Callee = CI->getCalledFunction()) {
+          Callees[F.get()].insert(Callee);
+          Callers[Callee].insert(F.get());
+          CallSites[F.get()].push_back(CI);
+        } else {
+          IndirectSites[F.get()].push_back(CI);
+        }
+      }
+    }
+  }
+}
+
+const std::set<Function *> &CallGraph::getCallees(const Function *F) const {
+  auto It = Callees.find(F);
+  return It == Callees.end() ? EmptySet : It->second;
+}
+
+const std::set<Function *> &CallGraph::getCallers(const Function *F) const {
+  auto It = Callers.find(F);
+  return It == Callers.end() ? EmptySet : It->second;
+}
+
+const std::vector<CallInst *> &
+CallGraph::getCallSites(const Function *F) const {
+  auto It = CallSites.find(F);
+  return It == CallSites.end() ? EmptyVec : It->second;
+}
+
+const std::vector<CallInst *> &
+CallGraph::getIndirectCallSites(const Function *F) const {
+  auto It = IndirectSites.find(F);
+  return It == IndirectSites.end() ? EmptyVec : It->second;
+}
+
+bool CallGraph::haveDirectCallRelation(const Function *A,
+                                       const Function *B) const {
+  return getCallees(A).count(const_cast<Function *>(B)) ||
+         getCallees(B).count(const_cast<Function *>(A));
+}

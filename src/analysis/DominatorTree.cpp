@@ -1,0 +1,120 @@
+//===- analysis/DominatorTree.cpp - Dominance analysis ----------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace khaos;
+
+const std::vector<BasicBlock *> DominatorTree::Empty;
+
+static void postorderVisit(BasicBlock *BB, std::set<BasicBlock *> &Seen,
+                           std::vector<BasicBlock *> &Out) {
+  if (!Seen.insert(BB).second)
+    return;
+  for (BasicBlock *S : BB->successors())
+    postorderVisit(S, Seen, Out);
+  Out.push_back(BB);
+}
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  if (F.blocks().empty())
+    return;
+
+  // Reverse postorder from the entry.
+  std::set<BasicBlock *> Seen;
+  std::vector<BasicBlock *> Post;
+  postorderVisit(F.getEntryBlock(), Seen, Post);
+  RPO.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0, E = RPO.size(); I != E; ++I)
+    RPONumber[RPO[I]] = I;
+
+  // Cooper-Harvey-Kennedy iteration.
+  BasicBlock *Entry = F.getEntryBlock();
+  IDom[Entry] = Entry;
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : BB->predecessors()) {
+        if (!RPONumber.count(P) || !IDom.count(P))
+          continue; // Unreachable or unprocessed predecessor.
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      assert(NewIDom && "reachable block without processed predecessor");
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Entry's IDom is conventionally null; build children lists.
+  IDom[Entry] = nullptr;
+  for (BasicBlock *BB : RPO)
+    if (BasicBlock *D = IDom[BB])
+      Children[D].push_back(BB);
+}
+
+BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  const BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    Cur = getIDom(Cur);
+  }
+  return false;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::getChildren(const BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It == Children.end() ? Empty : It->second;
+}
+
+std::vector<BasicBlock *>
+DominatorTree::getSubtree(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Out;
+  if (!isReachable(BB))
+    return Out;
+  std::vector<const BasicBlock *> Work{BB};
+  while (!Work.empty()) {
+    const BasicBlock *Cur = Work.back();
+    Work.pop_back();
+    Out.push_back(const_cast<BasicBlock *>(Cur));
+    for (BasicBlock *C : getChildren(Cur))
+      Work.push_back(C);
+  }
+  return Out;
+}

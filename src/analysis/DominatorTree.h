@@ -1,0 +1,65 @@
+//===- analysis/DominatorTree.h - Dominance analysis ------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree built with the Cooper-Harvey-Kennedy algorithm
+/// ("A Simple, Fast Dominance Algorithm"). Fission's region identification
+/// (paper Algorithm 1) enumerates dominator-tree subtrees as candidate
+/// regions, because a subtree is single-entry and can become a function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_ANALYSIS_DOMINATORTREE_H
+#define KHAOS_ANALYSIS_DOMINATORTREE_H
+
+#include <map>
+#include <vector>
+
+namespace khaos {
+
+class BasicBlock;
+class Function;
+
+/// Dominator tree over a function's CFG. Unreachable blocks are excluded
+/// from the tree (isReachable() reports membership).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  const Function &getFunction() const { return F; }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPONumber.count(BB) != 0;
+  }
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// True when \p A dominates \p B (reflexively).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Children of \p BB in the dominator tree.
+  const std::vector<BasicBlock *> &getChildren(const BasicBlock *BB) const;
+
+  /// All blocks dominated by \p BB (the subtree rooted at \p BB),
+  /// in dominator-tree preorder. This is a candidate fission region.
+  std::vector<BasicBlock *> getSubtree(const BasicBlock *BB) const;
+
+  /// Reachable blocks in reverse postorder.
+  const std::vector<BasicBlock *> &getRPO() const { return RPO; }
+
+private:
+  const Function &F;
+  std::vector<BasicBlock *> RPO;
+  std::map<const BasicBlock *, unsigned> RPONumber;
+  std::map<const BasicBlock *, BasicBlock *> IDom;
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> Children;
+  static const std::vector<BasicBlock *> Empty;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_ANALYSIS_DOMINATORTREE_H

@@ -1,0 +1,65 @@
+//===- analysis/EscapeAnalysis.cpp - Function address escape -------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EscapeAnalysis.h"
+
+#include "analysis/InnocuousAnalysis.h"
+#include "ir/Module.h"
+
+using namespace khaos;
+
+EscapeAnalysis::EscapeAnalysis(const Module &M) {
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    if (F->isExported()) {
+      Escaping.insert(F.get());
+      continue;
+    }
+    for (const Instruction *U : F->users()) {
+      // Callee slot of a direct call never escapes.
+      if (const auto *CI = dyn_cast<CallInst>(U)) {
+        bool IsArg = false;
+        for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A)
+          if (CI->getArg(A) == F.get())
+            IsArg = true;
+        if (!IsArg)
+          continue;
+        // Address passed as an argument: escapes if the callee is external
+        // or unknown (indirect).
+        const Function *Callee = CI->getCalledFunction();
+        if (!Callee || Callee->isDeclaration() || Callee->isIntrinsic()) {
+          Escaping.insert(F.get());
+          break;
+        }
+        continue;
+      }
+      if (const auto *SI = dyn_cast<StoreInst>(U)) {
+        // Stored somewhere: escapes unless the destination is provably a
+        // local alloca.
+        if (!pointsToLocalAlloca(SI->getPointer())) {
+          Escaping.insert(F.get());
+          break;
+        }
+        continue;
+      }
+      if (isa<ReturnInst>(U)) {
+        // Returned: escape only if the returning function is exported; be
+        // conservative and treat it as escaping.
+        Escaping.insert(F.get());
+        break;
+      }
+      // Cast/select/GEP/...: the address flows onward — conservative.
+      Escaping.insert(F.get());
+      break;
+    }
+  }
+
+  // Note: addresses in global *initializers* are module-private data, not
+  // escapes — the paper's appendix A.1 tags exactly these statically
+  // initialized pointers through the relocation addend. Fusion treats them
+  // as intra-module address-taking instead.
+}

@@ -1,0 +1,45 @@
+//===- analysis/EscapeAnalysis.h - Function address escape ------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides whether a function's address may propagate outside the current
+/// module (paper §3.3.3, "handling function calls across modules"). Fusion
+/// must route such functions through a trampoline that keeps the original
+/// ABI, because external code cannot be taught about tags or the fusFunc
+/// signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_ANALYSIS_ESCAPEANALYSIS_H
+#define KHAOS_ANALYSIS_ESCAPEANALYSIS_H
+
+#include <set>
+
+namespace khaos {
+
+class Function;
+class Module;
+
+/// Conservative may-escape analysis for function addresses.
+class EscapeAnalysis {
+public:
+  explicit EscapeAnalysis(const Module &M);
+
+  /// True when \p F's address may be observed outside the module: F is
+  /// exported, F's address is passed to a declared (external) function,
+  /// stored to non-local memory reachable from outside, or returned by an
+  /// exported function.
+  bool addressMayEscapeModule(const Function *F) const {
+    return Escaping.count(F) != 0;
+  }
+
+private:
+  std::set<const Function *> Escaping;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_ANALYSIS_ESCAPEANALYSIS_H

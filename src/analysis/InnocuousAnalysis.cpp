@@ -1,0 +1,62 @@
+//===- analysis/InnocuousAnalysis.cpp - Innocuous block analysis ---------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InnocuousAnalysis.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+using namespace khaos;
+
+bool khaos::pointsToLocalAlloca(const Value *Ptr) {
+  while (true) {
+    if (isa<AllocaInst>(Ptr))
+      return true;
+    if (const auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = GEP->getPointer();
+      continue;
+    }
+    if (const auto *CI = dyn_cast<CastInst>(Ptr)) {
+      if (CI->getCastKind() == CastKind::Bitcast) {
+        Ptr = CI->getSource();
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+}
+
+bool khaos::isInnocuousInstruction(const Instruction &I) {
+  switch (I.getOpcode()) {
+  case Opcode::Call:
+  case Opcode::Invoke:
+  case Opcode::Throw:
+  case Opcode::LandingPad: // Reads unwinder state; must stay in place.
+    return false;
+  case Opcode::Store:
+    return pointsToLocalAlloca(cast<StoreInst>(&I)->getPointer());
+  case Opcode::BinOp:
+    return !cast<BinaryInst>(&I)->isDivRem() &&
+           cast<BinaryInst>(&I)->getBinOp() != BinOp::SRem;
+  case Opcode::Alloca:
+    // Moving an alloca out of the entry block changes its lifetime; deep
+    // fusion never merges blocks containing allocas.
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool khaos::isInnocuousBlock(const BasicBlock &BB) {
+  for (const auto &I : BB.insts()) {
+    if (I->isTerminator())
+      continue; // Terminators are handled by the merge itself.
+    if (!isInnocuousInstruction(*I))
+      return false;
+  }
+  return true;
+}

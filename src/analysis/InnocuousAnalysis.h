@@ -1,0 +1,45 @@
+//===- analysis/InnocuousAnalysis.h - Innocuous block analysis --*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies *innocuous* basic blocks (paper §3.3.4): blocks whose
+/// execution cannot affect the global memory state, so they may be executed
+/// speculatively on a control path that does not belong to their function.
+/// Deep fusion merges innocuous blocks from the two halves of a fusFunc to
+/// entangle their control and data flow.
+///
+/// The analysis is conservative:
+///   - stores must target memory proven local (an alloca of the same
+///     function, possibly through GEPs);
+///   - no calls/invokes/throws at all;
+///   - no division or remainder (re-execution with garbage operands could
+///     trap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_ANALYSIS_INNOCUOUSANALYSIS_H
+#define KHAOS_ANALYSIS_INNOCUOUSANALYSIS_H
+
+namespace khaos {
+
+class BasicBlock;
+class Instruction;
+class Value;
+
+/// True when every store in \p BB provably writes function-local memory and
+/// the block has no other side effects.
+bool isInnocuousBlock(const BasicBlock &BB);
+
+/// True when \p I alone is innocuous under the same rules.
+bool isInnocuousInstruction(const Instruction &I);
+
+/// True when \p Ptr provably points into an alloca of its own function
+/// (walking through GEP/bitcast chains).
+bool pointsToLocalAlloca(const Value *Ptr);
+
+} // namespace khaos
+
+#endif // KHAOS_ANALYSIS_INNOCUOUSANALYSIS_H

@@ -1,0 +1,97 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection -------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/DominatorTree.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace khaos;
+
+LoopInfo::LoopInfo(const DominatorTree &DT) {
+  const Function &F = DT.getFunction();
+
+  // Collect back edges grouped by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Latches;
+  for (const auto &BB : F.blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    for (BasicBlock *S : BB->successors())
+      if (DT.dominates(S, BB.get()))
+        Latches[S].push_back(BB.get());
+  }
+
+  // Build one loop per header: blocks reaching a latch without passing the
+  // header.
+  for (auto &[Header, Tails] : Latches) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Blocks.insert(Header);
+    std::vector<BasicBlock *> Work = Tails;
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L->Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *P : BB->predecessors())
+        if (DT.isReachable(P))
+          Work.push_back(P);
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B if B contains A's header and A != B.
+  // Sort by size so the innermost (smallest) loops are found first.
+  std::vector<Loop *> BySize;
+  for (auto &L : Loops)
+    BySize.push_back(L.get());
+  std::sort(BySize.begin(), BySize.end(), [](Loop *A, Loop *B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+
+  for (Loop *L : BySize) {
+    // The parent is the smallest strictly-larger loop containing the header.
+    Loop *Best = nullptr;
+    for (Loop *Cand : BySize) {
+      if (Cand == L || Cand->Blocks.size() < L->Blocks.size())
+        continue;
+      if (!Cand->contains(L->Header) || Cand == L)
+        continue;
+      if (Cand->Blocks.size() == L->Blocks.size() &&
+          Cand->Header == L->Header)
+        continue;
+      if (!Best || Cand->Blocks.size() < Best->Blocks.size())
+        Best = Cand;
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L);
+  }
+  for (Loop *L : BySize) {
+    unsigned D = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++D;
+    L->Depth = D;
+  }
+
+  // Innermost loop per block: smallest containing loop wins.
+  for (Loop *L : BySize)
+    for (BasicBlock *BB : L->Blocks)
+      if (!InnermostLoop.count(BB))
+        InnermostLoop[BB] = L;
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+unsigned LoopInfo::getLoopDepth(const BasicBlock *BB) const {
+  Loop *L = getLoopFor(BB);
+  return L ? L->Depth : 0;
+}

@@ -1,0 +1,63 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loop discovery from back edges (edges whose target dominates the
+/// source). Fission's Algorithm 1 multiplies a region's cut cost by the
+/// assumed trip count of the innermost loop containing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_ANALYSIS_LOOPINFO_H
+#define KHAOS_ANALYSIS_LOOPINFO_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace khaos {
+
+class BasicBlock;
+class DominatorTree;
+
+/// One natural loop.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  Loop *Parent = nullptr;
+  unsigned Depth = 1;
+  std::set<BasicBlock *> Blocks;
+  std::vector<Loop *> SubLoops;
+
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+};
+
+/// Loop nest of one function.
+class LoopInfo {
+public:
+  explicit LoopInfo(const DominatorTree &DT);
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const BasicBlock *BB) const;
+
+  /// Nesting depth (0 = not in any loop).
+  unsigned getLoopDepth(const BasicBlock *BB) const;
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Assumed trip count used as the cost multiplier in Algorithm 1.
+  static constexpr unsigned AssumedTripCount = 10;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_ANALYSIS_LOOPINFO_H

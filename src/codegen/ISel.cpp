@@ -1,0 +1,528 @@
+//===- codegen/ISel.cpp - Instruction selection -----------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ISel.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace khaos;
+
+const char *khaos::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::Mov:
+    return "mov";
+  case MOp::MovImm:
+    return "movi";
+  case MOp::Movsx:
+    return "movsx";
+  case MOp::Movzx:
+    return "movzx";
+  case MOp::Lea:
+    return "lea";
+  case MOp::Push:
+    return "push";
+  case MOp::Pop:
+    return "pop";
+  case MOp::LoadM:
+    return "ld";
+  case MOp::StoreM:
+    return "st";
+  case MOp::Add:
+    return "add";
+  case MOp::Sub:
+    return "sub";
+  case MOp::IMul:
+    return "imul";
+  case MOp::IDiv:
+    return "idiv";
+  case MOp::Cdq:
+    return "cdq";
+  case MOp::Neg:
+    return "neg";
+  case MOp::And:
+    return "and";
+  case MOp::Or:
+    return "or";
+  case MOp::Xor:
+    return "xor";
+  case MOp::Not:
+    return "not";
+  case MOp::Shl:
+    return "shl";
+  case MOp::Sar:
+    return "sar";
+  case MOp::Shr:
+    return "shr";
+  case MOp::Cmp:
+    return "cmp";
+  case MOp::Test:
+    return "test";
+  case MOp::SetCC:
+    return "setcc";
+  case MOp::Cmov:
+    return "cmov";
+  case MOp::Movss:
+    return "movss";
+  case MOp::Movsd:
+    return "movsd";
+  case MOp::Addss:
+    return "addss";
+  case MOp::Addsd:
+    return "addsd";
+  case MOp::Subss:
+    return "subss";
+  case MOp::Subsd:
+    return "subsd";
+  case MOp::Mulss:
+    return "mulss";
+  case MOp::Mulsd:
+    return "mulsd";
+  case MOp::Divss:
+    return "divss";
+  case MOp::Divsd:
+    return "divsd";
+  case MOp::Ucomis:
+    return "ucomis";
+  case MOp::Cvtsi2s:
+    return "cvtsi2s";
+  case MOp::Cvtts2si:
+    return "cvtts2si";
+  case MOp::Cvts2s:
+    return "cvts2s";
+  case MOp::Jmp:
+    return "jmp";
+  case MOp::Jcc:
+    return "jcc";
+  case MOp::Call:
+    return "call";
+  case MOp::CallIndirect:
+    return "calli";
+  case MOp::Ret:
+    return "ret";
+  case MOp::Leave:
+    return "leave";
+  case MOp::Ud2:
+    return "ud2";
+  case MOp::Nop:
+    return "nop";
+  case MOp::NumOpcodes:
+    break;
+  }
+  return "?";
+}
+
+int32_t BinaryImage::internSymbol(const std::string &S) {
+  for (size_t I = 0; I != Symbols.size(); ++I)
+    if (Symbols[I] == S)
+      return static_cast<int32_t>(I);
+  Symbols.push_back(S);
+  return static_cast<int32_t>(Symbols.size() - 1);
+}
+
+const MFunction *BinaryImage::findFunction(const std::string &Name) const {
+  auto It = FunctionIndex.find(Name);
+  return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+}
+
+std::vector<double> BinaryImage::opcodeHistogram() const {
+  std::vector<double> H(NumMOpcodes, 0.0);
+  for (const MFunction &F : Functions)
+    for (const MBlock &B : F.Blocks)
+      for (const MInst &I : B.Insts)
+        H[static_cast<unsigned>(I.Op)] += 1.0;
+  return H;
+}
+
+std::string BinaryImage::disassemble() const {
+  std::string Out;
+  for (const MFunction &F : Functions) {
+    Out += formatStr("%016llx <%s>:%s\n", (unsigned long long)F.Address,
+                     F.Name.c_str(), F.Exported ? " (exported)" : "");
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      const MBlock &B = F.Blocks[BI];
+      Out += formatStr(".%s:\n", B.Name.c_str());
+      for (const MInst &I : B.Insts) {
+        Out += formatStr("    %-10s", mopName(I.Op));
+        if (I.SymId >= 0)
+          Out += " <" + Symbols[I.SymId] + ">";
+        if (I.HasMemOperand)
+          Out += " [mem]";
+        if (I.HasImmediate)
+          Out += " $imm";
+        Out += "\n";
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Lowers one function.
+class FunctionLowering {
+public:
+  FunctionLowering(const Function &F, BinaryImage &Image,
+                   const CodegenOptions &Opts)
+      : F(F), Image(Image), Opts(Opts) {}
+
+  MFunction run();
+
+private:
+  void emit(MOp Op, bool Mem = false, bool Imm = false, int32_t Sym = -1,
+            int64_t ImmVal = 0) {
+    Cur->Insts.emplace_back(Op, Mem, Imm, Sym, ImmVal);
+  }
+  /// Immediate value of a constant operand, or 0.
+  static int64_t immOf(const Value *V) {
+    const auto *C = dyn_cast<ConstantInt>(V);
+    return C ? C->getValue() : 0;
+  }
+  /// Operand fetch/spill traffic in -O0 style.
+  void touchOperand(const Value *V);
+  void spillResult() {
+    if (Opts.SpillEverything)
+      emit(MOp::StoreM, /*Mem=*/true);
+  }
+  void lowerInst(const Instruction *I);
+  void lowerBinOp(const BinaryInst *B);
+  void lowerCast(const CastInst *C);
+  void lowerCall(const CallInst *C);
+
+  const Function &F;
+  BinaryImage &Image;
+  const CodegenOptions &Opts;
+  MBlock *Cur = nullptr;
+  std::map<const BasicBlock *, uint32_t> BlockIndex;
+  MFunction MF;
+};
+
+} // namespace
+
+void FunctionLowering::touchOperand(const Value *V) {
+  if (!Opts.SpillEverything)
+    return;
+  if (isa<ConstantInt>(V) || isa<ConstantFP>(V) || isa<ConstantNull>(V))
+    emit(MOp::MovImm, /*Mem=*/false, /*Imm=*/true);
+  else
+    emit(MOp::LoadM, /*Mem=*/true);
+}
+
+void FunctionLowering::lowerBinOp(const BinaryInst *B) {
+  touchOperand(B->getLHS());
+  touchOperand(B->getRHS());
+  bool IsF32 = B->getType()->getKind() == TypeKind::Float;
+  // x86 encodes constant operands as inline immediates; record them (the
+  // diffing tools key on distinctive constants).
+  bool RImm = isa<ConstantInt>(B->getRHS());
+  int64_t RVal = immOf(B->getRHS());
+  switch (B->getBinOp()) {
+  case BinOp::Add:
+    emit(MOp::Add, false, RImm, -1, RVal);
+    break;
+  case BinOp::Sub:
+    emit(MOp::Sub, false, RImm, -1, RVal);
+    break;
+  case BinOp::Mul: {
+    // Strength-reduce multiplications by powers of two.
+    const auto *C = dyn_cast<ConstantInt>(B->getRHS());
+    int64_t V = C ? C->getValue() : 0;
+    if (C && V > 0 && (V & (V - 1)) == 0)
+      emit(MOp::Shl, false, true);
+    else
+      emit(MOp::IMul);
+    break;
+  }
+  case BinOp::SDiv:
+  case BinOp::SRem:
+    emit(MOp::Cdq);
+    emit(MOp::IDiv);
+    break;
+  case BinOp::And:
+    emit(MOp::And, false, RImm, -1, RVal);
+    break;
+  case BinOp::Or:
+    emit(MOp::Or, false, RImm, -1, RVal);
+    break;
+  case BinOp::Xor:
+    emit(MOp::Xor, false, RImm, -1, RVal);
+    break;
+  case BinOp::Shl:
+    emit(MOp::Shl, false, RImm, -1, RVal);
+    break;
+  case BinOp::AShr:
+    emit(MOp::Sar, false, RImm, -1, RVal);
+    break;
+  case BinOp::LShr:
+    emit(MOp::Shr, false, RImm, -1, RVal);
+    break;
+  case BinOp::FAdd:
+    emit(IsF32 ? MOp::Addss : MOp::Addsd);
+    break;
+  case BinOp::FSub:
+    emit(IsF32 ? MOp::Subss : MOp::Subsd);
+    break;
+  case BinOp::FMul:
+    emit(IsF32 ? MOp::Mulss : MOp::Mulsd);
+    break;
+  case BinOp::FDiv:
+    emit(IsF32 ? MOp::Divss : MOp::Divsd);
+    break;
+  }
+  spillResult();
+}
+
+void FunctionLowering::lowerCast(const CastInst *C) {
+  touchOperand(C->getSource());
+  switch (C->getCastKind()) {
+  case CastKind::Trunc:
+    emit(MOp::Mov);
+    break;
+  case CastKind::SExt:
+    emit(MOp::Movsx);
+    break;
+  case CastKind::ZExt:
+    emit(MOp::Movzx);
+    break;
+  case CastKind::FPToSI:
+    emit(MOp::Cvtts2si);
+    break;
+  case CastKind::SIToFP:
+    emit(MOp::Cvtsi2s);
+    break;
+  case CastKind::FPTrunc:
+  case CastKind::FPExt:
+    emit(MOp::Cvts2s);
+    break;
+  case CastKind::Bitcast:
+  case CastKind::PtrToInt:
+  case CastKind::IntToPtr:
+    emit(MOp::Mov);
+    break;
+  }
+  spillResult();
+}
+
+void FunctionLowering::lowerCall(const CallInst *C) {
+  unsigned NumArgs = C->getNumArgs();
+  // SysV: six register args, rest pushed.
+  for (unsigned I = 0; I != NumArgs; ++I) {
+    touchOperand(C->getArg(I));
+    if (I < 6) {
+      Type *Ty = C->getArg(I)->getType();
+      emit(Ty->isFloatingPoint()
+               ? (Ty->getKind() == TypeKind::Float ? MOp::Movss
+                                                   : MOp::Movsd)
+               : MOp::Mov);
+    } else {
+      emit(MOp::Push);
+    }
+  }
+  if (const Function *Callee = C->getCalledFunction()) {
+    emit(MOp::Call, false, false,
+         Image.internSymbol(Callee->getName()));
+  } else {
+    touchOperand(C->getCallee());
+    emit(MOp::CallIndirect, /*Mem=*/true);
+  }
+  if (NumArgs > 6)
+    emit(MOp::Add, false, true); // Stack cleanup.
+  if (C->getType() && !C->getType()->isVoid()) {
+    emit(MOp::Mov); // Result out of rax/xmm0.
+    spillResult();
+  }
+}
+
+void FunctionLowering::lowerInst(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Alloca:
+    // Frame space is reserved in the prologue; materialize the address.
+    emit(MOp::Lea, /*Mem=*/true);
+    spillResult();
+    break;
+  case Opcode::Load:
+    touchOperand(cast<LoadInst>(I)->getPointer());
+    emit(MOp::LoadM, /*Mem=*/true);
+    spillResult();
+    break;
+  case Opcode::Store:
+    touchOperand(cast<StoreInst>(I)->getStoredValue());
+    touchOperand(cast<StoreInst>(I)->getPointer());
+    emit(MOp::StoreM, /*Mem=*/true);
+    break;
+  case Opcode::BinOp:
+    lowerBinOp(cast<BinaryInst>(I));
+    break;
+  case Opcode::Cmp:
+    touchOperand(cast<CmpInst>(I)->getLHS());
+    touchOperand(cast<CmpInst>(I)->getRHS());
+    if (cast<CmpInst>(I)->getLHS()->getType()->isFloatingPoint())
+      emit(MOp::Ucomis);
+    else
+      emit(MOp::Cmp, false, isa<ConstantInt>(cast<CmpInst>(I)->getRHS()),
+           -1, immOf(cast<CmpInst>(I)->getRHS()));
+    // Materialize the flag only when used as a plain value (not solely by
+    // a branch in the same block).
+    emit(MOp::SetCC);
+    spillResult();
+    break;
+  case Opcode::Cast:
+    lowerCast(cast<CastInst>(I));
+    break;
+  case Opcode::GEP:
+    touchOperand(cast<GEPInst>(I)->getPointer());
+    touchOperand(cast<GEPInst>(I)->getIndex());
+    if (Opts.UseLea) {
+      emit(MOp::Lea, /*Mem=*/true);
+    } else {
+      emit(MOp::IMul, false, true);
+      emit(MOp::Add);
+    }
+    spillResult();
+    break;
+  case Opcode::Select:
+    touchOperand(I->getOperand(0));
+    touchOperand(I->getOperand(1));
+    touchOperand(I->getOperand(2));
+    emit(MOp::Test);
+    if (Opts.UseCmov) {
+      emit(MOp::Cmov);
+    } else {
+      emit(MOp::Jcc);
+      emit(MOp::Mov);
+      emit(MOp::Jmp);
+      emit(MOp::Mov);
+    }
+    spillResult();
+    break;
+  case Opcode::Call:
+  case Opcode::Invoke:
+    lowerCall(cast<CallInst>(I));
+    if (I->getOpcode() == Opcode::Invoke)
+      emit(MOp::Jmp); // Normal-path continuation.
+    break;
+  case Opcode::LandingPad:
+    emit(MOp::Mov); // Exception object out of the unwinder register.
+    spillResult();
+    break;
+  case Opcode::Throw:
+    emit(MOp::Call, false, false, Image.internSymbol("__cxa_throw"));
+    emit(MOp::Ud2);
+    break;
+  case Opcode::Br: {
+    const auto *BR = cast<BranchInst>(I);
+    if (BR->isConditional()) {
+      touchOperand(BR->getCondition());
+      emit(MOp::Test);
+      emit(MOp::Jcc);
+      emit(MOp::Jmp);
+    } else {
+      emit(MOp::Jmp);
+    }
+    break;
+  }
+  case Opcode::Switch: {
+    const auto *SW = cast<SwitchInst>(I);
+    touchOperand(SW->getCondition());
+    if (Opts.UseJumpTables && SW->getNumCases() >= 4) {
+      emit(MOp::Cmp, false, true);
+      emit(MOp::Jcc); // Bounds check.
+      emit(MOp::Lea, true);
+      emit(MOp::Jmp, true); // Indirect through the table.
+    } else {
+      for (unsigned C = 0, E = SW->getNumCases(); C != E; ++C) {
+        emit(MOp::Cmp, false, true, -1, SW->getCaseValue(C));
+        emit(MOp::Jcc);
+      }
+      emit(MOp::Jmp);
+    }
+    break;
+  }
+  case Opcode::Ret:
+    if (cast<ReturnInst>(I)->hasReturnValue()) {
+      touchOperand(cast<ReturnInst>(I)->getReturnValue());
+      emit(MOp::Mov); // Into rax/xmm0.
+    }
+    emit(MOp::Leave);
+    emit(MOp::Ret);
+    break;
+  case Opcode::Unreachable:
+    emit(MOp::Ud2);
+    break;
+  }
+}
+
+MFunction FunctionLowering::run() {
+  MF.Name = F.getName();
+  MF.Exported = F.isExported();
+  MF.Origins = F.getOrigins();
+
+  uint32_t Idx = 0;
+  for (const auto &BB : F.blocks())
+    BlockIndex[BB.get()] = Idx++;
+
+  bool First = true;
+  for (const auto &BB : F.blocks()) {
+    MF.Blocks.emplace_back();
+    Cur = &MF.Blocks.back();
+    Cur->Name = BB->getName();
+    if (First) {
+      // Prologue.
+      emit(MOp::Push);
+      emit(MOp::Mov);
+      emit(MOp::Sub, false, true); // sub rsp, frame
+      First = false;
+    } else if (Opts.AlignLoops && !BB->predecessors().empty() &&
+               BB->predecessors().size() > 1) {
+      emit(MOp::Nop); // Alignment padding before join/loop heads.
+    }
+    for (const auto &I : BB->insts())
+      lowerInst(I.get());
+    for (const BasicBlock *S : BB->successors())
+      Cur->Succs.push_back(BlockIndex[const_cast<BasicBlock *>(S)]);
+  }
+  return MF;
+}
+
+BinaryImage khaos::lowerToBinary(const Module &M,
+                                 const CodegenOptions &Opts) {
+  BinaryImage Image;
+  Image.Name = M.getName();
+
+  uint64_t Address = 0x401000;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || F->isIntrinsic())
+      continue;
+    FunctionLowering Lowering(*F, Image, Opts);
+    MFunction MF = Lowering.run();
+    MF.Address = Address;
+    // 16-byte alignment: the invariant fusion's tagged pointers rely on.
+    Address = (Address + MF.instructionCount() * 4 + 15) & ~15ull;
+    Image.FunctionIndex[MF.Name] =
+        static_cast<uint32_t>(Image.Functions.size());
+    Image.Functions.push_back(std::move(MF));
+  }
+
+  // Data relocations for function addresses in global initializers; the
+  // addend carries the fusion tag.
+  for (const auto &G : M.globals()) {
+    uint64_t Offset = 0;
+    for (const Constant *C : G->getInitializer()) {
+      if (const auto *TF = dyn_cast<ConstantTaggedFunc>(C)) {
+        DataRelocation R;
+        R.GlobalName = G->getName();
+        R.Offset = Offset;
+        R.SymId = Image.internSymbol(TF->getFunction()->getName());
+        R.Addend = TF->getTag();
+        Image.DataRelocs.push_back(R);
+      }
+      Offset += 8;
+    }
+  }
+  return Image;
+}

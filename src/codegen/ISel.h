@@ -1,0 +1,39 @@
+//===- codegen/ISel.h - Instruction selection --------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a KIR module to a BinaryImage. Codegen style knobs approximate
+/// what different -O levels and BinTuner's option mutations do to the
+/// emitted instruction mix (spill-everything vs register reuse, lea-based
+/// address math, cmov for selects, jump tables for switches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_CODEGEN_ISEL_H
+#define KHAOS_CODEGEN_ISEL_H
+
+#include "codegen/BinaryImage.h"
+
+namespace khaos {
+
+class Module;
+
+/// Codegen style; defaults model -O2.
+struct CodegenOptions {
+  bool SpillEverything = false; ///< -O0-style: reload/spill around each op.
+  bool UseLea = true;           ///< Address math via lea.
+  bool UseCmov = true;          ///< Branchless selects.
+  bool UseJumpTables = true;    ///< Switches >= 4 cases become jump tables.
+  bool AlignLoops = true;       ///< Nop padding in front of loop heads.
+};
+
+/// Lowers \p M. Function addresses are assigned in order, 16-byte aligned.
+BinaryImage lowerToBinary(const Module &M,
+                          const CodegenOptions &Opts = {});
+
+} // namespace khaos
+
+#endif // KHAOS_CODEGEN_ISEL_H

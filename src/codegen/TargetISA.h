@@ -1,0 +1,86 @@
+//===- codegen/TargetISA.h - Synthetic x86-64-like ISA ----------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine layer the binary diffing tools look at. The opcode set and
+/// lowering idioms mirror x86-64 closely enough that opcode-histogram
+/// distances (paper Fig. 11) and instruction-token embeddings behave like
+/// they do on real binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_CODEGEN_TARGETISA_H
+#define KHAOS_CODEGEN_TARGETISA_H
+
+#include <cstdint>
+
+namespace khaos {
+
+/// Machine opcodes.
+enum class MOp : uint8_t {
+  // Data movement.
+  Mov,
+  MovImm,
+  Movsx,
+  Movzx,
+  Lea,
+  Push,
+  Pop,
+  LoadM,   ///< mov reg, [mem]
+  StoreM,  ///< mov [mem], reg
+  // Integer ALU.
+  Add,
+  Sub,
+  IMul,
+  IDiv,
+  Cdq,
+  Neg,
+  And,
+  Or,
+  Xor,
+  Not,
+  Shl,
+  Sar,
+  Shr,
+  Cmp,
+  Test,
+  SetCC,
+  Cmov,
+  // SSE scalar FP.
+  Movss,
+  Movsd,
+  Addss,
+  Addsd,
+  Subss,
+  Subsd,
+  Mulss,
+  Mulsd,
+  Divss,
+  Divsd,
+  Ucomis,
+  Cvtsi2s,
+  Cvtts2si,
+  Cvts2s,
+  // Control flow.
+  Jmp,
+  Jcc,
+  Call,
+  CallIndirect,
+  Ret,
+  Leave,
+  Ud2,
+  Nop,
+  NumOpcodes,
+};
+
+/// Printable mnemonic.
+const char *mopName(MOp Op);
+
+constexpr unsigned NumMOpcodes = static_cast<unsigned>(MOp::NumOpcodes);
+
+} // namespace khaos
+
+#endif // KHAOS_CODEGEN_TARGETISA_H

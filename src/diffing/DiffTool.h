@@ -1,0 +1,76 @@
+//===- diffing/DiffTool.h - Binary diffing tool interface -------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five confrontation targets of the paper (Table 1), reimplemented as
+/// published-algorithm analogues over our BinaryImage:
+///
+///   | tool        | granularity | symbols | call graph | heavy        |
+///   |-------------|-------------|---------|------------|--------------|
+///   | BinDiff     | function    | yes     | yes        | no           |
+///   | VulSeeker   | function    | no      | no         | time+memory  |
+///   | Asm2Vec     | function    | no      | no         | no           |
+///   | SAFE        | function    | no      | no         | no           |
+///   | DeepBinDiff | basic block | no      | yes        | time+memory  |
+///
+/// Each tool ranks, for every function of binary A (the un-obfuscated
+/// reference), the functions of binary B (the obfuscated build) by
+/// similarity. The harness computes Precision@1 / escape@k from the
+/// rankings with the paper's relaxed pairing judgment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_DIFFING_DIFFTOOL_H
+#define KHAOS_DIFFING_DIFFTOOL_H
+
+#include "diffing/BinaryFeatures.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Diffing output: per-A-function candidate rankings plus a BinDiff-style
+/// whole-binary similarity score in [0, 1].
+struct DiffResult {
+  /// Rankings[i] lists B-function indices, most similar first.
+  std::vector<std::vector<uint32_t>> Rankings;
+  double WholeBinarySimilarity = 0.0;
+};
+
+/// Static tool characteristics (paper Table 1).
+struct ToolTraits {
+  const char *Granularity = "function";
+  bool UsesSymbols = false;
+  bool TimeConsuming = false;
+  bool MemoryConsuming = false;
+  bool UsesCallGraph = false;
+};
+
+/// Abstract diffing technique.
+class DiffTool {
+public:
+  virtual ~DiffTool();
+  virtual const char *getName() const = 0;
+  virtual ToolTraits getTraits() const = 0;
+  virtual DiffResult diff(const BinaryImage &A, const ImageFeatures &FA,
+                          const BinaryImage &B,
+                          const ImageFeatures &FB) const = 0;
+};
+
+std::unique_ptr<DiffTool> createBinDiffTool();
+std::unique_ptr<DiffTool> createVulSeekerTool();
+std::unique_ptr<DiffTool> createAsm2VecTool();
+std::unique_ptr<DiffTool> createSafeTool();
+std::unique_ptr<DiffTool> createDeepBinDiffTool();
+
+/// All five, in the paper's order.
+std::vector<std::unique_ptr<DiffTool>> createAllDiffTools();
+
+} // namespace khaos
+
+#endif // KHAOS_DIFFING_DIFFTOOL_H

@@ -1,0 +1,66 @@
+//===- diffing/Embedding.cpp - Deterministic token embeddings --------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffing/Embedding.h"
+
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace khaos;
+
+std::vector<double> khaos::tokenVector(uint64_t Token) {
+  // Cache: the token universe is tiny (opcodes + bigrams).
+  static std::map<uint64_t, std::vector<double>> Cache;
+  auto It = Cache.find(Token);
+  if (It != Cache.end())
+    return It->second;
+
+  RNG Rng(Token * 0x9e3779b97f4a7c15ull + 0x1234);
+  std::vector<double> V(EmbeddingDim);
+  double Norm = 0.0;
+  for (double &X : V) {
+    X = Rng.nextDouble() * 2.0 - 1.0;
+    Norm += X * X;
+  }
+  Norm = std::sqrt(Norm);
+  if (Norm > 0)
+    for (double &X : V)
+      X /= Norm;
+  Cache[Token] = V;
+  return V;
+}
+
+void khaos::accumulateToken(std::vector<double> &Acc, uint64_t Token,
+                            double Scale) {
+  std::vector<double> V = tokenVector(Token);
+  if (Acc.size() != V.size())
+    Acc.assign(V.size(), 0.0);
+  for (unsigned I = 0; I != EmbeddingDim; ++I)
+    Acc[I] += Scale * V[I];
+}
+
+uint64_t khaos::bigramToken(uint64_t A, uint64_t B) {
+  return (A + 1) * 0x100000001b3ull ^ (B + 1) * 0x9e3779b97f4a7c15ull;
+}
+
+void khaos::appendSegment(std::vector<double> &Out,
+                          std::vector<double> Segment, double Weight) {
+  double Norm = 0.0;
+  for (double X : Segment)
+    Norm += X * X;
+  Norm = std::sqrt(Norm);
+  for (double X : Segment)
+    Out.push_back(Norm > 0 ? Weight * X / Norm : 0.0);
+}
+
+double khaos::sizeAffinity(double SizeA, double SizeB) {
+  if (SizeA <= 0 || SizeB <= 0)
+    return 0.0;
+  return 2.0 * std::min(SizeA, SizeB) / (SizeA + SizeB);
+}

@@ -1,0 +1,51 @@
+//===- diffing/Embedding.h - Deterministic token embeddings -----*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-based stand-in for the learned token embeddings of
+/// Asm2Vec/SAFE/DeepBinDiff: every token id maps to a fixed
+/// pseudo-random unit vector, so cosine similarity between aggregated
+/// vectors behaves like the published models' representation distance —
+/// near-identical code maps to near-identical vectors, and similarity
+/// degrades smoothly with edit distance of the token stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_DIFFING_EMBEDDING_H
+#define KHAOS_DIFFING_EMBEDDING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace khaos {
+
+constexpr unsigned EmbeddingDim = 32;
+
+/// Deterministic pseudo-random vector for a token id.
+std::vector<double> tokenVector(uint64_t Token);
+
+/// Adds Scale * tokenVector(Token) into \p Acc.
+void accumulateToken(std::vector<double> &Acc, uint64_t Token,
+                     double Scale = 1.0);
+
+/// Combines two token ids into a bigram token.
+uint64_t bigramToken(uint64_t A, uint64_t B);
+
+/// L2-normalizes \p Segment and appends Weight * Segment to \p Out.
+/// Embeddings built from several segments give each feature family a
+/// controlled share of the cosine similarity.
+void appendSegment(std::vector<double> &Out, std::vector<double> Segment,
+                   double Weight);
+
+/// Similarity discount for mismatched function sizes (harmonic ratio).
+/// Intra-procedural obfuscation keeps sizes comparable; fission shrinks
+/// the remFunc and fusion doubles the fusFunc, which is precisely the
+/// signal the published models lose accuracy to.
+double sizeAffinity(double SizeA, double SizeB);
+
+} // namespace khaos
+
+#endif // KHAOS_DIFFING_EMBEDDING_H

@@ -1,0 +1,59 @@
+//===- diffing/Metrics.cpp - Precision@1 / escape@k -----------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffing/Metrics.h"
+
+#include <algorithm>
+
+using namespace khaos;
+
+bool khaos::pairingMatches(const MFunction &Candidate,
+                           const std::string &OrigName) {
+  return std::find(Candidate.Origins.begin(), Candidate.Origins.end(),
+                   OrigName) != Candidate.Origins.end();
+}
+
+double khaos::precisionAt1(const BinaryImage &A, const BinaryImage &B,
+                           const DiffResult &R) {
+  if (A.Functions.empty())
+    return 0.0;
+  unsigned Hits = 0, Considered = 0;
+  for (size_t I = 0; I != A.Functions.size(); ++I) {
+    if (I >= R.Rankings.size() || R.Rankings[I].empty())
+      continue;
+    ++Considered;
+    const MFunction &Top = B.Functions[R.Rankings[I].front()];
+    if (pairingMatches(Top, A.Functions[I].Name))
+      ++Hits;
+  }
+  return Considered ? static_cast<double>(Hits) / Considered : 0.0;
+}
+
+uint32_t khaos::trueMatchRank(const BinaryImage &A, const BinaryImage &B,
+                              const DiffResult &R,
+                              const std::string &FuncName) {
+  auto It = A.FunctionIndex.find(FuncName);
+  if (It == A.FunctionIndex.end() || It->second >= R.Rankings.size())
+    return UINT32_MAX;
+  const std::vector<uint32_t> &Order = R.Rankings[It->second];
+  for (size_t Rank = 0; Rank != Order.size(); ++Rank)
+    if (pairingMatches(B.Functions[Order[Rank]], FuncName))
+      return static_cast<uint32_t>(Rank + 1);
+  return UINT32_MAX;
+}
+
+double khaos::escapeRatioAtK(const BinaryImage &A, const BinaryImage &B,
+                             const DiffResult &R,
+                             const std::vector<std::string> &VulnFuncs,
+                             unsigned K) {
+  if (VulnFuncs.empty())
+    return 0.0;
+  unsigned Escaped = 0;
+  for (const std::string &V : VulnFuncs)
+    if (trueMatchRank(A, B, R, V) > K)
+      ++Escaped;
+  return static_cast<double>(Escaped) / VulnFuncs.size();
+}

@@ -1,0 +1,50 @@
+//===- diffing/Metrics.h - Precision@1 / escape@k ---------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation metrics with the paper's relaxed pairing judgment (§4.2):
+/// for fission, pairing the oriFunc with any of its sepFuncs or with the
+/// remFunc counts as success; for fusion, pairing with the containing
+/// fusFunc counts. Our provenance metadata (MFunction::Origins) encodes
+/// exactly this relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_DIFFING_METRICS_H
+#define KHAOS_DIFFING_METRICS_H
+
+#include "diffing/DiffTool.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Relaxed pairing: does \p Candidate contain code originating from
+/// \p OrigName?
+bool pairingMatches(const MFunction &Candidate, const std::string &OrigName);
+
+/// Fraction of A's functions whose top-ranked candidate in B passes the
+/// relaxed pairing judgment (the paper's Precision@1).
+double precisionAt1(const BinaryImage &A, const BinaryImage &B,
+                    const DiffResult &R);
+
+/// 1-based rank of the first true match for \p FuncName's A-side entry;
+/// returns UINT32_MAX when the function or a true match is absent.
+uint32_t trueMatchRank(const BinaryImage &A, const BinaryImage &B,
+                       const DiffResult &R, const std::string &FuncName);
+
+/// Fraction of \p VulnFuncs whose true match ranks strictly below the
+/// top-K (the paper's escape@K; higher = better hiding).
+double escapeRatioAtK(const BinaryImage &A, const BinaryImage &B,
+                      const DiffResult &R,
+                      const std::vector<std::string> &VulnFuncs,
+                      unsigned K);
+
+} // namespace khaos
+
+#endif // KHAOS_DIFFING_METRICS_H

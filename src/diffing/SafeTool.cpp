@@ -1,0 +1,108 @@
+//===- diffing/SafeTool.cpp - SAFE-style sequence embeddings -----------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SAFE (Massarelli et al., DIMVA'19) analogue: a self-attentive sequence
+/// embedding approximated by position-decayed token vectors over the
+/// function's linearized instruction stream. Order-aware (unlike the
+/// Asm2Vec surrogate) and oblivious to symbols and the call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diffing/DiffTool.h"
+#include "diffing/Embedding.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace khaos;
+
+namespace {
+
+class SafeTool : public DiffTool {
+public:
+  const char *getName() const override { return "SAFE"; }
+  ToolTraits getTraits() const override { return {}; }
+  DiffResult diff(const BinaryImage &A, const ImageFeatures &FA,
+                  const BinaryImage &B,
+                  const ImageFeatures &FB) const override;
+
+private:
+  static std::vector<double> embed(const FunctionFeatures &F);
+};
+
+std::vector<double> SafeTool::embed(const FunctionFeatures &F) {
+  // Attention surrogate: early instructions (prologue/shape) and call
+  // sites get higher weight; weight decays with position. Segments as in
+  // the Asm2Vec surrogate but order-aware.
+  std::vector<double> Classes(EmbeddingDim, 0.0);
+  std::vector<double> Raw(EmbeddingDim, 0.0);
+  for (size_t I = 0; I != F.TokenSeq.size(); ++I) {
+    double W = 1.0 / (1.0 + 0.015 * (double)I);
+    MOp Op = (MOp)F.TokenSeq[I];
+    if (Op == MOp::Call || Op == MOp::CallIndirect)
+      W *= 2.0;
+    accumulateToken(Classes, 100 + robustTokenClass(F.TokenSeq[I]), W);
+    accumulateToken(Raw, F.TokenSeq[I], W);
+    if (I + 1 < F.TokenSeq.size())
+      accumulateToken(Classes,
+                      bigramToken(robustTokenClass(F.TokenSeq[I]),
+                                  robustTokenClass(F.TokenSeq[I + 1])),
+                      0.6 * W);
+  }
+  // Distinctive constants: preserved by intra-procedural obfuscation,
+  // scattered across functions by fission/fusion.
+  std::vector<double> Imms(EmbeddingDim, 0.0);
+  for (int64_t V : F.Immediates)
+    accumulateToken(Imms, 0x1000000ull + static_cast<uint64_t>(V));
+  std::vector<double> Out;
+  appendSegment(Out, std::move(Classes), 1.0);
+  appendSegment(Out, std::move(Raw), 0.35);
+  appendSegment(Out, std::move(Imms), 0.7);
+  return Out;
+}
+
+DiffResult SafeTool::diff(const BinaryImage &A, const ImageFeatures &FA,
+                          const BinaryImage &B,
+                          const ImageFeatures &FB) const {
+  DiffResult R;
+  size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();
+  R.Rankings.resize(NA);
+
+  std::vector<std::vector<double>> EA(NA), EB(NB);
+  for (size_t I = 0; I != NA; ++I)
+    EA[I] = embed(FA.Funcs[I]);
+  for (size_t J = 0; J != NB; ++J)
+    EB[J] = embed(FB.Funcs[J]);
+
+  double TopSum = 0.0;
+  for (size_t I = 0; I != NA; ++I) {
+    std::vector<double> Sim(NB);
+    for (size_t J = 0; J != NB; ++J)
+      Sim[J] = cosineSimilarity(EA[I], EB[J]) *
+               std::pow(shapeAffinity(FA.Funcs[I], FB.Funcs[J]),
+                        0.6);
+    std::vector<uint32_t> Order(NB);
+    for (size_t J = 0; J != NB; ++J)
+      Order[J] = static_cast<uint32_t>(J);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](uint32_t X, uint32_t Y) {
+                       return Sim[X] > Sim[Y];
+                     });
+    if (!Order.empty())
+      TopSum += Sim[Order.front()];
+    R.Rankings[I] = std::move(Order);
+  }
+  R.WholeBinarySimilarity = NA ? TopSum / NA : 0.0;
+  return R;
+}
+
+} // namespace
+
+std::unique_ptr<DiffTool> khaos::createSafeTool() {
+  return std::make_unique<SafeTool>();
+}

@@ -1,0 +1,21 @@
+//===- diffing/ToolRegistry.cpp - Tool construction --------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffing/DiffTool.h"
+
+using namespace khaos;
+
+DiffTool::~DiffTool() = default;
+
+std::vector<std::unique_ptr<DiffTool>> khaos::createAllDiffTools() {
+  std::vector<std::unique_ptr<DiffTool>> Tools;
+  Tools.push_back(createBinDiffTool());
+  Tools.push_back(createVulSeekerTool());
+  Tools.push_back(createAsm2VecTool());
+  Tools.push_back(createSafeTool());
+  Tools.push_back(createDeepBinDiffTool());
+  return Tools;
+}

@@ -1,0 +1,390 @@
+//===- frontend/AST.h - MiniC abstract syntax tree --------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Untyped AST produced by the parser. Type checking happens during IR
+/// generation (MiniC's type system is small enough that a separate sema
+/// pass would only duplicate the conversion logic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_FRONTEND_AST_H
+#define KHAOS_FRONTEND_AST_H
+
+#include "frontend/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace khaos {
+namespace minic {
+
+/// Base scalar categories of MiniC.
+enum class BaseType : uint8_t {
+  Void,
+  Char,   // i8
+  Int,    // i32
+  Long,   // i64
+  Float,  // f32
+  Double, // f64
+};
+
+struct FuncSig;
+
+/// A MiniC type: base scalar, pointer depth, optional array dimension and
+/// optional function-pointer signature. `Sig != null` means "pointer to
+/// function Sig" (with PtrDepth extra indirections on top).
+struct CType {
+  BaseType Base = BaseType::Int;
+  int PtrDepth = 0;
+  int64_t ArraySize = -1; ///< -1: not an array.
+  std::shared_ptr<FuncSig> Sig;
+
+  bool isArray() const { return ArraySize >= 0; }
+  bool isPointerLike() const { return PtrDepth > 0 || Sig != nullptr; }
+  bool isVoid() const {
+    return Base == BaseType::Void && !isPointerLike() && !isArray();
+  }
+
+  /// The type after array-to-pointer decay.
+  CType decayed() const {
+    if (!isArray())
+      return *this;
+    CType T = *this;
+    T.ArraySize = -1;
+    ++T.PtrDepth;
+    return T;
+  }
+  /// The pointee type; requires isPointerLike() or isArray().
+  CType pointee() const {
+    CType T = *this;
+    if (T.isArray()) {
+      T.ArraySize = -1;
+      return T;
+    }
+    if (T.PtrDepth > 0) {
+      --T.PtrDepth;
+      return T;
+    }
+    return T; // Function "pointee" — callers special-case Sig.
+  }
+
+  static CType scalar(BaseType B) {
+    CType T;
+    T.Base = B;
+    return T;
+  }
+  static CType pointerTo(CType Inner) {
+    ++Inner.PtrDepth;
+    return Inner;
+  }
+};
+
+/// Function signature for function-pointer types and declarations.
+struct FuncSig {
+  CType Ret;
+  std::vector<CType> Params;
+  bool VarArg = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  StringLit,
+  VarRef,
+  Unary,
+  Binary,
+  Assign,
+  Call,
+  Index,
+  Cast,
+  Conditional,
+  IncDec,
+};
+
+/// Base expression node.
+struct Expr {
+  explicit Expr(ExprKind Kind, int Line) : Kind(Kind), Line(Line) {}
+  virtual ~Expr() = default;
+  ExprKind Kind;
+  int Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(int64_t V, bool IsLong, bool IsChar, int Line)
+      : Expr(ExprKind::IntLit, Line), Value(V), IsLong(IsLong),
+        IsChar(IsChar) {}
+  int64_t Value;
+  bool IsLong;
+  bool IsChar;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(double V, bool IsFloat, int Line)
+      : Expr(ExprKind::FloatLit, Line), Value(V), IsFloat(IsFloat) {}
+  double Value;
+  bool IsFloat; ///< f suffix => float, else double.
+};
+
+struct StringLitExpr : Expr {
+  StringLitExpr(std::string V, int Line)
+      : Expr(ExprKind::StringLit, Line), Value(std::move(V)) {}
+  std::string Value;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string Name, int Line)
+      : Expr(ExprKind::VarRef, Line), Name(std::move(Name)) {}
+  std::string Name;
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, BitNot, Deref, AddrOf };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, int Line)
+      : Expr(ExprKind::Unary, Line), Op(Op), Sub(std::move(Sub)) {}
+  UnaryOp Op;
+  ExprPtr Sub;
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd,
+  LogicalOr,
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp Op, ExprPtr L, ExprPtr R, int Line)
+      : Expr(ExprKind::Binary, Line), Op(Op), LHS(std::move(L)),
+        RHS(std::move(R)) {}
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// Assignment; Op is BinaryOp::Add etc. for compound assignment, or
+/// nullopt-like `Plain` for '='.
+struct AssignExpr : Expr {
+  AssignExpr(ExprPtr L, ExprPtr R, int CompoundOp, int Line)
+      : Expr(ExprKind::Assign, Line), LHS(std::move(L)), RHS(std::move(R)),
+        CompoundOp(CompoundOp) {}
+  ExprPtr LHS, RHS;
+  int CompoundOp; ///< -1 for plain '=', else a BinaryOp value.
+};
+
+struct CallExpr : Expr {
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, int Line)
+      : Expr(ExprKind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr Base, ExprPtr Idx, int Line)
+      : Expr(ExprKind::Index, Line), Base(std::move(Base)),
+        Idx(std::move(Idx)) {}
+  ExprPtr Base, Idx;
+};
+
+struct CastExpr : Expr {
+  CastExpr(CType To, ExprPtr Sub, int Line)
+      : Expr(ExprKind::Cast, Line), To(To), Sub(std::move(Sub)) {}
+  CType To;
+  ExprPtr Sub;
+};
+
+struct ConditionalExpr : Expr {
+  ConditionalExpr(ExprPtr C, ExprPtr T, ExprPtr F, int Line)
+      : Expr(ExprKind::Conditional, Line), Cond(std::move(C)),
+        TrueE(std::move(T)), FalseE(std::move(F)) {}
+  ExprPtr Cond, TrueE, FalseE;
+};
+
+struct IncDecExpr : Expr {
+  IncDecExpr(bool IsInc, bool IsPrefix, ExprPtr Sub, int Line)
+      : Expr(ExprKind::IncDec, Line), IsInc(IsInc), IsPrefix(IsPrefix),
+        Sub(std::move(Sub)) {}
+  bool IsInc, IsPrefix;
+  ExprPtr Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  ExprStmt,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Switch,
+  Try,
+  Throw,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind Kind, int Line) : Kind(Kind), Line(Line) {}
+  virtual ~Stmt() = default;
+  StmtKind Kind;
+  int Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  explicit BlockStmt(int Line) : Stmt(StmtKind::Block, Line) {}
+  std::vector<StmtPtr> Stmts;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, int Line) : Stmt(StmtKind::ExprStmt, Line),
+                                  E(std::move(E)) {}
+  ExprPtr E; ///< Null for the empty statement.
+};
+
+/// One local declaration (possibly an array) with an optional initializer.
+struct DeclStmt : Stmt {
+  DeclStmt(CType Ty, std::string Name, ExprPtr Init, int Line)
+      : Stmt(StmtKind::Decl, Line), Ty(Ty), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  CType Ty;
+  std::string Name;
+  ExprPtr Init; ///< Null when uninitialized.
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr C, StmtPtr T, StmtPtr E, int Line)
+      : Stmt(StmtKind::If, Line), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null.
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr C, StmtPtr B, int Line)
+      : Stmt(StmtKind::While, Line), Cond(std::move(C)),
+        Body(std::move(B)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+struct DoWhileStmt : Stmt {
+  DoWhileStmt(StmtPtr B, ExprPtr C, int Line)
+      : Stmt(StmtKind::DoWhile, Line), Body(std::move(B)),
+        Cond(std::move(C)) {}
+  StmtPtr Body;
+  ExprPtr Cond;
+};
+
+struct ForStmt : Stmt {
+  ForStmt(int Line) : Stmt(StmtKind::For, Line) {}
+  StmtPtr Init;  ///< Decl or expression statement; may be null.
+  ExprPtr Cond;  ///< May be null (infinite).
+  ExprPtr Step;  ///< May be null.
+  StmtPtr Body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr V, int Line)
+      : Stmt(StmtKind::Return, Line), Value(std::move(V)) {}
+  ExprPtr Value; ///< Null for void return.
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(int Line) : Stmt(StmtKind::Break, Line) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(int Line) : Stmt(StmtKind::Continue, Line) {}
+};
+
+struct SwitchCase {
+  bool IsDefault = false;
+  int64_t Value = 0;
+  std::vector<StmtPtr> Body; ///< Falls through to the next case.
+};
+
+struct SwitchStmt : Stmt {
+  SwitchStmt(ExprPtr C, int Line)
+      : Stmt(StmtKind::Switch, Line), Cond(std::move(C)) {}
+  ExprPtr Cond;
+  std::vector<SwitchCase> Cases;
+};
+
+struct TryStmt : Stmt {
+  TryStmt(StmtPtr B, std::string CatchVar, StmtPtr H, int Line)
+      : Stmt(StmtKind::Try, Line), Body(std::move(B)),
+        CatchVar(std::move(CatchVar)), Handler(std::move(H)) {}
+  StmtPtr Body;
+  std::string CatchVar; ///< Catches `int CatchVar`.
+  StmtPtr Handler;
+};
+
+struct ThrowStmt : Stmt {
+  ThrowStmt(ExprPtr V, int Line)
+      : Stmt(StmtKind::Throw, Line), Value(std::move(V)) {}
+  ExprPtr Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+struct FunctionDecl {
+  std::string Name;
+  FuncSig Sig;
+  std::vector<std::string> ParamNames;
+  StmtPtr Body; ///< Null for extern declarations.
+  bool IsExtern = false;
+  bool IsExported = false;
+  int Line = 0;
+};
+
+struct GlobalDecl {
+  CType Ty;
+  std::string Name;
+  std::vector<ExprPtr> Init; ///< Literal initializers ({..} or single).
+  int Line = 0;
+};
+
+/// A parsed translation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace minic
+} // namespace khaos
+
+#endif // KHAOS_FRONTEND_AST_H

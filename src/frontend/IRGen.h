@@ -1,0 +1,44 @@
+//===- frontend/IRGen.h - MiniC to KIR lowering ------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking + IR generation for MiniC. Locals become entry-block
+/// allocas (clang -O0 shape); `try` bodies lower calls to invokes targeting
+/// a landingpad block; `throw` lowers to the __khaos_throw intrinsic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_FRONTEND_IRGEN_H
+#define KHAOS_FRONTEND_IRGEN_H
+
+#include <memory>
+#include <string>
+
+namespace khaos {
+
+class Context;
+class Module;
+
+namespace minic {
+struct Program;
+
+/// Lowers \p P into a fresh module. Returns null and sets \p Error on a
+/// type error.
+std::unique_ptr<Module> generateIR(const Program &P, Context &Ctx,
+                                   const std::string &ModuleName,
+                                   std::string &Error);
+
+} // namespace minic
+
+/// Convenience: parse + lower MiniC source. Null + \p Error on failure.
+std::unique_ptr<Module> compileMiniC(const std::string &Source,
+                                     Context &Ctx,
+                                     const std::string &ModuleName,
+                                     std::string &Error);
+
+} // namespace khaos
+
+#endif // KHAOS_FRONTEND_IRGEN_H

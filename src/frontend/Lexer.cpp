@@ -1,0 +1,344 @@
+//===- frontend/Lexer.cpp - MiniC lexer ----------------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <map>
+
+using namespace khaos;
+
+static const std::map<std::string, Tok> &keywordTable() {
+  static const std::map<std::string, Tok> Table = {
+      {"void", Tok::KwVoid},       {"char", Tok::KwChar},
+      {"int", Tok::KwInt},         {"long", Tok::KwLong},
+      {"float", Tok::KwFloat},     {"double", Tok::KwDouble},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"do", Tok::KwDo},           {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"switch", Tok::KwSwitch},   {"case", Tok::KwCase},
+      {"default", Tok::KwDefault}, {"extern", Tok::KwExtern},
+      {"try", Tok::KwTry},         {"catch", Tok::KwCatch},
+      {"throw", Tok::KwThrow},     {"__export", Tok::KwExport},
+  };
+  return Table;
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, std::string &Error)
+      : Src(Source), Error(Error) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Off = 0) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = formatStr("line %d: %s", Line, Msg.c_str());
+  }
+
+  Token makeTok(Tok K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    return T;
+  }
+
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexIdentifier();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  char lexEscape();
+
+  const std::string &Src;
+  std::string &Error;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+} // namespace
+
+void LexerImpl::skipWhitespaceAndComments() {
+  while (true) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (peek() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!peek()) {
+        fail("unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token LexerImpl::lexNumber() {
+  Token T = makeTok(Tok::IntLiteral);
+  std::string Digits;
+  bool IsFloat = false;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    advance();
+    advance();
+    while (std::isxdigit((unsigned char)peek()))
+      Digits += advance();
+    T.IntValue = static_cast<int64_t>(std::stoull(Digits, nullptr, 16));
+    if (match('l') || match('L'))
+      T.IsLongLiteral = true;
+    return T;
+  }
+  while (std::isdigit((unsigned char)peek()))
+    Digits += advance();
+  if (peek() == '.' && std::isdigit((unsigned char)peek(1))) {
+    IsFloat = true;
+    Digits += advance();
+    while (std::isdigit((unsigned char)peek()))
+      Digits += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    IsFloat = true;
+    Digits += advance();
+    if (peek() == '+' || peek() == '-')
+      Digits += advance();
+    while (std::isdigit((unsigned char)peek()))
+      Digits += advance();
+  }
+  if (IsFloat) {
+    T.Kind = Tok::FloatLiteral;
+    T.FloatValue = std::stod(Digits);
+    if (match('f') || match('F'))
+      T.IsFloatLiteral = true;
+    return T;
+  }
+  (void)IsHex;
+  T.IntValue = static_cast<int64_t>(std::stoull(Digits));
+  if (match('l') || match('L'))
+    T.IsLongLiteral = true;
+  return T;
+}
+
+Token LexerImpl::lexIdentifier() {
+  Token T = makeTok(Tok::Identifier);
+  std::string Name;
+  while (std::isalnum((unsigned char)peek()) || peek() == '_')
+    Name += advance();
+  auto It = keywordTable().find(Name);
+  if (It != keywordTable().end()) {
+    T.Kind = It->second;
+    return T;
+  }
+  T.Text = std::move(Name);
+  return T;
+}
+
+char LexerImpl::lexEscape() {
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    fail("unknown escape sequence");
+    return C;
+  }
+}
+
+Token LexerImpl::lexCharLiteral() {
+  Token T = makeTok(Tok::CharLiteral);
+  advance(); // opening quote
+  char C = peek() == '\\' ? (advance(), lexEscape()) : advance();
+  T.IntValue = C;
+  if (!match('\''))
+    fail("unterminated character literal");
+  return T;
+}
+
+Token LexerImpl::lexStringLiteral() {
+  Token T = makeTok(Tok::StringLiteral);
+  advance(); // opening quote
+  while (peek() && peek() != '"') {
+    char C = advance();
+    T.Text += (C == '\\') ? lexEscape() : C;
+  }
+  if (!match('"'))
+    fail("unterminated string literal");
+  return T;
+}
+
+std::vector<Token> LexerImpl::run() {
+  std::vector<Token> Tokens;
+  while (Error.empty()) {
+    skipWhitespaceAndComments();
+    char C = peek();
+    if (!C)
+      break;
+    if (std::isdigit((unsigned char)C)) {
+      Tokens.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha((unsigned char)C) || C == '_') {
+      Tokens.push_back(lexIdentifier());
+      continue;
+    }
+    if (C == '\'') {
+      Tokens.push_back(lexCharLiteral());
+      continue;
+    }
+    if (C == '"') {
+      Tokens.push_back(lexStringLiteral());
+      continue;
+    }
+    advance();
+    switch (C) {
+    case '(':
+      Tokens.push_back(makeTok(Tok::LParen));
+      break;
+    case ')':
+      Tokens.push_back(makeTok(Tok::RParen));
+      break;
+    case '{':
+      Tokens.push_back(makeTok(Tok::LBrace));
+      break;
+    case '}':
+      Tokens.push_back(makeTok(Tok::RBrace));
+      break;
+    case '[':
+      Tokens.push_back(makeTok(Tok::LBracket));
+      break;
+    case ']':
+      Tokens.push_back(makeTok(Tok::RBracket));
+      break;
+    case ';':
+      Tokens.push_back(makeTok(Tok::Semicolon));
+      break;
+    case ',':
+      Tokens.push_back(makeTok(Tok::Comma));
+      break;
+    case ':':
+      Tokens.push_back(makeTok(Tok::Colon));
+      break;
+    case '?':
+      Tokens.push_back(makeTok(Tok::Question));
+      break;
+    case '~':
+      Tokens.push_back(makeTok(Tok::Tilde));
+      break;
+    case '^':
+      Tokens.push_back(makeTok(Tok::Caret));
+      break;
+    case '+':
+      Tokens.push_back(makeTok(match('+')   ? Tok::PlusPlus
+                               : match('=') ? Tok::PlusAssign
+                                            : Tok::Plus));
+      break;
+    case '-':
+      Tokens.push_back(makeTok(match('-')   ? Tok::MinusMinus
+                               : match('=') ? Tok::MinusAssign
+                                            : Tok::Minus));
+      break;
+    case '*':
+      Tokens.push_back(makeTok(match('=') ? Tok::StarAssign : Tok::Star));
+      break;
+    case '/':
+      Tokens.push_back(makeTok(match('=') ? Tok::SlashAssign : Tok::Slash));
+      break;
+    case '%':
+      Tokens.push_back(
+          makeTok(match('=') ? Tok::PercentAssign : Tok::Percent));
+      break;
+    case '&':
+      Tokens.push_back(makeTok(match('&') ? Tok::AmpAmp : Tok::Amp));
+      break;
+    case '|':
+      Tokens.push_back(makeTok(match('|') ? Tok::PipePipe : Tok::Pipe));
+      break;
+    case '!':
+      Tokens.push_back(makeTok(match('=') ? Tok::NotEq : Tok::Bang));
+      break;
+    case '=':
+      Tokens.push_back(makeTok(match('=') ? Tok::EqEq : Tok::Assign));
+      break;
+    case '<':
+      Tokens.push_back(makeTok(match('<')   ? Tok::Shl
+                               : match('=') ? Tok::Le
+                                            : Tok::Lt));
+      break;
+    case '>':
+      Tokens.push_back(makeTok(match('>')   ? Tok::Shr
+                               : match('=') ? Tok::Ge
+                                            : Tok::Gt));
+      break;
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        advance();
+        advance();
+        Tokens.push_back(makeTok(Tok::Ellipsis));
+      } else {
+        fail("unexpected '.'");
+      }
+      break;
+    default:
+      fail(formatStr("unexpected character '%c'", C));
+      break;
+    }
+  }
+  Tokens.push_back(makeTok(Tok::End));
+  return Tokens;
+}
+
+std::vector<Token> khaos::lexSource(const std::string &Source,
+                                    std::string &Error) {
+  return LexerImpl(Source, Error).run();
+}

@@ -1,0 +1,115 @@
+//===- frontend/Lexer.h - MiniC lexer ---------------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset the workload generators and examples
+/// are written in. MiniC covers the constructs Khaos's evaluation needs:
+/// scalars, pointers, arrays, function pointers, varargs externs, switch,
+/// try/catch/throw (simplified EH) and setjmp/longjmp builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_FRONTEND_LEXER_H
+#define KHAOS_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Token kinds. One enumerator per punctuator/keyword keeps the parser a
+/// plain switch.
+enum class Tok : uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwExtern,
+  KwTry,
+  KwCatch,
+  KwThrow,
+  KwExport,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+  Question,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  Ellipsis,
+};
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;   ///< Identifier / string contents.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  bool IsLongLiteral = false;  ///< 42L
+  bool IsFloatLiteral = false; ///< 1.0f (vs double)
+  int Line = 0;
+};
+
+/// Lexes \p Source; on malformed input records a message in \p Error and
+/// returns the tokens produced so far.
+std::vector<Token> lexSource(const std::string &Source, std::string &Error);
+
+} // namespace khaos
+
+#endif // KHAOS_FRONTEND_LEXER_H

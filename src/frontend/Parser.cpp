@@ -1,0 +1,828 @@
+//===- frontend/Parser.cpp - MiniC parser ---------------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace khaos;
+using namespace khaos::minic;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string &Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  std::unique_ptr<Program> run();
+
+private:
+  // Token plumbing.
+  const Token &peek(unsigned Off = 0) const {
+    size_t Idx = Pos + Off;
+    return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++
+                                                                 : Pos]; }
+  bool check(Tok K) const { return peek().Kind == K; }
+  bool match(Tok K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(Tok K, const char *What) {
+    if (match(K))
+      return true;
+    fail(formatStr("expected %s", What));
+    return false;
+  }
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = formatStr("line %d: %s", peek().Line, Msg.c_str());
+  }
+  bool hadError() const { return !Error.empty(); }
+  int line() const { return peek().Line; }
+
+  // Types.
+  bool atTypeKeyword(unsigned Off = 0) const {
+    Tok K = peek(Off).Kind;
+    return K == Tok::KwVoid || K == Tok::KwChar || K == Tok::KwInt ||
+           K == Tok::KwLong || K == Tok::KwFloat || K == Tok::KwDouble;
+  }
+  CType parseTypeSpec();
+  bool parseParamList(FuncSig &Sig, std::vector<std::string> &Names);
+
+  // Top level.
+  void parseTopLevel(Program &P);
+  void parseGlobalTail(Program &P, CType Ty, std::string Name, int Line);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseDeclTail(CType BaseTy, bool AllowMulti);
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+  StmtPtr parseSwitch();
+  StmtPtr parseTry();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr() { return parseAssign(); }
+  ExprPtr parseAssign();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+CType Parser::parseTypeSpec() {
+  CType T;
+  switch (peek().Kind) {
+  case Tok::KwVoid:
+    T.Base = BaseType::Void;
+    break;
+  case Tok::KwChar:
+    T.Base = BaseType::Char;
+    break;
+  case Tok::KwInt:
+    T.Base = BaseType::Int;
+    break;
+  case Tok::KwLong:
+    T.Base = BaseType::Long;
+    break;
+  case Tok::KwFloat:
+    T.Base = BaseType::Float;
+    break;
+  case Tok::KwDouble:
+    T.Base = BaseType::Double;
+    break;
+  default:
+    fail("expected a type");
+    return T;
+  }
+  advance();
+  while (match(Tok::Star))
+    ++T.PtrDepth;
+  return T;
+}
+
+/// Parses "(params)" into \p Sig; parameter names (possibly empty strings)
+/// go to \p Names. Assumes the '(' is already consumed.
+bool Parser::parseParamList(FuncSig &Sig, std::vector<std::string> &Names) {
+  if (match(Tok::RParen))
+    return true;
+  if (check(Tok::KwVoid) && peek(1).Kind == Tok::RParen) {
+    advance();
+    advance();
+    return true;
+  }
+  while (true) {
+    if (match(Tok::Ellipsis)) {
+      Sig.VarArg = true;
+      return expect(Tok::RParen, "')'");
+    }
+    CType PT = parseTypeSpec();
+    if (hadError())
+      return false;
+    std::string Name;
+    // Function-pointer parameter: T (*name)(args).
+    if (check(Tok::LParen) && peek(1).Kind == Tok::Star) {
+      advance();
+      advance();
+      if (check(Tok::Identifier))
+        Name = advance().Text;
+      if (!expect(Tok::RParen, "')'") || !expect(Tok::LParen, "'('"))
+        return false;
+      auto Inner = std::make_shared<FuncSig>();
+      Inner->Ret = PT;
+      std::vector<std::string> Ignored;
+      if (!parseParamList(*Inner, Ignored))
+        return false;
+      CType FP;
+      FP.Base = BaseType::Void;
+      FP.Sig = Inner;
+      PT = FP;
+    } else if (check(Tok::Identifier)) {
+      Name = advance().Text;
+    }
+    // Array parameter decays to pointer.
+    if (match(Tok::LBracket)) {
+      if (check(Tok::IntLiteral))
+        advance();
+      if (!expect(Tok::RBracket, "']'"))
+        return false;
+      ++PT.PtrDepth;
+    }
+    Sig.Params.push_back(PT);
+    Names.push_back(Name);
+    if (match(Tok::RParen))
+      return true;
+    if (!expect(Tok::Comma, "',' or ')'"))
+      return false;
+  }
+}
+
+void Parser::parseGlobalTail(Program &P, CType Ty, std::string Name,
+                             int Line) {
+  // Optional array suffix.
+  if (match(Tok::LBracket)) {
+    if (!check(Tok::IntLiteral)) {
+      fail("global array needs a constant size");
+      return;
+    }
+    Ty.ArraySize = advance().IntValue;
+    if (!expect(Tok::RBracket, "']'"))
+      return;
+  }
+  GlobalDecl G;
+  G.Ty = Ty;
+  G.Name = std::move(Name);
+  G.Line = Line;
+  if (match(Tok::Assign)) {
+    if (match(Tok::LBrace)) {
+      while (!check(Tok::RBrace)) {
+        G.Init.push_back(parseConditional());
+        if (hadError())
+          return;
+        if (!match(Tok::Comma))
+          break;
+      }
+      if (!expect(Tok::RBrace, "'}'"))
+        return;
+    } else {
+      G.Init.push_back(parseConditional());
+      if (hadError())
+        return;
+    }
+  }
+  expect(Tok::Semicolon, "';'");
+  P.Globals.push_back(std::move(G));
+}
+
+void Parser::parseTopLevel(Program &P) {
+  bool IsExtern = match(Tok::KwExtern);
+  bool IsExported = match(Tok::KwExport);
+  int Line = line();
+  CType Ty = parseTypeSpec();
+  if (hadError())
+    return;
+
+  // Global function pointer (or array thereof): T (*name[N])(args);
+  if (check(Tok::LParen) && peek(1).Kind == Tok::Star) {
+    advance();
+    advance();
+    if (!check(Tok::Identifier)) {
+      fail("expected function pointer name");
+      return;
+    }
+    std::string Name = advance().Text;
+    int64_t ArrSize = -1;
+    if (match(Tok::LBracket)) {
+      if (!check(Tok::IntLiteral)) {
+        fail("function pointer array needs a constant size");
+        return;
+      }
+      ArrSize = advance().IntValue;
+      if (!expect(Tok::RBracket, "']'"))
+        return;
+    }
+    if (!expect(Tok::RParen, "')'") || !expect(Tok::LParen, "'('"))
+      return;
+    auto Inner = std::make_shared<FuncSig>();
+    Inner->Ret = Ty;
+    std::vector<std::string> Ignored;
+    if (!parseParamList(*Inner, Ignored))
+      return;
+    CType FP;
+    FP.Base = BaseType::Void;
+    FP.Sig = Inner;
+    FP.ArraySize = ArrSize;
+    parseGlobalTail(P, FP, Name, Line);
+    return;
+  }
+
+  if (!check(Tok::Identifier)) {
+    fail("expected a name");
+    return;
+  }
+  std::string Name = advance().Text;
+
+  if (check(Tok::LParen)) {
+    // Function declaration or definition.
+    advance();
+    FunctionDecl F;
+    F.Name = std::move(Name);
+    F.Sig.Ret = Ty;
+    F.IsExtern = IsExtern;
+    F.IsExported = IsExported;
+    F.Line = Line;
+    if (!parseParamList(F.Sig, F.ParamNames))
+      return;
+    if (match(Tok::Semicolon)) {
+      F.IsExtern = true;
+      P.Functions.push_back(std::move(F));
+      return;
+    }
+    F.Body = parseBlock();
+    if (hadError())
+      return;
+    P.Functions.push_back(std::move(F));
+    return;
+  }
+
+  if (IsExtern) {
+    fail("extern globals are not supported");
+    return;
+  }
+  parseGlobalTail(P, Ty, std::move(Name), Line);
+}
+
+StmtPtr Parser::parseBlock() {
+  int Line = line();
+  if (!expect(Tok::LBrace, "'{'"))
+    return nullptr;
+  auto B = std::make_unique<BlockStmt>(Line);
+  while (!check(Tok::RBrace) && !check(Tok::End) && !hadError())
+    if (StmtPtr S = parseStmt())
+      B->Stmts.push_back(std::move(S));
+  expect(Tok::RBrace, "'}'");
+  return B;
+}
+
+/// Parses the declarator list after the type of a local declaration.
+/// Multiple declarators expand into a Block of DeclStmts.
+StmtPtr Parser::parseDeclTail(CType BaseTy, bool AllowMulti) {
+  int Line = line();
+  auto Blk = std::make_unique<BlockStmt>(Line);
+  while (true) {
+    CType Ty = BaseTy;
+    std::string Name;
+    // Function-pointer declarator.
+    if (check(Tok::LParen) && peek(1).Kind == Tok::Star) {
+      advance();
+      advance();
+      if (!check(Tok::Identifier)) {
+        fail("expected function pointer name");
+        return nullptr;
+      }
+      Name = advance().Text;
+      if (!expect(Tok::RParen, "')'") || !expect(Tok::LParen, "'('"))
+        return nullptr;
+      auto Inner = std::make_shared<FuncSig>();
+      Inner->Ret = Ty;
+      std::vector<std::string> Ignored;
+      if (!parseParamList(*Inner, Ignored))
+        return nullptr;
+      CType FP;
+      FP.Base = BaseType::Void;
+      FP.Sig = Inner;
+      Ty = FP;
+    } else {
+      if (!check(Tok::Identifier)) {
+        fail("expected variable name");
+        return nullptr;
+      }
+      Name = advance().Text;
+      if (match(Tok::LBracket)) {
+        if (!check(Tok::IntLiteral)) {
+          fail("array size must be an integer literal");
+          return nullptr;
+        }
+        Ty.ArraySize = advance().IntValue;
+        if (!expect(Tok::RBracket, "']'"))
+          return nullptr;
+      }
+    }
+    ExprPtr Init;
+    if (match(Tok::Assign)) {
+      Init = parseExpr();
+      if (hadError())
+        return nullptr;
+    }
+    Blk->Stmts.push_back(
+        std::make_unique<DeclStmt>(Ty, std::move(Name), std::move(Init),
+                                   Line));
+    if (AllowMulti && match(Tok::Comma))
+      continue;
+    break;
+  }
+  if (!expect(Tok::Semicolon, "';'"))
+    return nullptr;
+  if (Blk->Stmts.size() == 1)
+    return std::move(Blk->Stmts.front());
+  return Blk;
+}
+
+StmtPtr Parser::parseStmt() {
+  int Line = line();
+  switch (peek().Kind) {
+  case Tok::LBrace:
+    return parseBlock();
+  case Tok::Semicolon:
+    advance();
+    return std::make_unique<ExprStmt>(nullptr, Line);
+  case Tok::KwIf:
+    return parseIf();
+  case Tok::KwWhile:
+    return parseWhile();
+  case Tok::KwDo:
+    return parseDoWhile();
+  case Tok::KwFor:
+    return parseFor();
+  case Tok::KwSwitch:
+    return parseSwitch();
+  case Tok::KwTry:
+    return parseTry();
+  case Tok::KwThrow: {
+    advance();
+    ExprPtr V = parseExpr();
+    expect(Tok::Semicolon, "';'");
+    return std::make_unique<ThrowStmt>(std::move(V), Line);
+  }
+  case Tok::KwReturn: {
+    advance();
+    ExprPtr V;
+    if (!check(Tok::Semicolon))
+      V = parseExpr();
+    expect(Tok::Semicolon, "';'");
+    return std::make_unique<ReturnStmt>(std::move(V), Line);
+  }
+  case Tok::KwBreak:
+    advance();
+    expect(Tok::Semicolon, "';'");
+    return std::make_unique<BreakStmt>(Line);
+  case Tok::KwContinue:
+    advance();
+    expect(Tok::Semicolon, "';'");
+    return std::make_unique<ContinueStmt>(Line);
+  default:
+    break;
+  }
+  if (atTypeKeyword())
+    return parseDeclTail(parseTypeSpec(), /*AllowMulti=*/true);
+  ExprPtr E = parseExpr();
+  expect(Tok::Semicolon, "';'");
+  return std::make_unique<ExprStmt>(std::move(E), Line);
+}
+
+StmtPtr Parser::parseIf() {
+  int Line = line();
+  advance(); // if
+  if (!expect(Tok::LParen, "'('"))
+    return nullptr;
+  ExprPtr C = parseExpr();
+  if (!expect(Tok::RParen, "')'"))
+    return nullptr;
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (match(Tok::KwElse))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(C), std::move(Then),
+                                  std::move(Else), Line);
+}
+
+StmtPtr Parser::parseWhile() {
+  int Line = line();
+  advance(); // while
+  if (!expect(Tok::LParen, "'('"))
+    return nullptr;
+  ExprPtr C = parseExpr();
+  if (!expect(Tok::RParen, "')'"))
+    return nullptr;
+  StmtPtr B = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(C), std::move(B), Line);
+}
+
+StmtPtr Parser::parseDoWhile() {
+  int Line = line();
+  advance(); // do
+  StmtPtr B = parseStmt();
+  if (!expect(Tok::KwWhile, "'while'") || !expect(Tok::LParen, "'('"))
+    return nullptr;
+  ExprPtr C = parseExpr();
+  if (!expect(Tok::RParen, "')'") || !expect(Tok::Semicolon, "';'"))
+    return nullptr;
+  return std::make_unique<DoWhileStmt>(std::move(B), std::move(C), Line);
+}
+
+StmtPtr Parser::parseFor() {
+  int Line = line();
+  advance(); // for
+  if (!expect(Tok::LParen, "'('"))
+    return nullptr;
+  auto F = std::make_unique<ForStmt>(Line);
+  if (!match(Tok::Semicolon)) {
+    if (atTypeKeyword()) {
+      F->Init = parseDeclTail(parseTypeSpec(), /*AllowMulti=*/false);
+    } else {
+      ExprPtr E = parseExpr();
+      expect(Tok::Semicolon, "';'");
+      F->Init = std::make_unique<ExprStmt>(std::move(E), Line);
+    }
+  }
+  if (!check(Tok::Semicolon))
+    F->Cond = parseExpr();
+  if (!expect(Tok::Semicolon, "';'"))
+    return nullptr;
+  if (!check(Tok::RParen))
+    F->Step = parseExpr();
+  if (!expect(Tok::RParen, "')'"))
+    return nullptr;
+  F->Body = parseStmt();
+  return F;
+}
+
+StmtPtr Parser::parseSwitch() {
+  int Line = line();
+  advance(); // switch
+  if (!expect(Tok::LParen, "'('"))
+    return nullptr;
+  ExprPtr C = parseExpr();
+  if (!expect(Tok::RParen, "')'") || !expect(Tok::LBrace, "'{'"))
+    return nullptr;
+  auto S = std::make_unique<SwitchStmt>(std::move(C), Line);
+  while (!check(Tok::RBrace) && !check(Tok::End) && !hadError()) {
+    SwitchCase Case;
+    if (match(Tok::KwCase)) {
+      bool Neg = match(Tok::Minus);
+      if (!check(Tok::IntLiteral) && !check(Tok::CharLiteral)) {
+        fail("case label must be an integer literal");
+        return nullptr;
+      }
+      Case.Value = advance().IntValue;
+      if (Neg)
+        Case.Value = -Case.Value;
+    } else if (match(Tok::KwDefault)) {
+      Case.IsDefault = true;
+    } else {
+      fail("expected 'case' or 'default'");
+      return nullptr;
+    }
+    if (!expect(Tok::Colon, "':'"))
+      return nullptr;
+    while (!check(Tok::KwCase) && !check(Tok::KwDefault) &&
+           !check(Tok::RBrace) && !check(Tok::End) && !hadError())
+      Case.Body.push_back(parseStmt());
+    S->Cases.push_back(std::move(Case));
+  }
+  expect(Tok::RBrace, "'}'");
+  return S;
+}
+
+StmtPtr Parser::parseTry() {
+  int Line = line();
+  advance(); // try
+  StmtPtr B = parseBlock();
+  if (!expect(Tok::KwCatch, "'catch'") || !expect(Tok::LParen, "'('") ||
+      !expect(Tok::KwInt, "'int'"))
+    return nullptr;
+  if (!check(Tok::Identifier)) {
+    fail("expected catch variable name");
+    return nullptr;
+  }
+  std::string Var = advance().Text;
+  if (!expect(Tok::RParen, "')'"))
+    return nullptr;
+  StmtPtr H = parseBlock();
+  return std::make_unique<TryStmt>(std::move(B), std::move(Var),
+                                   std::move(H), Line);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr L = parseConditional();
+  if (hadError())
+    return L;
+  int Compound = -2;
+  switch (peek().Kind) {
+  case Tok::Assign:
+    Compound = -1;
+    break;
+  case Tok::PlusAssign:
+    Compound = (int)BinaryOp::Add;
+    break;
+  case Tok::MinusAssign:
+    Compound = (int)BinaryOp::Sub;
+    break;
+  case Tok::StarAssign:
+    Compound = (int)BinaryOp::Mul;
+    break;
+  case Tok::SlashAssign:
+    Compound = (int)BinaryOp::Div;
+    break;
+  case Tok::PercentAssign:
+    Compound = (int)BinaryOp::Rem;
+    break;
+  default:
+    return L;
+  }
+  int Line = line();
+  advance();
+  ExprPtr R = parseAssign(); // Right associative.
+  return std::make_unique<AssignExpr>(std::move(L), std::move(R), Compound,
+                                      Line);
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr C = parseBinary(0);
+  if (hadError() || !check(Tok::Question))
+    return C;
+  int Line = line();
+  advance();
+  ExprPtr T = parseExpr();
+  if (!expect(Tok::Colon, "':'"))
+    return C;
+  ExprPtr F = parseConditional();
+  return std::make_unique<ConditionalExpr>(std::move(C), std::move(T),
+                                           std::move(F), Line);
+}
+
+/// Binary operator precedence (higher binds tighter).
+static int binPrec(Tok K) {
+  switch (K) {
+  case Tok::Star:
+  case Tok::Slash:
+  case Tok::Percent:
+    return 10;
+  case Tok::Plus:
+  case Tok::Minus:
+    return 9;
+  case Tok::Shl:
+  case Tok::Shr:
+    return 8;
+  case Tok::Lt:
+  case Tok::Le:
+  case Tok::Gt:
+  case Tok::Ge:
+    return 7;
+  case Tok::EqEq:
+  case Tok::NotEq:
+    return 6;
+  case Tok::Amp:
+    return 5;
+  case Tok::Caret:
+    return 4;
+  case Tok::Pipe:
+    return 3;
+  case Tok::AmpAmp:
+    return 2;
+  case Tok::PipePipe:
+    return 1;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOp binOpFor(Tok K) {
+  switch (K) {
+  case Tok::Star:
+    return BinaryOp::Mul;
+  case Tok::Slash:
+    return BinaryOp::Div;
+  case Tok::Percent:
+    return BinaryOp::Rem;
+  case Tok::Plus:
+    return BinaryOp::Add;
+  case Tok::Minus:
+    return BinaryOp::Sub;
+  case Tok::Shl:
+    return BinaryOp::Shl;
+  case Tok::Shr:
+    return BinaryOp::Shr;
+  case Tok::Lt:
+    return BinaryOp::Lt;
+  case Tok::Le:
+    return BinaryOp::Le;
+  case Tok::Gt:
+    return BinaryOp::Gt;
+  case Tok::Ge:
+    return BinaryOp::Ge;
+  case Tok::EqEq:
+    return BinaryOp::Eq;
+  case Tok::NotEq:
+    return BinaryOp::Ne;
+  case Tok::Amp:
+    return BinaryOp::And;
+  case Tok::Caret:
+    return BinaryOp::Xor;
+  case Tok::Pipe:
+    return BinaryOp::Or;
+  case Tok::AmpAmp:
+    return BinaryOp::LogicalAnd;
+  case Tok::PipePipe:
+    return BinaryOp::LogicalOr;
+  default:
+    assert(false && "not a binary operator");
+    return BinaryOp::Add;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr L = parseUnary();
+  while (!hadError()) {
+    int Prec = binPrec(peek().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return L;
+    Tok K = peek().Kind;
+    int Line = line();
+    advance();
+    ExprPtr R = parseBinary(Prec + 1);
+    L = std::make_unique<BinaryExpr>(binOpFor(K), std::move(L),
+                                     std::move(R), Line);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  int Line = line();
+  switch (peek().Kind) {
+  case Tok::Minus:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Line);
+  case Tok::Bang:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Line);
+  case Tok::Tilde:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOp::BitNot, parseUnary(), Line);
+  case Tok::Star:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOp::Deref, parseUnary(), Line);
+  case Tok::Amp:
+    advance();
+    return std::make_unique<UnaryExpr>(UnaryOp::AddrOf, parseUnary(), Line);
+  case Tok::PlusPlus:
+    advance();
+    return std::make_unique<IncDecExpr>(true, true, parseUnary(), Line);
+  case Tok::MinusMinus:
+    advance();
+    return std::make_unique<IncDecExpr>(false, true, parseUnary(), Line);
+  case Tok::LParen:
+    // Cast: '(' typename ')' unary.
+    if (atTypeKeyword(1)) {
+      advance();
+      CType Ty = parseTypeSpec();
+      if (!expect(Tok::RParen, "')'"))
+        return nullptr;
+      return std::make_unique<CastExpr>(Ty, parseUnary(), Line);
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (!hadError()) {
+    int Line = line();
+    if (match(Tok::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(Tok::RParen)) {
+        do {
+          Args.push_back(parseAssign());
+        } while (match(Tok::Comma) && !hadError());
+      }
+      if (!expect(Tok::RParen, "')'"))
+        return E;
+      E = std::make_unique<CallExpr>(std::move(E), std::move(Args), Line);
+      continue;
+    }
+    if (match(Tok::LBracket)) {
+      ExprPtr I = parseExpr();
+      if (!expect(Tok::RBracket, "']'"))
+        return E;
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(I), Line);
+      continue;
+    }
+    if (match(Tok::PlusPlus)) {
+      E = std::make_unique<IncDecExpr>(true, false, std::move(E), Line);
+      continue;
+    }
+    if (match(Tok::MinusMinus)) {
+      E = std::make_unique<IncDecExpr>(false, false, std::move(E), Line);
+      continue;
+    }
+    return E;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  int Line = line();
+  const Token &T = peek();
+  switch (T.Kind) {
+  case Tok::IntLiteral: {
+    auto E = std::make_unique<IntLitExpr>(T.IntValue, T.IsLongLiteral,
+                                          false, Line);
+    advance();
+    return E;
+  }
+  case Tok::CharLiteral: {
+    auto E = std::make_unique<IntLitExpr>(T.IntValue, false, true, Line);
+    advance();
+    return E;
+  }
+  case Tok::FloatLiteral: {
+    auto E = std::make_unique<FloatLitExpr>(T.FloatValue, T.IsFloatLiteral,
+                                            Line);
+    advance();
+    return E;
+  }
+  case Tok::StringLiteral: {
+    auto E = std::make_unique<StringLitExpr>(T.Text, Line);
+    advance();
+    return E;
+  }
+  case Tok::Identifier: {
+    auto E = std::make_unique<VarRefExpr>(T.Text, Line);
+    advance();
+    return E;
+  }
+  case Tok::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    expect(Tok::RParen, "')'");
+    return E;
+  }
+  default:
+    fail("expected an expression");
+    return std::make_unique<IntLitExpr>(0, false, false, Line);
+  }
+}
+
+std::unique_ptr<Program> Parser::run() {
+  auto P = std::make_unique<Program>();
+  while (!check(Tok::End) && !hadError())
+    parseTopLevel(*P);
+  if (hadError())
+    return nullptr;
+  return P;
+}
+
+std::unique_ptr<Program> minic::parseProgram(const std::string &Source,
+                                             std::string &Error) {
+  std::vector<Token> Tokens = lexSource(Source, Error);
+  if (!Error.empty())
+    return nullptr;
+  return Parser(std::move(Tokens), Error).run();
+}

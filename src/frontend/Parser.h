@@ -1,0 +1,33 @@
+//===- frontend/Parser.h - MiniC parser -------------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC with standard C operator precedence.
+/// MiniC has no typedefs, so the cast/paren ambiguity resolves with one
+/// token of lookahead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_FRONTEND_PARSER_H
+#define KHAOS_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+
+#include <memory>
+#include <string>
+
+namespace khaos {
+namespace minic {
+
+/// Parses \p Source. On error returns null and fills \p Error with a
+/// line-annotated message.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      std::string &Error);
+
+} // namespace minic
+} // namespace khaos
+
+#endif // KHAOS_FRONTEND_PARSER_H

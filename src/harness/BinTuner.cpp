@@ -1,0 +1,122 @@
+//===- harness/BinTuner.cpp - Iterative compilation search -----------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BinTuner.h"
+
+#include "diffing/Metrics.h"
+#include "frontend/IRGen.h"
+#include "support/RNG.h"
+
+using namespace khaos;
+
+BinaryImage khaos::buildWithConfig(const Workload &W,
+                                   const CompilerConfig &Config, bool &Ok) {
+  Ok = false;
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(W.Source, Ctx, W.Name, Error);
+  if (!M)
+    return {};
+  optimizeModule(*M, Config.Level);
+  Ok = true;
+  return lowerToBinary(*M, Config.Codegen);
+}
+
+BinTunerResult khaos::runBinTuner(const Workload &W,
+                                  const BinTunerOptions &Opts) {
+  BinTunerResult Res;
+  RNG Rng(Opts.Seed);
+
+  // Baseline build the candidates are scored against.
+  CompilerConfig BaseCfg;
+  BaseCfg.Level = Opts.BaselineLevel;
+  BaseCfg.Codegen.SpillEverything = Opts.BaselineLevel == OptLevel::O0;
+  bool Ok = false;
+  BinaryImage Baseline = buildWithConfig(W, BaseCfg, Ok);
+  if (!Ok)
+    return Res;
+  ImageFeatures BaselineF = extractFeatures(Baseline);
+  auto BinDiff = createBinDiffTool();
+
+  auto Score = [&](const CompilerConfig &Cfg, double &SimOut) {
+    bool BOk = false;
+    BinaryImage Img = buildWithConfig(W, Cfg, BOk);
+    if (!BOk)
+      return false;
+    ImageFeatures F = extractFeatures(Img);
+    DiffResult R = BinDiff->diff(Baseline, BaselineF, Img, F);
+    SimOut = R.WholeBinarySimilarity;
+    return true;
+  };
+
+  // Random restart search (the real tool runs a genetic algorithm; a
+  // seeded random search over the same space reproduces the qualitative
+  // result: options alone cannot push similarity very low).
+  double BestSim = 2.0;
+  for (unsigned I = 0; I != Opts.Budget; ++I) {
+    CompilerConfig Cfg;
+    Cfg.Level = static_cast<OptLevel>(Rng.nextBelow(4));
+    Cfg.Codegen.SpillEverything = Rng.nextBool(0.3);
+    Cfg.Codegen.UseLea = Rng.nextBool();
+    Cfg.Codegen.UseCmov = Rng.nextBool();
+    Cfg.Codegen.UseJumpTables = Rng.nextBool();
+    Cfg.Codegen.AlignLoops = Rng.nextBool();
+    double Sim = 0.0;
+    if (!Score(Cfg, Sim))
+      continue;
+    if (Sim < BestSim) {
+      BestSim = Sim;
+      Res.Best = Cfg;
+      Res.Ok = true;
+    }
+  }
+  if (!Res.Ok)
+    return Res;
+
+  // Similarity of the winning build against O0..O3 reference builds.
+  bool BOk = false;
+  BinaryImage BestImg = buildWithConfig(W, Res.Best, BOk);
+  ImageFeatures BestF = extractFeatures(BestImg);
+  for (int L = 0; L != 4; ++L) {
+    CompilerConfig Ref;
+    Ref.Level = static_cast<OptLevel>(L);
+    Ref.Codegen.SpillEverything = Ref.Level == OptLevel::O0;
+    bool ROk = false;
+    BinaryImage RefImg = buildWithConfig(W, Ref, ROk);
+    if (!ROk)
+      continue;
+    ImageFeatures RefF = extractFeatures(RefImg);
+    DiffResult R = BinDiff->diff(RefImg, RefF, BestImg, BestF);
+    Res.SimilarityVsLevel[L] = R.WholeBinarySimilarity;
+  }
+
+  // Overhead of the winning configuration vs the paper's O2+LTO baseline.
+  {
+    Context Ctx;
+    std::string Error;
+    auto MBase = compileMiniC(W.Source, Ctx, W.Name, Error);
+    if (MBase) {
+      optimizeModule(*MBase, OptLevel::O2);
+      ExecResult RBase = runModule(*MBase);
+      Context Ctx2;
+      auto MBest = compileMiniC(W.Source, Ctx2, W.Name, Error);
+      if (MBest && RBase.Ok && RBase.Cost > 0) {
+        optimizeModule(*MBest, Res.Best.Level);
+        ExecResult RBest = runModule(*MBest);
+        // -O0-style spill codegen costs extra beyond the IR-level cost;
+        // reflect the spill traffic with a fixed multiplier.
+        double Cost = static_cast<double>(RBest.Cost);
+        if (Res.Best.Codegen.SpillEverything)
+          Cost *= 1.25;
+        if (RBest.Ok)
+          Res.OverheadPercent =
+              (Cost - static_cast<double>(RBase.Cost)) /
+              static_cast<double>(RBase.Cost) * 100.0;
+      }
+    }
+  }
+  return Res;
+}

@@ -1,0 +1,54 @@
+//===- harness/BinTuner.h - Iterative compilation search --------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BinTuner (Ren et al., PLDI'21) analogue: searches compiler option
+/// tuples (optimization level + codegen style flags) to *maximize* the
+/// binary difference against a baseline build, scored with the BinDiff
+/// similarity. The paper compares Khaos against BinTuner in Fig. 9 and
+/// reports BinTuner's ~30% overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_HARNESS_BINTUNER_H
+#define KHAOS_HARNESS_BINTUNER_H
+
+#include "harness/Evaluator.h"
+
+namespace khaos {
+
+/// One point in BinTuner's search space.
+struct CompilerConfig {
+  OptLevel Level = OptLevel::O2;
+  CodegenOptions Codegen;
+};
+
+struct BinTunerOptions {
+  unsigned Budget = 24; ///< Candidate configurations to evaluate.
+  uint64_t Seed = 0x717;
+  OptLevel BaselineLevel = OptLevel::O0; ///< The paper tunes against O0.
+};
+
+struct BinTunerResult {
+  bool Ok = false;
+  CompilerConfig Best;
+  /// BinDiff similarity of the best candidate against builds at O0..O3.
+  double SimilarityVsLevel[4] = {0, 0, 0, 0};
+  /// Runtime overhead of the best candidate vs the O2 baseline (percent).
+  double OverheadPercent = 0.0;
+};
+
+/// Runs the search on one workload.
+BinTunerResult runBinTuner(const Workload &W,
+                           const BinTunerOptions &Opts = {});
+
+/// Builds \p W at \p Config (compile + optimize + lower).
+BinaryImage buildWithConfig(const Workload &W, const CompilerConfig &Config,
+                            bool &Ok);
+
+} // namespace khaos
+
+#endif // KHAOS_HARNESS_BINTUNER_H

@@ -1,0 +1,95 @@
+//===- harness/Evaluator.cpp - Evaluation pipeline -------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Evaluator.h"
+
+#include "diffing/Metrics.h"
+#include "frontend/IRGen.h"
+#include "ir/Verifier.h"
+
+using namespace khaos;
+
+CompiledWorkload khaos::compileBaseline(const Workload &W, OptLevel Level) {
+  CompiledWorkload Out;
+  Out.Ctx = std::make_unique<Context>();
+  Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
+  if (!Out.M)
+    return Out;
+  optimizeModule(*Out.M, Level);
+  return Out;
+}
+
+CompiledWorkload khaos::compileObfuscated(const Workload &W,
+                                          ObfuscationMode Mode,
+                                          ObfuscationResult *StatsOut,
+                                          uint64_t Seed) {
+  CompiledWorkload Out;
+  Out.Ctx = std::make_unique<Context>();
+  Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
+  if (!Out.M)
+    return Out;
+  KhaosOptions Opts;
+  Opts.Seed = Seed;
+  ObfuscationResult R = obfuscateModule(*Out.M, Mode, Opts);
+  if (StatsOut)
+    *StatsOut = R;
+  std::vector<std::string> Problems = verifyModule(*Out.M);
+  if (!Problems.empty()) {
+    Out.Error = "verifier: " + Problems.front();
+    Out.M.reset();
+  }
+  return Out;
+}
+
+bool khaos::measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
+                                   double &OverheadOut) {
+  CompiledWorkload Base = compileBaseline(W);
+  if (!Base)
+    return false;
+  ExecResult BaseRun = runModule(*Base.M);
+  if (!BaseRun.Ok || BaseRun.Cost == 0)
+    return false;
+
+  CompiledWorkload Obf = compileObfuscated(W, Mode);
+  if (!Obf)
+    return false;
+  ExecResult ObfRun = runModule(*Obf.M);
+  if (!ObfRun.Ok)
+    return false;
+  // Behavioural equality is part of the experiment's validity.
+  if (ObfRun.Stdout != BaseRun.Stdout ||
+      ObfRun.ExitValue != BaseRun.ExitValue)
+    return false;
+
+  OverheadOut = (static_cast<double>(ObfRun.Cost) -
+                 static_cast<double>(BaseRun.Cost)) /
+                static_cast<double>(BaseRun.Cost) * 100.0;
+  return true;
+}
+
+DiffImages khaos::buildDiffImages(const Workload &W, ObfuscationMode Mode,
+                                  uint64_t Seed) {
+  DiffImages Out;
+  CompiledWorkload Base = compileBaseline(W);
+  CompiledWorkload Obf = compileObfuscated(W, Mode, nullptr, Seed);
+  if (!Base || !Obf)
+    return Out;
+  Out.A = lowerToBinary(*Base.M);
+  Out.B = lowerToBinary(*Obf.M);
+  Out.FA = extractFeatures(Out.A);
+  Out.FB = extractFeatures(Out.B);
+  Out.Ok = true;
+  return Out;
+}
+
+DiffOutcome khaos::runDiffTool(const DiffTool &Tool,
+                               const DiffImages &Imgs) {
+  DiffOutcome Out;
+  Out.Raw = Tool.diff(Imgs.A, Imgs.FA, Imgs.B, Imgs.FB);
+  Out.Precision = precisionAt1(Imgs.A, Imgs.B, Out.Raw);
+  Out.Similarity = Out.Raw.WholeBinarySimilarity;
+  return Out;
+}

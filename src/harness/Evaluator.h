@@ -1,0 +1,76 @@
+//===- harness/Evaluator.h - Evaluation pipeline ----------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end pipeline shared by all benchmarks: MiniC source -> KIR ->
+/// (obfuscation) -> O2 optimization -> VM cost measurement and/or binary
+/// lowering -> diffing. The baseline configuration matches the paper: O2
+/// with whole-program (LTO-style) visibility.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_HARNESS_EVALUATOR_H
+#define KHAOS_HARNESS_EVALUATOR_H
+
+#include "codegen/ISel.h"
+#include "ir/Module.h"
+#include "diffing/DiffTool.h"
+#include "obfuscation/KhaosDriver.h"
+#include "vm/Interpreter.h"
+#include "workloads/Suites.h"
+
+#include <memory>
+#include <string>
+
+namespace khaos {
+
+/// A compiled workload owns its Context + Module.
+struct CompiledWorkload {
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Module> M;
+  std::string Error;
+
+  explicit operator bool() const { return M != nullptr; }
+};
+
+/// Compiles \p W and optimizes at \p Level (no obfuscation).
+CompiledWorkload compileBaseline(const Workload &W,
+                                 OptLevel Level = OptLevel::O2);
+
+/// Compiles \p W and applies \p Mode (obfuscate, then O2 per the paper).
+CompiledWorkload compileObfuscated(const Workload &W, ObfuscationMode Mode,
+                                   ObfuscationResult *StatsOut = nullptr,
+                                   uint64_t Seed = 0xc906);
+
+/// Runtime overhead of \p Mode on \p W in percent (VM dynamic cost ratio).
+/// Returns false on any execution/verification failure.
+bool measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
+                            double &OverheadOut);
+
+/// A/B images for the diffing experiments: A is the un-obfuscated
+/// (un-stripped) reference, B the obfuscated build.
+struct DiffImages {
+  BinaryImage A, B;
+  ImageFeatures FA, FB;
+  bool Ok = false;
+};
+
+/// Builds the image pair for (workload, mode).
+DiffImages buildDiffImages(const Workload &W, ObfuscationMode Mode,
+                           uint64_t Seed = 0xc906);
+
+/// Runs \p Tool over prebuilt images; returns Precision@1 (relaxed
+/// pairing judgment) and the whole-binary similarity.
+struct DiffOutcome {
+  double Precision = 0.0;
+  double Similarity = 0.0;
+  DiffResult Raw;
+};
+DiffOutcome runDiffTool(const DiffTool &Tool, const DiffImages &Imgs);
+
+} // namespace khaos
+
+#endif // KHAOS_HARNESS_EVALUATOR_H

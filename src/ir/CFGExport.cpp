@@ -1,0 +1,60 @@
+//===- ir/CFGExport.cpp - Graphviz CFG/CG export ----------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFGExport.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace khaos;
+
+std::string khaos::exportCFG(const Function &F) {
+  std::string Out = "digraph \"" + F.getName() + "\" {\n"
+                    "  node [shape=box, fontname=monospace];\n";
+  std::map<const BasicBlock *, unsigned> Ids;
+  unsigned N = 0;
+  for (const auto &BB : F.blocks())
+    Ids[BB.get()] = N++;
+  for (const auto &BB : F.blocks()) {
+    Out += formatStr("  n%u [label=\"%s\\n%zu insts\"%s];\n",
+                     Ids[BB.get()], BB->getName().c_str(), BB->size(),
+                     BB.get() == F.getEntryBlock()
+                         ? ", style=filled, fillcolor=lightgrey"
+                         : "");
+    if (const Instruction *T = BB->getTerminator())
+      for (const BasicBlock *S : T->successors())
+        Out += formatStr("  n%u -> n%u;\n", Ids[BB.get()],
+                         Ids.at(S));
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string khaos::exportCallGraph(const Module &M) {
+  std::string Out = "digraph callgraph {\n"
+                    "  node [shape=ellipse, fontname=monospace];\n";
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    Out += formatStr("  \"%s\"%s;\n", F->getName().c_str(),
+                     F->isExported() ? " [style=bold]" : "");
+    std::map<std::string, bool> Seen;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->insts())
+        if (const auto *CI = dyn_cast<CallInst>(I.get()))
+          if (const Function *Callee = CI->getCalledFunction())
+            if (!Callee->isIntrinsic() && !Seen[Callee->getName()]) {
+              Seen[Callee->getName()] = true;
+              Out += formatStr("  \"%s\" -> \"%s\";\n",
+                               F->getName().c_str(),
+                               Callee->getName().c_str());
+            }
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- ir/CFGExport.h - Graphviz CFG/CG export ------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a function's CFG or a module's call graph as Graphviz dot —
+/// handy for eyeballing what fission/fusion did to a program
+/// (`minic_khaos_cc demo.c -emit-cfg | dot -Tsvg`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_IR_CFGEXPORT_H
+#define KHAOS_IR_CFGEXPORT_H
+
+#include <string>
+
+namespace khaos {
+
+class Function;
+class Module;
+
+/// Dot digraph of \p F's control-flow graph (one node per block, labelled
+/// with the block name and instruction count).
+std::string exportCFG(const Function &F);
+
+/// Dot digraph of \p M's direct call graph.
+std::string exportCallGraph(const Module &M);
+
+} // namespace khaos
+
+#endif // KHAOS_IR_CFGEXPORT_H

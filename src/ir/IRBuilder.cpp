@@ -1,0 +1,62 @@
+//===- ir/IRBuilder.cpp - Instruction creation helper -------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace khaos;
+
+Value *IRBuilder::createConvert(Value *V, Type *DestTy) {
+  Type *SrcTy = V->getType();
+  if (SrcTy == DestTy)
+    return V;
+
+  if (SrcTy->isInteger() && DestTy->isInteger()) {
+    unsigned SrcBits = SrcTy->getIntegerBitWidth();
+    unsigned DstBits = DestTy->getIntegerBitWidth();
+    if (SrcBits > DstBits)
+      return createCast(CastKind::Trunc, V, DestTy);
+    // i1 widens unsigned; everything else widens signed (C's default
+    // integer promotion for our signed-only integer model).
+    return createCast(SrcBits == 1 ? CastKind::ZExt : CastKind::SExt, V,
+                      DestTy);
+  }
+  if (SrcTy->isInteger() && DestTy->isFloatingPoint())
+    return createCast(CastKind::SIToFP, V, DestTy);
+  if (SrcTy->isFloatingPoint() && DestTy->isInteger())
+    return createCast(CastKind::FPToSI, V, DestTy);
+  if (SrcTy->isFloatingPoint() && DestTy->isFloatingPoint())
+    return createCast(SrcTy->getStoreSize() < DestTy->getStoreSize()
+                          ? CastKind::FPExt
+                          : CastKind::FPTrunc,
+                      V, DestTy);
+  if (SrcTy->isPointer() && DestTy->isPointer())
+    return createCast(CastKind::Bitcast, V, DestTy);
+  if (SrcTy->isPointer() && DestTy->isInteger()) {
+    Value *AsI64 = createCast(CastKind::PtrToInt, V, Ctx.getInt64Type());
+    return createConvert(AsI64, DestTy);
+  }
+  if (SrcTy->isInteger() && DestTy->isPointer()) {
+    Value *AsI64 = createConvert(V, Ctx.getInt64Type());
+    return createCast(CastKind::IntToPtr, AsI64, DestTy);
+  }
+  assert(false && "unsupported conversion");
+  return V;
+}
+
+Value *IRBuilder::createIsNonZero(Value *V) {
+  Type *Ty = V->getType();
+  if (Ty->getKind() == TypeKind::Int1)
+    return V;
+  if (Ty->isInteger())
+    return createCmp(CmpPred::NE, V, M.getConstantInt(Ty, 0));
+  if (Ty->isFloatingPoint())
+    return createCmp(CmpPred::NE, V, M.getConstantFP(Ty, 0.0));
+  if (auto *PT = dyn_cast<PointerType>(Ty))
+    return createCmp(CmpPred::NE, V,
+                     M.getNullPtr(const_cast<PointerType *>(PT)));
+  assert(false && "cannot test this type for zero");
+  return V;
+}

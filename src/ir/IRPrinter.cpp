@@ -1,0 +1,237 @@
+//===- ir/IRPrinter.cpp - Textual IR dump --------------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace khaos;
+
+namespace {
+
+/// Assigns stable local names (%0, %1, ...) to unnamed values per function.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { number(); }
+
+  std::string print();
+
+private:
+  void number();
+  std::string valueName(const Value *V);
+  std::string blockName(const BasicBlock *BB);
+  std::string instLine(const Instruction *I);
+
+  const Function &F;
+  std::map<const Value *, unsigned> LocalNumbers;
+  std::map<const BasicBlock *, unsigned> BlockNumbers;
+};
+
+} // namespace
+
+void FunctionPrinter::number() {
+  unsigned N = 0;
+  for (const auto &A : F.args())
+    LocalNumbers[A.get()] = N++;
+  unsigned B = 0;
+  for (const auto &BB : F.blocks()) {
+    BlockNumbers[BB.get()] = B++;
+    for (const auto &I : BB->insts())
+      if (I->getType() && !I->getType()->isVoid())
+        LocalNumbers[I.get()] = N++;
+  }
+}
+
+std::string FunctionPrinter::valueName(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return std::to_string(CI->getValue());
+  if (const auto *CF = dyn_cast<ConstantFP>(V))
+    return formatStr("%g", CF->getValue());
+  if (isa<ConstantNull>(V))
+    return "null";
+  if (const auto *CT = dyn_cast<ConstantTaggedFunc>(V))
+    return formatStr("tagged(@%s, %u)", CT->getFunction()->getName().c_str(),
+                     CT->getTag());
+  if (isa<Function>(V) || isa<GlobalVariable>(V))
+    return "@" + V->getName();
+  auto It = LocalNumbers.find(V);
+  std::string Num =
+      It == LocalNumbers.end() ? "?" : std::to_string(It->second);
+  if (!V->getName().empty())
+    return "%" + V->getName() + "." + Num;
+  return "%" + Num;
+}
+
+std::string FunctionPrinter::blockName(const BasicBlock *BB) {
+  auto It = BlockNumbers.find(BB);
+  std::string Num =
+      It == BlockNumbers.end() ? "?" : std::to_string(It->second);
+  if (!BB->getName().empty())
+    return BB->getName() + "." + Num;
+  return "bb." + Num;
+}
+
+std::string FunctionPrinter::instLine(const Instruction *I) {
+  std::string Res;
+  if (I->getType() && !I->getType()->isVoid())
+    Res = valueName(I) + " = ";
+
+  switch (I->getOpcode()) {
+  case Opcode::Alloca:
+    Res += "alloca " +
+           cast<AllocaInst>(I)->getAllocatedType()->getName();
+    break;
+  case Opcode::Load:
+    Res += "load " + I->getType()->getName() + ", " +
+           valueName(I->getOperand(0));
+    break;
+  case Opcode::Store:
+    Res += "store " + valueName(I->getOperand(0)) + ", " +
+           valueName(I->getOperand(1));
+    break;
+  case Opcode::BinOp: {
+    const auto *B = cast<BinaryInst>(I);
+    Res += std::string(BinaryInst::getOpName(B->getBinOp())) + " " +
+           I->getType()->getName() + " " + valueName(B->getLHS()) + ", " +
+           valueName(B->getRHS());
+    break;
+  }
+  case Opcode::Cmp: {
+    const auto *C = cast<CmpInst>(I);
+    Res += std::string("cmp ") + CmpInst::getPredName(C->getPredicate()) +
+           " " + C->getLHS()->getType()->getName() + " " +
+           valueName(C->getLHS()) + ", " + valueName(C->getRHS());
+    break;
+  }
+  case Opcode::Cast: {
+    const auto *C = cast<CastInst>(I);
+    Res += std::string(CastInst::getCastName(C->getCastKind())) + " " +
+           valueName(C->getSource()) + " to " + I->getType()->getName();
+    break;
+  }
+  case Opcode::GEP:
+    Res += "gep " + valueName(I->getOperand(0)) + ", " +
+           valueName(I->getOperand(1));
+    break;
+  case Opcode::Select:
+    Res += "select " + valueName(I->getOperand(0)) + ", " +
+           valueName(I->getOperand(1)) + ", " + valueName(I->getOperand(2));
+    break;
+  case Opcode::Call:
+  case Opcode::Invoke: {
+    const auto *C = cast<CallInst>(I);
+    Res += I->getOpcode() == Opcode::Call ? "call " : "invoke ";
+    Res += valueName(C->getCallee()) + "(";
+    std::vector<std::string> Args;
+    for (unsigned A = 0, E = C->getNumArgs(); A != E; ++A)
+      Args.push_back(valueName(C->getArg(A)));
+    Res += join(Args, ", ") + ")";
+    if (const auto *IV = dyn_cast<InvokeInst>(I))
+      Res += " to " + blockName(IV->getNormalDest()) + " unwind " +
+             blockName(IV->getUnwindDest());
+    break;
+  }
+  case Opcode::LandingPad:
+    Res += "landingpad";
+    break;
+  case Opcode::Throw:
+    Res += "throw " + valueName(I->getOperand(0));
+    break;
+  case Opcode::Br: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional())
+      Res += "br " + valueName(B->getCondition()) + ", " +
+             blockName(B->getTrueDest()) + ", " +
+             blockName(B->getFalseDest());
+    else
+      Res += "br " + blockName(B->getSuccessor(0));
+    break;
+  }
+  case Opcode::Switch: {
+    const auto *S = cast<SwitchInst>(I);
+    Res += "switch " + valueName(S->getCondition()) + ", default " +
+           blockName(S->getDefaultDest()) + " [";
+    std::vector<std::string> Cases;
+    for (unsigned C = 0, E = S->getNumCases(); C != E; ++C)
+      Cases.push_back(std::to_string(S->getCaseValue(C)) + " -> " +
+                      blockName(S->getCaseDest(C)));
+    Res += join(Cases, ", ") + "]";
+    break;
+  }
+  case Opcode::Ret: {
+    const auto *R = cast<ReturnInst>(I);
+    Res += R->hasReturnValue() ? "ret " + valueName(R->getReturnValue())
+                               : "ret void";
+    break;
+  }
+  case Opcode::Unreachable:
+    Res += "unreachable";
+    break;
+  }
+  return Res;
+}
+
+std::string FunctionPrinter::print() {
+  std::string Out;
+  FunctionType *FTy = F.getFunctionType();
+  std::vector<std::string> Params;
+  for (const auto &A : F.args())
+    Params.push_back(A->getType()->getName() + " " + valueName(A.get()));
+  if (FTy->isVarArg())
+    Params.push_back("...");
+  Out += formatStr("define %s @%s(%s)%s {\n",
+                   FTy->getReturnType()->getName().c_str(),
+                   F.getName().c_str(), join(Params, ", ").c_str(),
+                   F.isExported() ? " exported" : "");
+  for (const auto &BB : F.blocks()) {
+    Out += blockName(BB.get()) + ":\n";
+    for (const auto &I : BB->insts())
+      Out += "  " + instLine(I.get()) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string khaos::printFunction(const Function &F) {
+  if (F.isDeclaration())
+    return formatStr("declare %s @%s\n",
+                     F.getFunctionType()->getName().c_str(),
+                     F.getName().c_str());
+  return FunctionPrinter(F).print();
+}
+
+std::string khaos::printModule(const Module &M) {
+  std::string Out = "; module '" + M.getName() + "'\n";
+  for (const auto &G : M.globals()) {
+    Out += formatStr("@%s = global %s", G->getName().c_str(),
+                     G->getValueType()->getName().c_str());
+    if (G->isZeroInitialized()) {
+      Out += " zeroinitializer\n";
+    } else {
+      std::vector<std::string> Elems;
+      for (const Constant *C : G->getInitializer()) {
+        if (const auto *CI = dyn_cast<ConstantInt>(C))
+          Elems.push_back(std::to_string(CI->getValue()));
+        else if (const auto *CF = dyn_cast<ConstantFP>(C))
+          Elems.push_back(formatStr("%g", CF->getValue()));
+        else if (const auto *CT = dyn_cast<ConstantTaggedFunc>(C))
+          Elems.push_back(
+              formatStr("tagged(@%s, %u)",
+                        CT->getFunction()->getName().c_str(), CT->getTag()));
+        else
+          Elems.push_back("null");
+      }
+      Out += " [" + join(Elems, ", ") + "]\n";
+    }
+  }
+  Out += "\n";
+  for (const auto &F : M.functions())
+    Out += printFunction(*F) + "\n";
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- ir/IRPrinter.h - Textual IR dump -------------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules/functions as LLVM-flavoured text for debugging, tests
+/// and the example programs. There is no parser; the text format is output
+/// only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_IR_IRPRINTER_H
+#define KHAOS_IR_IRPRINTER_H
+
+#include <string>
+
+namespace khaos {
+
+class Module;
+class Function;
+
+/// Prints \p M as text.
+std::string printModule(const Module &M);
+
+/// Prints one function as text.
+std::string printFunction(const Function &F);
+
+} // namespace khaos
+
+#endif // KHAOS_IR_IRPRINTER_H

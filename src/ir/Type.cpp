@@ -1,0 +1,145 @@
+//===- ir/Type.cpp - KIR type system ---------------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace khaos;
+
+unsigned Type::getIntegerBitWidth() const {
+  switch (Kind) {
+  case TypeKind::Int1:
+    return 1;
+  case TypeKind::Int8:
+    return 8;
+  case TypeKind::Int32:
+    return 32;
+  case TypeKind::Int64:
+    return 64;
+  default:
+    assert(false && "not an integer type");
+    return 0;
+  }
+}
+
+uint64_t Type::getStoreSize() const {
+  switch (Kind) {
+  case TypeKind::Int1:
+  case TypeKind::Int8:
+    return 1;
+  case TypeKind::Int32:
+    return 4;
+  case TypeKind::Int64:
+    return 8;
+  case TypeKind::Float:
+    return 4;
+  case TypeKind::Double:
+    return 8;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->getNumElements() * AT->getElementType()->getStoreSize();
+  }
+  case TypeKind::Void:
+  case TypeKind::Function:
+    assert(false && "type has no store size");
+    return 0;
+  }
+  return 0;
+}
+
+Type *Type::getPointerTo() { return Ctx.getPointerType(this); }
+
+bool Type::isCompatibleWith(const Type *Other) const {
+  if (isInteger() && Other->isInteger())
+    return true;
+  if (isFloatingPoint() && Other->isFloatingPoint())
+    return true;
+  if (isPointer() && Other->isPointer())
+    return true;
+  return false;
+}
+
+Type *Type::getCompressedType(Type *A, Type *B) {
+  assert(A->isCompatibleWith(B) && "cannot compress incompatible types");
+  if (A->isPointer())
+    return A; // All pointers are interchangeable for passing.
+  // Wider kind wins; TypeKind ordering encodes width for ints and floats.
+  return (int)A->getKind() >= (int)B->getKind() ? A : B;
+}
+
+std::string Type::getName() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int1:
+    return "i1";
+  case TypeKind::Int8:
+    return "i8";
+  case TypeKind::Int32:
+    return "i32";
+  case TypeKind::Int64:
+    return "i64";
+  case TypeKind::Float:
+    return "f32";
+  case TypeKind::Double:
+    return "f64";
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->getPointee()->getName() + "*";
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return formatStr("[%llu x %s]",
+                     (unsigned long long)AT->getNumElements(),
+                     AT->getElementType()->getName().c_str());
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::vector<std::string> Params;
+    for (Type *P : FT->getParamTypes())
+      Params.push_back(P->getName());
+    if (FT->isVarArg())
+      Params.push_back("...");
+    return FT->getReturnType()->getName() + " (" + join(Params, ", ") + ")";
+  }
+  }
+  return "<invalid>";
+}
+
+Context::Context() {
+  for (int K = (int)TypeKind::Void; K < (int)TypeKind::Pointer; ++K)
+    Primitives[K].reset(new Type(*this, (TypeKind)K));
+}
+
+Context::~Context() = default;
+
+PointerType *Context::getPointerType(Type *Pointee) {
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(*this, Pointee));
+  return Slot.get();
+}
+
+ArrayType *Context::getArrayType(Type *Element, uint64_t NumElements) {
+  auto &Slot = ArrayTypes[{Element, NumElements}];
+  if (!Slot)
+    Slot.reset(new ArrayType(*this, Element, NumElements));
+  return Slot.get();
+}
+
+FunctionType *Context::getFunctionType(Type *ReturnType,
+                                       std::vector<Type *> ParamTypes,
+                                       bool VarArg) {
+  auto Key = std::make_pair(ReturnType, std::make_pair(ParamTypes, VarArg));
+  auto &Slot = FunctionTypes[Key];
+  if (!Slot)
+    Slot.reset(
+        new FunctionType(*this, ReturnType, std::move(ParamTypes), VarArg));
+  return Slot.get();
+}

@@ -1,0 +1,33 @@
+//===- ir/Value.cpp - Values, constants and globals ------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Instruction.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace khaos;
+
+Value::~Value() = default;
+
+void Value::removeUser(Instruction *I) {
+  auto It = std::find(Users.begin(), Users.end(), I);
+  assert(It != Users.end() && "removing non-existent user");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  // Users mutates as we rewrite; iterate over a snapshot.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *User : Snapshot)
+    for (unsigned I = 0, E = User->getNumOperands(); I != E; ++I)
+      if (User->getOperand(I) == this)
+        User->setOperand(I, New);
+  assert(Users.empty() && "stale users after RAUW");
+}

@@ -1,0 +1,204 @@
+//===- ir/Value.h - Values, constants and globals ---------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of everything an instruction can reference: constants,
+/// globals, function arguments, functions themselves and instruction
+/// results. Values track their users (instructions) so passes can run
+/// replaceAllUsesWith and def-use queries — the backbone of fission's
+/// input/output detection and fusion's call-site rewriting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_IR_VALUE_H
+#define KHAOS_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+class Instruction;
+class Function;
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind : uint8_t {
+  ConstantInt,
+  ConstantFP,
+  ConstantNull,
+  ConstantTaggedFunc,
+  GlobalVariable,
+  Function,
+  Argument,
+  Instruction,
+};
+
+/// Root of the value hierarchy.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getValueKind() const { return VKind; }
+  Type *getType() const { return Ty; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions currently using this value as an operand. An instruction
+  /// appears once per operand slot referencing this value.
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+  unsigned getNumUses() const { return Users.size(); }
+
+  /// Rewrites every operand slot referencing this value to \p New.
+  void replaceAllUsesWith(Value *New);
+
+  bool isConstant() const {
+    return VKind <= ValueKind::ConstantTaggedFunc;
+  }
+
+protected:
+  Value(ValueKind VKind, Type *Ty, std::string Name = "")
+      : Ty(Ty), VKind(VKind), Name(std::move(Name)) {}
+  Type *Ty;
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  ValueKind VKind;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// Common base for interned constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) { return V->isConstant(); }
+
+protected:
+  using Value::Value;
+};
+
+/// An integer constant of any integer type.
+class ConstantInt : public Constant {
+public:
+  int64_t getValue() const { return Val; }
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  friend class Module;
+  ConstantInt(Type *Ty, int64_t Val)
+      : Constant(ValueKind::ConstantInt, Ty), Val(Val) {}
+  int64_t Val;
+};
+
+/// A floating-point constant (f32 values are stored widened to double).
+class ConstantFP : public Constant {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  friend class Module;
+  ConstantFP(Type *Ty, double Val)
+      : Constant(ValueKind::ConstantFP, Ty), Val(Val) {}
+  double Val;
+};
+
+/// The null pointer of a given pointer type.
+class ConstantNull : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantNull;
+  }
+
+private:
+  friend class Module;
+  explicit ConstantNull(Type *Ty) : Constant(ValueKind::ConstantNull, Ty) {}
+};
+
+/// The address of \p F with fusion tag bits OR-ed into the low nibble.
+///
+/// Produced when fusion rewrites the address-taking of an aggregated
+/// oriFunc. In a real toolchain this becomes a relocation whose addend
+/// carries the tag (paper appendix A.1); our BinaryImage does the same.
+class ConstantTaggedFunc : public Constant {
+public:
+  Function *getFunction() const { return Fn; }
+  unsigned getTag() const { return Tag; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantTaggedFunc;
+  }
+
+private:
+  friend class Module;
+  ConstantTaggedFunc(Type *Ty, Function *Fn, unsigned Tag)
+      : Constant(ValueKind::ConstantTaggedFunc, Ty), Fn(Fn), Tag(Tag) {}
+  Function *Fn;
+  unsigned Tag;
+};
+
+/// A module-level variable. Its Value type is pointer-to-ValueType; the
+/// initializer is a flat list of scalar constants (empty = zeroinitializer).
+class GlobalVariable : public Value {
+public:
+  Type *getValueType() const { return ValueType; }
+  const std::vector<Constant *> &getInitializer() const { return Init; }
+  void setInitializer(std::vector<Constant *> I) { Init = std::move(I); }
+  bool isZeroInitialized() const { return Init.empty(); }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  friend class Module;
+  GlobalVariable(Type *PtrTy, Type *ValueType, std::string Name)
+      : Value(ValueKind::GlobalVariable, PtrTy, std::move(Name)),
+        ValueType(ValueType) {}
+  Type *ValueType;
+  std::vector<Constant *> Init;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Function *getParent() const { return Parent; }
+  unsigned getArgNo() const { return ArgNo; }
+  void setArgNo(unsigned N) { ArgNo = N; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Argument;
+  }
+
+private:
+  friend class Function;
+  Argument(Type *Ty, std::string Name, Function *Parent, unsigned ArgNo)
+      : Value(ValueKind::Argument, Ty, std::move(Name)), Parent(Parent),
+        ArgNo(ArgNo) {}
+  Function *Parent;
+  unsigned ArgNo;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_IR_VALUE_H

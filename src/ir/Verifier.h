@@ -1,0 +1,37 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and dominance verification run after every front-end build
+/// and after every transformation/obfuscation pass in tests. Obfuscation is
+/// only trusted when the verifier stays green.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_IR_VERIFIER_H
+#define KHAOS_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+class Module;
+class Function;
+
+/// Verifies \p F; appends human-readable problems to \p Errors. Returns
+/// true when no problems were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies all definitions in \p M. Returns true when clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Convenience wrapper; returns the problems (empty when clean).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace khaos
+
+#endif // KHAOS_IR_VERIFIER_H

@@ -1,0 +1,160 @@
+//===- obfuscation/KhaosDriver.cpp - Obfuscation mode driver --------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obfuscation/KhaosDriver.h"
+
+#include "ir/Module.h"
+#include "obfuscation/OLLVM.h"
+
+#include <set>
+
+using namespace khaos;
+
+const std::vector<ObfuscationMode> &khaos::allObfuscationModes() {
+  static const std::vector<ObfuscationMode> Modes = {
+      ObfuscationMode::Sub,     ObfuscationMode::Bog,
+      ObfuscationMode::Fla10,   ObfuscationMode::Fission,
+      ObfuscationMode::Fusion,  ObfuscationMode::FuFiSep,
+      ObfuscationMode::FuFiOri, ObfuscationMode::FuFiAll,
+  };
+  return Modes;
+}
+
+const char *khaos::obfuscationModeName(ObfuscationMode Mode) {
+  switch (Mode) {
+  case ObfuscationMode::None:
+    return "None";
+  case ObfuscationMode::Sub:
+    return "Sub";
+  case ObfuscationMode::Bog:
+    return "Bog";
+  case ObfuscationMode::Fla:
+    return "Fla";
+  case ObfuscationMode::Fla10:
+    return "Fla-10";
+  case ObfuscationMode::Fission:
+    return "Fission";
+  case ObfuscationMode::Fusion:
+    return "Fusion";
+  case ObfuscationMode::FuFiSep:
+    return "FuFi.sep";
+  case ObfuscationMode::FuFiOri:
+    return "FuFi.ori";
+  case ObfuscationMode::FuFiAll:
+    return "FuFi.all";
+  }
+  return "?";
+}
+
+ObfuscationResult khaos::obfuscateModule(Module &M, ObfuscationMode Mode,
+                                         const KhaosOptions &Opts) {
+  ObfuscationResult R;
+  OLLVMOptions Base;
+  Base.Seed = Opts.Seed;
+
+  auto NamesOfUnprocessed = [&](const std::set<std::string> &Processed,
+                                const std::vector<std::string> &Seps) {
+    std::set<std::string> SepSet(Seps.begin(), Seps.end());
+    std::vector<std::string> Out;
+    for (const auto &F : M.functions()) {
+      if (F->isDeclaration() || F->isIntrinsic() || F->isNoObfuscate())
+        continue;
+      if (Processed.count(F->getName()) || SepSet.count(F->getName()))
+        continue;
+      Out.push_back(F->getName());
+    }
+    return Out;
+  };
+
+  // Functions that lost a region to fission (tracked by name for the
+  // FuFi.ori candidate set).
+  auto RunFissionPhase = [&](std::vector<std::string> &Seps,
+                             std::set<std::string> &Processed) {
+    std::set<std::string> Before;
+    std::map<std::string, size_t> SizeBefore;
+    for (const auto &F : M.functions())
+      SizeBefore[F->getName()] = F->instructionCount();
+    FissionOptions FOpt = Opts.Fission;
+    Seps = runFission(M, R.Fission, FOpt);
+    std::set<std::string> SepSet(Seps.begin(), Seps.end());
+    for (const auto &F : M.functions()) {
+      if (SepSet.count(F->getName()))
+        continue;
+      auto It = SizeBefore.find(F->getName());
+      if (It != SizeBefore.end() &&
+          F->instructionCount() != It->second)
+        Processed.insert(F->getName());
+    }
+  };
+
+  switch (Mode) {
+  case ObfuscationMode::None:
+    break;
+  case ObfuscationMode::Sub:
+    Base.Ratio = 1.0;
+    R.BaselineSites = runSubstitution(M, Base);
+    break;
+  case ObfuscationMode::Bog:
+    Base.Ratio = 1.0;
+    R.BaselineSites = runBogusControlFlow(M, Base);
+    break;
+  case ObfuscationMode::Fla:
+    Base.Ratio = 1.0;
+    R.BaselineSites = runFlattening(M, Base);
+    break;
+  case ObfuscationMode::Fla10:
+    Base.Ratio = 0.1;
+    R.BaselineSites = runFlattening(M, Base);
+    break;
+  case ObfuscationMode::Fission: {
+    FissionOptions FOpt = Opts.Fission;
+    runFission(M, R.Fission, FOpt);
+    break;
+  }
+  case ObfuscationMode::Fusion: {
+    FusionOptions FuOpt = Opts.Fusion;
+    FuOpt.Seed = Opts.Seed;
+    runFusion(M, R.Fusion, FuOpt);
+    break;
+  }
+  case ObfuscationMode::FuFiSep: {
+    std::vector<std::string> Seps;
+    std::set<std::string> Processed;
+    RunFissionPhase(Seps, Processed);
+    FusionOptions FuOpt = Opts.Fusion;
+    FuOpt.Seed = Opts.Seed;
+    FuOpt.RestrictTo = Seps;
+    runFusion(M, R.Fusion, FuOpt);
+    break;
+  }
+  case ObfuscationMode::FuFiOri: {
+    std::vector<std::string> Seps;
+    std::set<std::string> Processed;
+    RunFissionPhase(Seps, Processed);
+    FusionOptions FuOpt = Opts.Fusion;
+    FuOpt.Seed = Opts.Seed;
+    FuOpt.RestrictTo = NamesOfUnprocessed(Processed, Seps);
+    runFusion(M, R.Fusion, FuOpt);
+    break;
+  }
+  case ObfuscationMode::FuFiAll: {
+    std::vector<std::string> Seps;
+    std::set<std::string> Processed;
+    RunFissionPhase(Seps, Processed);
+    FusionOptions FuOpt = Opts.Fusion;
+    FuOpt.Seed = Opts.Seed;
+    FuOpt.RestrictTo = NamesOfUnprocessed(Processed, Seps);
+    for (const std::string &S : Seps)
+      FuOpt.RestrictTo.push_back(S);
+    runFusion(M, R.Fusion, FuOpt);
+    break;
+  }
+  }
+
+  if (Opts.RunPostOpt)
+    optimizeModule(M, Opts.PostOptLevel);
+  return R;
+}

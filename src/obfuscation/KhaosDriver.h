@@ -1,0 +1,70 @@
+//===- obfuscation/KhaosDriver.h - Obfuscation mode driver ------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies one of the paper's obfuscation configurations to a module and
+/// then re-optimizes it (Khaos schedules fission before fusion as
+/// middle-end passes and compiles at O2+LTO; §4). The driver also gathers
+/// the Table 2 statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_OBFUSCATION_KHAOSDRIVER_H
+#define KHAOS_OBFUSCATION_KHAOSDRIVER_H
+
+#include "obfuscation/Fission.h"
+#include "obfuscation/Fusion.h"
+#include "transform/Pass.h"
+
+#include <string>
+
+namespace khaos {
+
+class Module;
+
+/// The obfuscation configurations evaluated in the paper.
+enum class ObfuscationMode : uint8_t {
+  None,
+  Sub,     ///< O-LLVM instruction substitution (100%).
+  Bog,     ///< O-LLVM bogus control flow (100%).
+  Fla,     ///< O-LLVM control-flow flattening (100%).
+  Fla10,   ///< O-LLVM flattening at 10% (the paper's Fla-10).
+  Fission, ///< Khaos fission only.
+  Fusion,  ///< Khaos fusion only.
+  FuFiSep, ///< Fission, then fuse only the generated sepFuncs.
+  FuFiOri, ///< Fission, then fuse only fission-unprocessed oriFuncs.
+  FuFiAll, ///< Fission, then fuse sepFuncs + unprocessed oriFuncs.
+};
+
+/// All configurations in evaluation order (figure legends).
+const std::vector<ObfuscationMode> &allObfuscationModes();
+
+/// Printable mode name matching the paper's legends.
+const char *obfuscationModeName(ObfuscationMode Mode);
+
+/// Result of one obfuscation run.
+struct ObfuscationResult {
+  FissionStats Fission;
+  FusionStats Fusion;
+  unsigned BaselineSites = 0; ///< Sub/Bog/Fla transformation count.
+};
+
+/// Driver configuration.
+struct KhaosOptions {
+  uint64_t Seed = 0xc906;
+  OptLevel PostOptLevel = OptLevel::O2; ///< The paper's O2 + LTO baseline.
+  bool RunPostOpt = true;
+  FissionOptions Fission;
+  FusionOptions Fusion;
+};
+
+/// Obfuscates \p M in place with \p Mode and re-optimizes.
+ObfuscationResult obfuscateModule(Module &M, ObfuscationMode Mode,
+                                  const KhaosOptions &Opts = {});
+
+} // namespace khaos
+
+#endif // KHAOS_OBFUSCATION_KHAOSDRIVER_H

@@ -1,0 +1,48 @@
+//===- obfuscation/OLLVM.h - O-LLVM-style baselines -------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's comparison targets, reimplemented after O-LLVM (Junod et
+/// al., SPRO'15): instruction substitution (Sub), bogus control flow with
+/// opaque predicates (Bog) and control-flow flattening (Fla). All are
+/// intra-procedural — the class of obfuscation the paper argues is no
+/// longer sufficient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_OBFUSCATION_OLLVM_H
+#define KHAOS_OBFUSCATION_OLLVM_H
+
+#include <cstdint>
+
+namespace khaos {
+
+class Module;
+
+/// Ratio is the fraction of eligible sites/functions transformed
+/// (O-LLVM's -mllvm -*_prob knobs; the paper runs Sub/Bog at 100% and Fla
+/// at 100% or 10%).
+struct OLLVMOptions {
+  double Ratio = 1.0;
+  uint64_t Seed = 0xb0b;
+};
+
+/// Instruction substitution: integer add/sub/xor/and/or are replaced by
+/// equivalent multi-instruction idioms.
+unsigned runSubstitution(Module &M, const OLLVMOptions &Opts = {});
+
+/// Bogus control flow: blocks are guarded by an always-true opaque
+/// predicate on global state; the false edge leads to a scrambled clone
+/// that is never executed.
+unsigned runBogusControlFlow(Module &M, const OLLVMOptions &Opts = {});
+
+/// Control-flow flattening: function bodies become a switch dispatcher
+/// driven by a state variable.
+unsigned runFlattening(Module &M, const OLLVMOptions &Opts = {});
+
+} // namespace khaos
+
+#endif // KHAOS_OBFUSCATION_OLLVM_H

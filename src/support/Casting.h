@@ -1,0 +1,55 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled LLVM-style RTTI. Classes opt in by providing a static
+/// classof(const Base *) predicate; isa<>, cast<> and dyn_cast<> then work
+/// without enabling compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_SUPPORT_CASTING_H
+#define KHAOS_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace khaos {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that yields nullptr when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that also tolerates null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace khaos
+
+#endif // KHAOS_SUPPORT_CASTING_H

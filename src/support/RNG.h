@@ -1,0 +1,70 @@
+//===- support/RNG.h - Deterministic random streams -------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic random number generator. Every random
+/// decision in the project (workload synthesis, fusion pairing, opaque
+/// predicate choice, ...) draws from a named stream so runs are reproducible
+/// bit-for-bit across machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_SUPPORT_RNG_H
+#define KHAOS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Seeds a stream from a human-readable name (FNV-1a of the name mixed
+  /// with \p Salt). Two streams with different names never collide in
+  /// practice.
+  static RNG fromName(const std::string &Name, uint64_t Salt = 0);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli draw with probability \p P.
+  bool nextBool(double P = 0.5);
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    if (Items.size() < 2)
+      return;
+    for (size_t I = Items.size() - 1; I > 0; --I)
+      std::swap(Items[I], Items[nextBelow(I + 1)]);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_SUPPORT_RNG_H

@@ -1,0 +1,37 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus a handful of predicates the
+/// printers and table renderers share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_SUPPORT_STRINGUTILS_H
+#define KHAOS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// printf-style formatting into a std::string.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+bool startsWith(const std::string &S, const std::string &Prefix);
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> split(const std::string &S, char Sep);
+
+} // namespace khaos
+
+#endif // KHAOS_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,55 @@
+//===- transform/Cloning.cpp - IR cloning utilities ---------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cloning.h"
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace khaos;
+
+std::vector<BasicBlock *>
+khaos::cloneFunctionBlocks(const Function &Src, Function &Dst,
+                           std::map<const Value *, Value *> &VMap) {
+  std::map<const BasicBlock *, BasicBlock *> BlockMap;
+  std::vector<BasicBlock *> NewBlocks;
+
+  // First create empty blocks so successors can be remapped.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = Dst.addBlock(BB->getName() + ".i");
+    BlockMap[BB.get()] = NewBB;
+    NewBlocks.push_back(NewBB);
+  }
+
+  // Clone instructions, then remap operands/successors.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = BlockMap[BB.get()];
+    for (const auto &I : BB->insts()) {
+      Instruction *NI = I->clone();
+      NewBB->push(NI);
+      VMap[I.get()] = NI;
+    }
+  }
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = BlockMap[BB.get()];
+    for (const auto &NI : NewBB->insts()) {
+      for (unsigned OpIdx = 0, E = NI->getNumOperands(); OpIdx != E;
+           ++OpIdx) {
+        auto It = VMap.find(NI->getOperand(OpIdx));
+        if (It != VMap.end())
+          NI->setOperand(OpIdx, It->second);
+      }
+      for (unsigned SIdx = 0, E = NI->getNumSuccessors(); SIdx != E;
+           ++SIdx) {
+        auto It = BlockMap.find(NI->getSuccessor(SIdx));
+        assert(It != BlockMap.end() && "successor outside cloned function");
+        NI->setSuccessor(SIdx, It->second);
+      }
+    }
+  }
+  return NewBlocks;
+}

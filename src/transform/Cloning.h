@@ -1,0 +1,36 @@
+//===- transform/Cloning.h - IR cloning utilities ---------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block cloning with value remapping, shared by the inliner and the bogus
+/// control flow obfuscation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_TRANSFORM_CLONING_H
+#define KHAOS_TRANSFORM_CLONING_H
+
+#include <map>
+#include <vector>
+
+namespace khaos {
+
+class BasicBlock;
+class Function;
+class Value;
+
+/// Clones every block of \p Src into \p Dst. \p VMap must already map
+/// Src's arguments to replacement values; it is extended with every cloned
+/// instruction and block mapping. Cloned blocks are appended to \p Dst and
+/// returned in source order. Operands and successors are remapped through
+/// VMap (identity when absent).
+std::vector<BasicBlock *>
+cloneFunctionBlocks(const Function &Src, Function &Dst,
+                    std::map<const Value *, Value *> &VMap);
+
+} // namespace khaos
+
+#endif // KHAOS_TRANSFORM_CLONING_H

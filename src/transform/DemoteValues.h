@@ -1,0 +1,40 @@
+//===- transform/DemoteValues.h - reg2mem-style demotion --------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demotes cross-block SSA values to entry allocas (LLVM's reg2mem).
+/// Required before transformations that destroy dominance relations:
+/// control-flow flattening and deep fusion both rewire the CFG so that a
+/// definition may no longer dominate its former uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_TRANSFORM_DEMOTEVALUES_H
+#define KHAOS_TRANSFORM_DEMOTEVALUES_H
+
+namespace khaos {
+
+class Function;
+class Module;
+
+/// Rewrites every value defined in a non-entry block and used in another
+/// block to flow through an entry alloca. Invoke results spill at the head
+/// of their (single-predecessor) normal destination. Returns false when
+/// some value could not be demoted (multi-predecessor invoke normal
+/// destination) — callers must then refrain from dominance-breaking
+/// transforms.
+bool demoteCrossBlockValues(Module &M, Function &F);
+
+class Instruction;
+
+/// Demotes one instruction's value to an entry alloca (spill after the
+/// definition, reload before every cross-block use). Returns false for
+/// invoke results whose normal destination has multiple predecessors.
+bool demoteInstruction(Module &M, Function &F, Instruction *I);
+
+} // namespace khaos
+
+#endif // KHAOS_TRANSFORM_DEMOTEVALUES_H

@@ -1,0 +1,131 @@
+//===- transform/LICM.cpp - Loop-invariant code motion ---------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists pure loop-invariant computations into the loop's unique
+/// preheader. Conservative by design: only side-effect-free, non-trapping
+/// instructions whose operands are defined outside the loop move, and
+/// only when the header has a unique outside predecessor ending in an
+/// unconditional branch (the shape the MiniC IRGen emits for for/while
+/// loops). Part of the -O3 pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+#include "transform/Pass.h"
+
+using namespace khaos;
+
+namespace {
+
+class LICMPass : public Pass {
+public:
+  const char *getName() const override { return "licm"; }
+  bool run(Module &M) override;
+
+private:
+  bool runOnLoop(Function &F, Loop &L);
+};
+
+/// Pure, non-trapping, rematerializable anywhere.
+bool isHoistableKind(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Cmp:
+  case Opcode::Cast:
+  case Opcode::GEP:
+  case Opcode::Select:
+    return true;
+  case Opcode::BinOp:
+    return !cast<BinaryInst>(I)->isDivRem(); // Division may trap.
+  default:
+    return false;
+  }
+}
+
+/// The unique out-of-loop predecessor of the header with an unconditional
+/// terminator, or null.
+BasicBlock *findPreheader(Loop &L) {
+  BasicBlock *Pre = nullptr;
+  for (BasicBlock *P : L.Header->predecessors()) {
+    if (L.contains(P))
+      continue;
+    if (Pre)
+      return nullptr; // Multiple entries.
+    Pre = P;
+  }
+  if (!Pre)
+    return nullptr;
+  auto *BR = dyn_cast_or_null<BranchInst>(Pre->getTerminator());
+  if (!BR || BR->isConditional())
+    return nullptr;
+  return Pre;
+}
+
+} // namespace
+
+bool LICMPass::runOnLoop(Function &F, Loop &L) {
+  BasicBlock *Pre = findPreheader(L);
+  if (!Pre)
+    return false;
+
+  auto IsInvariantOperand = [&](const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return true; // Constants, globals, arguments, functions.
+    return !L.contains(I->getParent());
+  };
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (BasicBlock *BB : L.Blocks) {
+      for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+        Instruction *I = BB->getInst(Idx);
+        if (!isHoistableKind(I))
+          continue;
+        bool Invariant = true;
+        for (const Value *Op : I->operands())
+          if (!IsInvariantOperand(Op)) {
+            Invariant = false;
+            break;
+          }
+        if (!Invariant)
+          continue;
+        // Move before the preheader's terminator; the def then dominates
+        // the whole loop.
+        std::unique_ptr<Instruction> Owned = BB->take(I);
+        I->setParent(Pre);
+        Pre->insertBefore(Pre->getTerminator(), Owned.release());
+        Progress = true;
+        Changed = true;
+        --Idx; // The vector shifted.
+      }
+    }
+  }
+  return Changed;
+}
+
+bool LICMPass::run(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    DominatorTree DT(*F);
+    LoopInfo LI(DT);
+    // Innermost loops first (sorted by size ascending already in LI? —
+    // just iterate; the fixed point inside runOnLoop handles nesting).
+    for (const auto &L : LI.loops())
+      Changed |= runOnLoop(*F, *L);
+  }
+  return Changed;
+}
+
+std::unique_ptr<Pass> khaos::createLICMPass() {
+  return std::make_unique<LICMPass>();
+}

@@ -1,0 +1,115 @@
+//===- transform/LoadForwarding.cpp - Block-local store-to-load forwarding -----===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phi-free stand-in for mem2reg: within one block, a load from pointer P
+/// after a store to the same P (with no intervening clobber) yields the
+/// stored value; repeated loads from P are CSE'd. Any call or store through
+/// an unrelated pointer conservatively clobbers everything except
+/// non-escaping allocas.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "transform/Pass.h"
+
+#include <map>
+
+using namespace khaos;
+
+namespace {
+
+class LoadForwardingPass : public Pass {
+public:
+  const char *getName() const override { return "loadfwd"; }
+  bool run(Module &M) override;
+
+private:
+  bool runOnBlock(BasicBlock &BB);
+};
+
+/// True when the alloca's address is never stored anywhere or passed to a
+/// call, i.e. only direct loads/stores/GEPs use it. A store through a GEP
+/// still clobbers it; we only use this to survive calls.
+bool allocaDoesNotEscape(const AllocaInst *AI) {
+  for (const Instruction *U : AI->users()) {
+    switch (U->getOpcode()) {
+    case Opcode::Load:
+      break;
+    case Opcode::Store:
+      if (cast<StoreInst>(U)->getStoredValue() == AI)
+        return false;
+      break;
+    default:
+      return false; // GEP, call argument, cast, ... — may escape.
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool LoadForwardingPass::runOnBlock(BasicBlock &BB) {
+  bool Changed = false;
+  // Known contents per pointer value.
+  std::map<Value *, Value *> Known;
+
+  for (size_t Idx = 0; Idx < BB.size(); ++Idx) {
+    Instruction *I = BB.getInst(Idx);
+    switch (I->getOpcode()) {
+    case Opcode::Store: {
+      auto *SI = cast<StoreInst>(I);
+      Value *Ptr = SI->getPointer();
+      // A store through any pointer may alias other pointers; drop
+      // everything that is not a provably distinct non-escaping alloca.
+      for (auto It = Known.begin(); It != Known.end();) {
+        auto *AI = dyn_cast<AllocaInst>(It->first);
+        bool Safe = AI && AI != Ptr && isa<AllocaInst>(Ptr);
+        It = Safe ? ++It : Known.erase(It);
+      }
+      Known[Ptr] = SI->getStoredValue();
+      break;
+    }
+    case Opcode::Load: {
+      auto *LI = cast<LoadInst>(I);
+      auto It = Known.find(LI->getPointer());
+      if (It != Known.end() && It->second->getType() == LI->getType()) {
+        if (LI->hasUses()) {
+          LI->replaceAllUsesWith(It->second);
+          Changed = true;
+        }
+      } else {
+        Known[LI->getPointer()] = LI;
+      }
+      break;
+    }
+    case Opcode::Call:
+    case Opcode::Invoke: {
+      // Calls clobber everything except non-escaping allocas.
+      for (auto It = Known.begin(); It != Known.end();) {
+        auto *AI = dyn_cast<AllocaInst>(It->first);
+        It = (AI && allocaDoesNotEscape(AI)) ? ++It : Known.erase(It);
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return Changed;
+}
+
+bool LoadForwardingPass::run(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      Changed |= runOnBlock(*BB);
+  return Changed;
+}
+
+std::unique_ptr<Pass> khaos::createLoadForwardingPass() {
+  return std::make_unique<LoadForwardingPass>();
+}

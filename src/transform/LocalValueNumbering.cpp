@@ -1,0 +1,98 @@
+//===- transform/LocalValueNumbering.cpp - Block-local CSE ---------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local value numbering: pure instructions (binop/cmp/cast/GEP/select)
+/// with identical opcodes and operands inside one block collapse to the
+/// first occurrence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "transform/Pass.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace khaos;
+
+namespace {
+
+using VNKey = std::tuple<int, int, const void *, std::vector<const Value *>>;
+
+class LocalValueNumberingPass : public Pass {
+public:
+  const char *getName() const override { return "lvn"; }
+  bool run(Module &M) override;
+
+private:
+  bool runOnBlock(BasicBlock &BB);
+};
+
+/// Sub-opcode discriminator (binop kind, predicate, cast kind).
+int subKind(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::BinOp:
+    return (int)cast<BinaryInst>(I)->getBinOp();
+  case Opcode::Cmp:
+    return (int)cast<CmpInst>(I)->getPredicate();
+  case Opcode::Cast:
+    return (int)cast<CastInst>(I)->getCastKind();
+  default:
+    return 0;
+  }
+}
+
+bool isPure(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Cmp:
+  case Opcode::Cast:
+  case Opcode::GEP:
+  case Opcode::Select:
+    return true;
+  case Opcode::BinOp:
+    return !cast<BinaryInst>(I)->isDivRem(); // Keep traps.
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool LocalValueNumberingPass::runOnBlock(BasicBlock &BB) {
+  bool Changed = false;
+  std::map<VNKey, Instruction *> Seen;
+  for (size_t Idx = 0; Idx < BB.size(); ++Idx) {
+    Instruction *I = BB.getInst(Idx);
+    if (!isPure(I))
+      continue;
+    std::vector<const Value *> Ops(I->operands().begin(),
+                                   I->operands().end());
+    VNKey Key{(int)I->getOpcode(), subKind(I), (const void *)I->getType(),
+              std::move(Ops)};
+    auto [It, Inserted] = Seen.try_emplace(Key, I);
+    if (Inserted)
+      continue;
+    if (I->hasUses()) {
+      I->replaceAllUsesWith(It->second);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool LocalValueNumberingPass::run(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      Changed |= runOnBlock(*BB);
+  return Changed;
+}
+
+std::unique_ptr<Pass> khaos::createLocalValueNumberingPass() {
+  return std::make_unique<LocalValueNumberingPass>();
+}

@@ -1,0 +1,64 @@
+//===- transform/PassManager.cpp - Pass manager ---------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pass.h"
+
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+using namespace khaos;
+
+Pass::~Pass() = default;
+
+bool PassManager::run(Module &M) {
+  bool Changed = false;
+  for (auto &P : Passes) {
+    Changed |= P->run(M);
+    if (!VerifyEach)
+      continue;
+    std::vector<std::string> Problems = verifyModule(M);
+    if (!Problems.empty()) {
+      VerifyError =
+          std::string(P->getName()) + ": " + Problems.front();
+      return Changed;
+    }
+  }
+  return Changed;
+}
+
+void khaos::buildOptPipeline(PassManager &PM, OptLevel Level) {
+  if (Level == OptLevel::O0)
+    return;
+  PM.add(createSimplifyCFGPass());
+  PM.add(createConstantFoldPass());
+  PM.add(createDCEPass());
+  if (Level == OptLevel::O1)
+    return;
+  PM.add(createLocalValueNumberingPass());
+  PM.add(createLoadForwardingPass());
+  PM.add(createDCEPass());
+  PM.add(createInlinerPass(Level == OptLevel::O3 ? 120 : 48));
+  PM.add(createSimplifyCFGPass());
+  PM.add(createConstantFoldPass());
+  PM.add(createLocalValueNumberingPass());
+  PM.add(createLoadForwardingPass());
+  PM.add(createDCEPass());
+  if (Level == OptLevel::O3) {
+    // A second late round approximates the extra aggressiveness of -O3.
+    PM.add(createInlinerPass(160));
+    PM.add(createLICMPass());
+    PM.add(createSimplifyCFGPass());
+    PM.add(createConstantFoldPass());
+    PM.add(createLocalValueNumberingPass());
+    PM.add(createDCEPass());
+  }
+}
+
+void khaos::optimizeModule(Module &M, OptLevel Level) {
+  PassManager PM;
+  buildOptPipeline(PM, Level);
+  PM.run(M);
+}

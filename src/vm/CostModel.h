@@ -1,0 +1,43 @@
+//===- vm/CostModel.h - Dynamic cost model ----------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// x86-64 SysV-flavoured dynamic cost model. The paper measures wall-clock
+/// overhead on hardware; we measure dynamic cost in the interpreter with
+/// weights that reproduce the *mechanisms* of Khaos's overhead: call/return
+/// overhead, register vs stack argument passing (first six arguments ride
+/// in registers), division latency, and expensive unwinding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_VM_COSTMODEL_H
+#define KHAOS_VM_COSTMODEL_H
+
+#include <cstdint>
+
+namespace khaos {
+
+/// Cost weights in abstract cycles.
+struct CostModel {
+  uint64_t Simple = 1;        ///< ALU op, branch, cast, GEP, select.
+  uint64_t FPOp = 2;          ///< FP add/sub/mul.
+  uint64_t Memory = 2;        ///< Load/store.
+  uint64_t IntDiv = 12;       ///< sdiv/srem.
+  uint64_t FPDiv = 8;         ///< fdiv.
+  uint64_t CallBase = 4;      ///< call + ret + frame setup.
+  uint64_t IndirectExtra = 2; ///< Indirect call penalty.
+  uint64_t StackArg = 1;      ///< Per argument beyond the 6 register args.
+  uint64_t RegisterArgs = 6;  ///< SysV integer register argument count.
+  uint64_t Alloca = 1;
+  uint64_t Switch = 2;
+  uint64_t Throw = 50;        ///< Unwinder invocation.
+  uint64_t SetJmp = 10;
+  uint64_t LongJmp = 30;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_VM_COSTMODEL_H

@@ -1,0 +1,1026 @@
+//===- vm/Interpreter.cpp - KIR interpreter -------------------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <vector>
+
+using namespace khaos;
+
+namespace {
+
+/// One 64-bit machine slot; typed access is chosen by the IR type.
+union Slot {
+  int64_t I;
+  double F;
+};
+
+/// How a nested execution finished.
+enum class FlowKind : uint8_t { Normal, Return, Exception, LongJmp, Trap };
+
+struct Flow {
+  FlowKind Kind = FlowKind::Normal;
+  Slot RetVal{0};
+  int64_t ExcPayload = 0;
+  uint64_t JmpToken = 0;
+  int64_t JmpValue = 0;
+};
+
+/// Address-space layout.
+constexpr uint64_t GlobalBase = 0x1000;
+constexpr uint64_t FuncBase = 0x70000000;
+constexpr uint64_t FuncStride = 16;
+
+class VM {
+public:
+  VM(const Module &M, const ExecOptions &Opts) : M(M), Opts(Opts) {}
+
+  ExecResult run();
+
+private:
+  // -- Memory ------------------------------------------------------------
+  bool validRange(uint64_t Addr, uint64_t Size) const {
+    return Addr >= GlobalBase && Addr + Size <= Mem.size();
+  }
+  bool loadBytes(uint64_t Addr, void *Out, uint64_t Size) {
+    if (!validRange(Addr, Size))
+      return trap(formatStr("invalid load of %llu bytes at 0x%llx",
+                            (unsigned long long)Size,
+                            (unsigned long long)Addr));
+    std::memcpy(Out, Mem.data() + Addr, Size);
+    return true;
+  }
+  bool storeBytes(uint64_t Addr, const void *In, uint64_t Size) {
+    if (!validRange(Addr, Size))
+      return trap(formatStr("invalid store of %llu bytes at 0x%llx",
+                            (unsigned long long)Size,
+                            (unsigned long long)Addr));
+    std::memcpy(Mem.data() + Addr, In, Size);
+    return true;
+  }
+  bool loadTyped(uint64_t Addr, const Type *Ty, Slot &Out);
+  bool storeTyped(uint64_t Addr, const Type *Ty, Slot V);
+
+  bool trap(const std::string &Msg) {
+    if (!Trapped) {
+      Trapped = true;
+      TrapMessage = Msg;
+    }
+    return false;
+  }
+
+  // -- Setup ---------------------------------------------------------------
+  bool layoutGlobals();
+  int64_t constantValue(const Constant *C);
+
+  // -- Execution -----------------------------------------------------------
+  struct Frame {
+    std::map<const Value *, Slot> Regs;
+    uint64_t StackMark = 0;
+    /// Active setjmp records: token -> (block, index of setjmp call).
+    std::map<uint64_t, std::pair<const BasicBlock *, size_t>> Jumps;
+  };
+
+  Flow execFunction(const Function *F, const std::vector<Slot> &Args);
+  bool evalOperand(Frame &FR, const Value *V, Slot &Out);
+  Flow callTarget(const Function *Callee, const std::vector<Slot> &Args,
+                  const std::vector<const Type *> &ArgTys,
+                  Frame &CallerFrame);
+  Flow runIntrinsic(const Function *F, const std::vector<Slot> &Args,
+                    const std::vector<const Type *> &ArgTys,
+                    Frame &CallerFrame);
+  std::string readCString(uint64_t Addr);
+  bool formatPrintf(const std::string &Fmt, const std::vector<Slot> &Args,
+                    const std::vector<const Type *> &ArgTys,
+                    std::string &Out);
+
+  bool charge(uint64_t C) {
+    Cost += C;
+    ++Steps;
+    if (Steps > Opts.MaxSteps)
+      return trap("step limit exceeded");
+    return true;
+  }
+
+  const Module &M;
+  const ExecOptions &Opts;
+  std::vector<uint8_t> Mem;
+  uint64_t StackPtr = 0;
+  uint64_t HeapPtr = 0;
+  uint64_t HeapEnd = 0;
+
+  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
+  std::map<const Function *, uint64_t> FuncAddrs;
+  std::map<uint64_t, const Function *> AddrFuncs;
+
+  std::string StdoutBuf;
+  uint64_t Steps = 0;
+  uint64_t Cost = 0;
+  unsigned CallDepth = 0;
+  uint64_t NextJmpToken = 1;
+  bool Trapped = false;
+  std::string TrapMessage;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory access
+//===----------------------------------------------------------------------===//
+
+bool VM::loadTyped(uint64_t Addr, const Type *Ty, Slot &Out) {
+  Out.I = 0;
+  switch (Ty->getKind()) {
+  case TypeKind::Int1:
+  case TypeKind::Int8: {
+    int8_t V;
+    if (!loadBytes(Addr, &V, 1))
+      return false;
+    Out.I = V;
+    return true;
+  }
+  case TypeKind::Int32: {
+    int32_t V;
+    if (!loadBytes(Addr, &V, 4))
+      return false;
+    Out.I = V;
+    return true;
+  }
+  case TypeKind::Int64:
+  case TypeKind::Pointer: {
+    int64_t V;
+    if (!loadBytes(Addr, &V, 8))
+      return false;
+    Out.I = V;
+    return true;
+  }
+  case TypeKind::Float: {
+    float V;
+    if (!loadBytes(Addr, &V, 4))
+      return false;
+    Out.F = V;
+    return true;
+  }
+  case TypeKind::Double: {
+    double V;
+    if (!loadBytes(Addr, &V, 8))
+      return false;
+    Out.F = V;
+    return true;
+  }
+  default:
+    return trap("load of unsupported type");
+  }
+}
+
+bool VM::storeTyped(uint64_t Addr, const Type *Ty, Slot V) {
+  switch (Ty->getKind()) {
+  case TypeKind::Int1:
+  case TypeKind::Int8: {
+    int8_t B = static_cast<int8_t>(V.I);
+    return storeBytes(Addr, &B, 1);
+  }
+  case TypeKind::Int32: {
+    int32_t W = static_cast<int32_t>(V.I);
+    return storeBytes(Addr, &W, 4);
+  }
+  case TypeKind::Int64:
+  case TypeKind::Pointer:
+    return storeBytes(Addr, &V.I, 8);
+  case TypeKind::Float: {
+    float F = static_cast<float>(V.F);
+    return storeBytes(Addr, &F, 4);
+  }
+  case TypeKind::Double:
+    return storeBytes(Addr, &V.F, 8);
+  default:
+    return trap("store of unsupported type");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+int64_t VM::constantValue(const Constant *C) {
+  if (const auto *CI = dyn_cast<ConstantInt>(C))
+    return CI->getValue();
+  if (isa<ConstantNull>(C))
+    return 0;
+  if (const auto *TF = dyn_cast<ConstantTaggedFunc>(C))
+    return static_cast<int64_t>(FuncAddrs[TF->getFunction()] |
+                                TF->getTag());
+  return 0; // FP handled by caller.
+}
+
+bool VM::layoutGlobals() {
+  Mem.assign(Opts.MemoryBytes, 0);
+
+  // Function address space first (tagged constants in initializers need
+  // addresses).
+  uint64_t NextFunc = FuncBase;
+  for (const auto &F : M.functions()) {
+    FuncAddrs[F.get()] = NextFunc;
+    AddrFuncs[NextFunc] = F.get();
+    NextFunc += FuncStride;
+  }
+
+  uint64_t Next = GlobalBase;
+  for (const auto &G : M.globals()) {
+    Type *VT = G->getValueType();
+    uint64_t Size = VT->getStoreSize();
+    // 8-byte align every global.
+    Next = (Next + 7) & ~7ull;
+    GlobalAddrs[G.get()] = Next;
+    if (Next + Size > Mem.size() / 4)
+      return trap("global segment overflow");
+
+    // Write the initializer.
+    const std::vector<Constant *> &Init = G->getInitializer();
+    if (!Init.empty()) {
+      Type *ElemTy = VT;
+      uint64_t Stride = VT->getStoreSize();
+      if (auto *AT = dyn_cast<ArrayType>(VT)) {
+        ElemTy = AT->getElementType();
+        Stride = ElemTy->getStoreSize();
+      }
+      uint64_t Addr = Next;
+      for (const Constant *C : Init) {
+        Slot V;
+        if (const auto *CF = dyn_cast<ConstantFP>(C))
+          V.F = CF->getValue();
+        else
+          V.I = constantValue(C);
+        if (!storeTyped(Addr, ElemTy, V))
+          return false;
+        Addr += Stride;
+      }
+    }
+    Next += Size;
+  }
+
+  // Stack after globals, heap in the upper half.
+  StackPtr = (Next + 63) & ~63ull;
+  HeapPtr = Mem.size() / 2;
+  HeapEnd = Mem.size();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Operand evaluation
+//===----------------------------------------------------------------------===//
+
+bool VM::evalOperand(Frame &FR, const Value *V, Slot &Out) {
+  switch (V->getValueKind()) {
+  case ValueKind::ConstantInt:
+    Out.I = cast<ConstantInt>(V)->getValue();
+    return true;
+  case ValueKind::ConstantFP:
+    Out.F = cast<ConstantFP>(V)->getValue();
+    return true;
+  case ValueKind::ConstantNull:
+    Out.I = 0;
+    return true;
+  case ValueKind::ConstantTaggedFunc: {
+    const auto *TF = cast<ConstantTaggedFunc>(V);
+    Out.I = static_cast<int64_t>(FuncAddrs[TF->getFunction()] |
+                                 TF->getTag());
+    return true;
+  }
+  case ValueKind::GlobalVariable:
+    Out.I = static_cast<int64_t>(GlobalAddrs[cast<GlobalVariable>(V)]);
+    return true;
+  case ValueKind::Function:
+    Out.I = static_cast<int64_t>(FuncAddrs[cast<Function>(V)]);
+    return true;
+  case ValueKind::Argument:
+  case ValueKind::Instruction: {
+    auto It = FR.Regs.find(V);
+    if (It == FR.Regs.end())
+      return trap("use of undefined value '" + V->getName() + "'");
+    Out = It->second;
+    return true;
+  }
+  }
+  return trap("unknown operand kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Intrinsics
+//===----------------------------------------------------------------------===//
+
+std::string VM::readCString(uint64_t Addr) {
+  std::string Out;
+  while (validRange(Addr, 1)) {
+    char C = static_cast<char>(Mem[Addr]);
+    if (!C)
+      return Out;
+    Out += C;
+    ++Addr;
+    if (Out.size() > 1u << 16)
+      break;
+  }
+  trap("unterminated or invalid C string");
+  return Out;
+}
+
+bool VM::formatPrintf(const std::string &Fmt, const std::vector<Slot> &Args,
+                      const std::vector<const Type *> &ArgTys,
+                      std::string &Out) {
+  size_t ArgIdx = 0;
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    char C = Fmt[I];
+    if (C != '%') {
+      Out += C;
+      continue;
+    }
+    ++I;
+    if (I >= Fmt.size())
+      break;
+    // Skip width/precision digits and 'l' length modifiers.
+    std::string Spec;
+    while (I < Fmt.size() && (std::isdigit((unsigned char)Fmt[I]) ||
+                              Fmt[I] == '.' || Fmt[I] == '-'))
+      Spec += Fmt[I++];
+    bool LongMod = false;
+    while (I < Fmt.size() && Fmt[I] == 'l') {
+      LongMod = true;
+      ++I;
+    }
+    if (I >= Fmt.size())
+      break;
+    char Conv = Fmt[I];
+    if (Conv == '%') {
+      Out += '%';
+      continue;
+    }
+    if (ArgIdx >= Args.size())
+      return trap("printf: too few arguments");
+    Slot A = Args[ArgIdx];
+    const Type *ATy =
+        ArgIdx < ArgTys.size() ? ArgTys[ArgIdx] : nullptr;
+    ++ArgIdx;
+    switch (Conv) {
+    case 'd':
+    case 'i':
+      if (LongMod)
+        Out += formatStr(("%" + Spec + "lld").c_str(), (long long)A.I);
+      else
+        Out += formatStr(("%" + Spec + "d").c_str(), (int)A.I);
+      break;
+    case 'u':
+      Out += formatStr(("%" + Spec + "llu").c_str(),
+                       (unsigned long long)A.I);
+      break;
+    case 'x':
+      Out += formatStr(("%" + Spec + "llx").c_str(),
+                       (unsigned long long)A.I);
+      break;
+    case 'c':
+      Out += static_cast<char>(A.I);
+      break;
+    case 'f':
+    case 'g':
+    case 'e': {
+      double D = (ATy && ATy->isFloatingPoint()) ? A.F : (double)A.I;
+      std::string F(1, Conv);
+      Out += formatStr(("%" + Spec + F).c_str(), D);
+      break;
+    }
+    case 's':
+      Out += readCString(static_cast<uint64_t>(A.I));
+      if (Trapped)
+        return false;
+      break;
+    case 'p':
+      Out += formatStr("0x%llx", (unsigned long long)A.I);
+      break;
+    default:
+      return trap(formatStr("printf: unsupported conversion '%%%c'", Conv));
+    }
+  }
+  return true;
+}
+
+Flow VM::runIntrinsic(const Function *F, const std::vector<Slot> &Args,
+                      const std::vector<const Type *> &ArgTys,
+                      Frame &CallerFrame) {
+  (void)CallerFrame;
+  Flow R;
+  R.Kind = FlowKind::Return;
+  const std::string &Name = F->getName();
+
+  if (Name == "printf") {
+    Cost += 20 + 2 * Args.size();
+    std::string Fmt = readCString(static_cast<uint64_t>(Args[0].I));
+    if (Trapped) {
+      R.Kind = FlowKind::Trap;
+      return R;
+    }
+    std::vector<Slot> Rest(Args.begin() + 1, Args.end());
+    std::vector<const Type *> RestTys(
+        ArgTys.size() > 1 ? std::vector<const Type *>(ArgTys.begin() + 1,
+                                                      ArgTys.end())
+                          : std::vector<const Type *>());
+    std::string Out;
+    if (!formatPrintf(Fmt, Rest, RestTys, Out)) {
+      R.Kind = FlowKind::Trap;
+      return R;
+    }
+    StdoutBuf += Out;
+    R.RetVal.I = static_cast<int64_t>(Out.size());
+    return R;
+  }
+  if (Name == "putchar") {
+    Cost += 3;
+    StdoutBuf += static_cast<char>(Args[0].I);
+    R.RetVal.I = Args[0].I;
+    return R;
+  }
+  if (Name == "puts") {
+    Cost += 10;
+    StdoutBuf += readCString(static_cast<uint64_t>(Args[0].I));
+    StdoutBuf += '\n';
+    R.RetVal.I = 0;
+    if (Trapped)
+      R.Kind = FlowKind::Trap;
+    return R;
+  }
+  if (Name == "strlen") {
+    std::string S = readCString(static_cast<uint64_t>(Args[0].I));
+    Cost += 2 + S.size() / 4;
+    R.RetVal.I = static_cast<int64_t>(S.size());
+    if (Trapped)
+      R.Kind = FlowKind::Trap;
+    return R;
+  }
+  if (Name == "malloc") {
+    Cost += 10;
+    uint64_t Size = (static_cast<uint64_t>(Args[0].I) + 15) & ~15ull;
+    if (HeapPtr + Size > HeapEnd) {
+      trap("out of heap memory");
+      R.Kind = FlowKind::Trap;
+      return R;
+    }
+    R.RetVal.I = static_cast<int64_t>(HeapPtr);
+    HeapPtr += Size;
+    return R;
+  }
+  if (Name == "free") {
+    Cost += 2; // Bump allocator: no-op.
+    return R;
+  }
+  if (Name == "abs") {
+    Cost += 2;
+    int32_t V = static_cast<int32_t>(Args[0].I);
+    R.RetVal.I = V < 0 ? -V : V;
+    return R;
+  }
+  if (Name == "__khaos_throw") {
+    Cost += Opts.Costs.Throw;
+    R.Kind = FlowKind::Exception;
+    R.ExcPayload = Args[0].I;
+    return R;
+  }
+  trap("unknown intrinsic '" + Name + "'");
+  R.Kind = FlowKind::Trap;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Function execution
+//===----------------------------------------------------------------------===//
+
+Flow VM::callTarget(const Function *Callee, const std::vector<Slot> &Args,
+                    const std::vector<const Type *> &ArgTys,
+                    Frame &CallerFrame) {
+  if (Callee->isIntrinsic() || Callee->isDeclaration()) {
+    // setjmp/longjmp are handled by the caller's instruction loop (they
+    // need frame context); everything else is a plain intrinsic.
+    return runIntrinsic(Callee, Args, ArgTys, CallerFrame);
+  }
+  return execFunction(Callee, Args);
+}
+
+Flow VM::execFunction(const Function *F, const std::vector<Slot> &Args) {
+  Flow Bad;
+  Bad.Kind = FlowKind::Trap;
+  if (++CallDepth > Opts.MaxCallDepth) {
+    trap("call depth limit exceeded");
+    --CallDepth;
+    return Bad;
+  }
+
+  Frame FR;
+  FR.StackMark = StackPtr;
+  for (unsigned I = 0, E = F->arg_size(); I != E; ++I)
+    FR.Regs[F->getArg(I)] = I < Args.size() ? Args[I] : Slot{0};
+
+  const BasicBlock *BB = F->getEntryBlock();
+  size_t Idx = 0;
+  int64_t CurrentException = 0;
+
+  auto Leave = [&](Flow R) {
+    StackPtr = FR.StackMark;
+    --CallDepth;
+    return R;
+  };
+
+  while (true) {
+    if (Trapped)
+      return Leave(Bad);
+    if (Idx >= BB->size()) {
+      trap("fell off the end of block '" + BB->getName() + "'");
+      return Leave(Bad);
+    }
+    const Instruction *I = BB->getInst(Idx);
+
+    switch (I->getOpcode()) {
+    case Opcode::Alloca: {
+      if (!charge(Opts.Costs.Alloca))
+        return Leave(Bad);
+      const auto *AI = cast<AllocaInst>(I);
+      uint64_t Size = (AI->getAllocatedType()->getStoreSize() + 7) & ~7ull;
+      if (StackPtr + Size > HeapPtr / 2 + Mem.size() / 4) {
+        trap("stack overflow");
+        return Leave(Bad);
+      }
+      Slot S;
+      S.I = static_cast<int64_t>(StackPtr);
+      // Zero the slot: MiniC relies on deterministic memory for the
+      // semantic-equality oracle.
+      std::memset(Mem.data() + StackPtr, 0, Size);
+      StackPtr += Size;
+      FR.Regs[I] = S;
+      ++Idx;
+      break;
+    }
+    case Opcode::Load: {
+      if (!charge(Opts.Costs.Memory))
+        return Leave(Bad);
+      Slot Ptr, Out;
+      if (!evalOperand(FR, I->getOperand(0), Ptr) ||
+          !loadTyped(static_cast<uint64_t>(Ptr.I), I->getType(), Out))
+        return Leave(Bad);
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::Store: {
+      if (!charge(Opts.Costs.Memory))
+        return Leave(Bad);
+      Slot V, Ptr;
+      if (!evalOperand(FR, I->getOperand(0), V) ||
+          !evalOperand(FR, I->getOperand(1), Ptr) ||
+          !storeTyped(static_cast<uint64_t>(Ptr.I),
+                      I->getOperand(0)->getType(), V))
+        return Leave(Bad);
+      ++Idx;
+      break;
+    }
+    case Opcode::BinOp: {
+      const auto *BO = cast<BinaryInst>(I);
+      uint64_t C = BO->isFloatOp()
+                       ? (BO->getBinOp() == BinOp::FDiv ? Opts.Costs.FPDiv
+                                                        : Opts.Costs.FPOp)
+                       : (BO->isDivRem() ? Opts.Costs.IntDiv
+                                         : Opts.Costs.Simple);
+      if (!charge(C))
+        return Leave(Bad);
+      Slot L, R, Out;
+      if (!evalOperand(FR, BO->getLHS(), L) ||
+          !evalOperand(FR, BO->getRHS(), R))
+        return Leave(Bad);
+      Out.I = 0;
+      switch (BO->getBinOp()) {
+      case BinOp::Add:
+        Out.I = L.I + R.I;
+        break;
+      case BinOp::Sub:
+        Out.I = L.I - R.I;
+        break;
+      case BinOp::Mul:
+        Out.I = L.I * R.I;
+        break;
+      case BinOp::SDiv:
+      case BinOp::SRem: {
+        if (R.I == 0) {
+          trap("integer division by zero");
+          return Leave(Bad);
+        }
+        if (L.I == INT64_MIN && R.I == -1) {
+          trap("integer division overflow");
+          return Leave(Bad);
+        }
+        Out.I = BO->getBinOp() == BinOp::SDiv ? L.I / R.I : L.I % R.I;
+        break;
+      }
+      case BinOp::And:
+        Out.I = L.I & R.I;
+        break;
+      case BinOp::Or:
+        Out.I = L.I | R.I;
+        break;
+      case BinOp::Xor:
+        Out.I = L.I ^ R.I;
+        break;
+      case BinOp::Shl:
+        Out.I = static_cast<int64_t>(static_cast<uint64_t>(L.I)
+                                     << (R.I & 63));
+        break;
+      case BinOp::AShr:
+        Out.I = L.I >> (R.I & 63);
+        break;
+      case BinOp::LShr:
+        Out.I = static_cast<int64_t>(static_cast<uint64_t>(L.I) >>
+                                     (R.I & 63));
+        break;
+      case BinOp::FAdd:
+        Out.F = L.F + R.F;
+        break;
+      case BinOp::FSub:
+        Out.F = L.F - R.F;
+        break;
+      case BinOp::FMul:
+        Out.F = L.F * R.F;
+        break;
+      case BinOp::FDiv:
+        Out.F = L.F / R.F;
+        break;
+      }
+      // Narrow integer results to the type width.
+      Type *Ty = I->getType();
+      if (Ty->isInteger() && Ty->getIntegerBitWidth() < 64) {
+        switch (Ty->getKind()) {
+        case TypeKind::Int1:
+          Out.I &= 1;
+          break;
+        case TypeKind::Int8:
+          Out.I = static_cast<int8_t>(Out.I);
+          break;
+        case TypeKind::Int32:
+          Out.I = static_cast<int32_t>(Out.I);
+          break;
+        default:
+          break;
+        }
+      }
+      if (Ty->getKind() == TypeKind::Float)
+        Out.F = static_cast<float>(Out.F);
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::Cmp: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      const auto *CI = cast<CmpInst>(I);
+      Slot L, R;
+      if (!evalOperand(FR, CI->getLHS(), L) ||
+          !evalOperand(FR, CI->getRHS(), R))
+        return Leave(Bad);
+      bool FP = CI->getLHS()->getType()->isFloatingPoint();
+      bool Res = false;
+      switch (CI->getPredicate()) {
+      case CmpPred::EQ:
+        Res = FP ? L.F == R.F : L.I == R.I;
+        break;
+      case CmpPred::NE:
+        Res = FP ? L.F != R.F : L.I != R.I;
+        break;
+      case CmpPred::SLT:
+        Res = FP ? L.F < R.F : L.I < R.I;
+        break;
+      case CmpPred::SLE:
+        Res = FP ? L.F <= R.F : L.I <= R.I;
+        break;
+      case CmpPred::SGT:
+        Res = FP ? L.F > R.F : L.I > R.I;
+        break;
+      case CmpPred::SGE:
+        Res = FP ? L.F >= R.F : L.I >= R.I;
+        break;
+      }
+      Slot Out;
+      Out.I = Res ? 1 : 0;
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::Cast: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      const auto *CI = cast<CastInst>(I);
+      Slot V, Out;
+      if (!evalOperand(FR, CI->getSource(), V))
+        return Leave(Bad);
+      Out.I = 0;
+      switch (CI->getCastKind()) {
+      case CastKind::Trunc:
+        switch (I->getType()->getKind()) {
+        case TypeKind::Int1:
+          Out.I = V.I & 1;
+          break;
+        case TypeKind::Int8:
+          Out.I = static_cast<int8_t>(V.I);
+          break;
+        case TypeKind::Int32:
+          Out.I = static_cast<int32_t>(V.I);
+          break;
+        default:
+          Out.I = V.I;
+          break;
+        }
+        break;
+      case CastKind::SExt:
+        Out.I = V.I; // Slots already keep the sign-extended value.
+        break;
+      case CastKind::ZExt: {
+        Type *Src = CI->getSource()->getType();
+        uint64_t U = static_cast<uint64_t>(V.I);
+        switch (Src->getKind()) {
+        case TypeKind::Int1:
+          U &= 1;
+          break;
+        case TypeKind::Int8:
+          U &= 0xFF;
+          break;
+        case TypeKind::Int32:
+          U &= 0xFFFFFFFF;
+          break;
+        default:
+          break;
+        }
+        Out.I = static_cast<int64_t>(U);
+        break;
+      }
+      case CastKind::FPToSI:
+        Out.I = static_cast<int64_t>(V.F);
+        if (I->getType()->getKind() == TypeKind::Int32)
+          Out.I = static_cast<int32_t>(Out.I);
+        else if (I->getType()->getKind() == TypeKind::Int8)
+          Out.I = static_cast<int8_t>(Out.I);
+        break;
+      case CastKind::SIToFP:
+        Out.F = static_cast<double>(V.I);
+        if (I->getType()->getKind() == TypeKind::Float)
+          Out.F = static_cast<float>(Out.F);
+        break;
+      case CastKind::FPTrunc:
+        Out.F = static_cast<float>(V.F);
+        break;
+      case CastKind::FPExt:
+        Out.F = V.F;
+        break;
+      case CastKind::Bitcast:
+      case CastKind::PtrToInt:
+      case CastKind::IntToPtr:
+        Out.I = V.I;
+        break;
+      }
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::GEP: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      const auto *G = cast<GEPInst>(I);
+      Slot P, N, Out;
+      if (!evalOperand(FR, G->getPointer(), P) ||
+          !evalOperand(FR, G->getIndex(), N))
+        return Leave(Bad);
+      Out.I = P.I + N.I * static_cast<int64_t>(G->getElementSize());
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::Select: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      Slot C, T, F2;
+      if (!evalOperand(FR, I->getOperand(0), C) ||
+          !evalOperand(FR, I->getOperand(1), T) ||
+          !evalOperand(FR, I->getOperand(2), F2))
+        return Leave(Bad);
+      FR.Regs[I] = (C.I & 1) ? T : F2;
+      ++Idx;
+      break;
+    }
+    case Opcode::LandingPad: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      Slot Out;
+      Out.I = CurrentException;
+      FR.Regs[I] = Out;
+      ++Idx;
+      break;
+    }
+    case Opcode::Call:
+    case Opcode::Invoke: {
+      const auto *CI = cast<CallInst>(I);
+      uint64_t C = Opts.Costs.CallBase;
+      if (CI->isIndirect())
+        C += Opts.Costs.IndirectExtra;
+      if (CI->getNumArgs() > Opts.Costs.RegisterArgs)
+        C += (CI->getNumArgs() - Opts.Costs.RegisterArgs) *
+             Opts.Costs.StackArg;
+      if (!charge(C))
+        return Leave(Bad);
+
+      // Resolve the callee.
+      const Function *Callee = CI->getCalledFunction();
+      if (!Callee) {
+        Slot P;
+        if (!evalOperand(FR, CI->getCallee(), P))
+          return Leave(Bad);
+        auto It = AddrFuncs.find(static_cast<uint64_t>(P.I));
+        if (It == AddrFuncs.end()) {
+          trap(formatStr("indirect call to invalid address 0x%llx",
+                         (unsigned long long)P.I));
+          return Leave(Bad);
+        }
+        Callee = It->second;
+      }
+
+      std::vector<Slot> CallArgs(CI->getNumArgs());
+      std::vector<const Type *> CallArgTys(CI->getNumArgs());
+      for (unsigned A = 0, E = CI->getNumArgs(); A != E; ++A) {
+        if (!evalOperand(FR, CI->getArg(A), CallArgs[A]))
+          return Leave(Bad);
+        CallArgTys[A] = CI->getArg(A)->getType();
+      }
+
+      // setjmp/longjmp need access to this frame.
+      Flow Sub;
+      if (Callee->getName() == "setjmp" && Callee->isIntrinsic()) {
+        Cost += Opts.Costs.SetJmp;
+        uint64_t Token = NextJmpToken++;
+        // Record the resume point and write the token into the buffer.
+        FR.Jumps[Token] = {BB, Idx};
+        Slot TokenSlot;
+        TokenSlot.I = static_cast<int64_t>(Token);
+        if (!storeTyped(static_cast<uint64_t>(CallArgs[0].I),
+                        M.getContext().getInt64Type(), TokenSlot))
+          return Leave(Bad);
+        Sub.Kind = FlowKind::Return;
+        Sub.RetVal.I = 0;
+      } else if (Callee->getName() == "longjmp" && Callee->isIntrinsic()) {
+        Cost += Opts.Costs.LongJmp;
+        Slot TokenSlot;
+        if (!loadTyped(static_cast<uint64_t>(CallArgs[0].I),
+                       M.getContext().getInt64Type(), TokenSlot))
+          return Leave(Bad);
+        Sub.Kind = FlowKind::LongJmp;
+        Sub.JmpToken = static_cast<uint64_t>(TokenSlot.I);
+        Sub.JmpValue = CallArgs[1].I ? CallArgs[1].I : 1;
+      } else {
+        Sub = callTarget(Callee, CallArgs, CallArgTys, FR);
+      }
+
+      switch (Sub.Kind) {
+      case FlowKind::Trap:
+        return Leave(Bad);
+      case FlowKind::Return:
+      case FlowKind::Normal:
+        if (I->getType() && !I->getType()->isVoid())
+          FR.Regs[I] = Sub.RetVal;
+        if (const auto *IV = dyn_cast<InvokeInst>(I)) {
+          BB = IV->getNormalDest();
+          Idx = 0;
+        } else {
+          ++Idx;
+        }
+        break;
+      case FlowKind::Exception:
+        if (const auto *IV = dyn_cast<InvokeInst>(I)) {
+          CurrentException = Sub.ExcPayload;
+          BB = IV->getUnwindDest();
+          Idx = 0;
+          break;
+        }
+        return Leave(Sub); // Propagate through plain calls.
+      case FlowKind::LongJmp: {
+        auto It = FR.Jumps.find(Sub.JmpToken);
+        if (It == FR.Jumps.end())
+          return Leave(Sub); // Propagate to the setjmp frame.
+        // Resume right after the setjmp call with the longjmp value.
+        BB = It->second.first;
+        Idx = It->second.second;
+        const Instruction *SJ = BB->getInst(Idx);
+        Slot RV;
+        RV.I = Sub.JmpValue;
+        FR.Regs[SJ] = RV;
+        ++Idx;
+        break;
+      }
+      }
+      break;
+    }
+    case Opcode::Throw: {
+      if (!charge(Opts.Costs.Throw))
+        return Leave(Bad);
+      Slot P;
+      if (!evalOperand(FR, I->getOperand(0), P))
+        return Leave(Bad);
+      Flow R;
+      R.Kind = FlowKind::Exception;
+      R.ExcPayload = P.I;
+      return Leave(R);
+    }
+    case Opcode::Br: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      const auto *BR = cast<BranchInst>(I);
+      if (BR->isConditional()) {
+        Slot C;
+        if (!evalOperand(FR, BR->getCondition(), C))
+          return Leave(Bad);
+        BB = (C.I & 1) ? BR->getTrueDest() : BR->getFalseDest();
+      } else {
+        BB = BR->getSuccessor(0);
+      }
+      Idx = 0;
+      break;
+    }
+    case Opcode::Switch: {
+      if (!charge(Opts.Costs.Switch))
+        return Leave(Bad);
+      const auto *SW = cast<SwitchInst>(I);
+      Slot C;
+      if (!evalOperand(FR, SW->getCondition(), C))
+        return Leave(Bad);
+      const BasicBlock *Dest = SW->getDefaultDest();
+      for (unsigned K = 0, E = SW->getNumCases(); K != E; ++K)
+        if (SW->getCaseValue(K) == C.I) {
+          Dest = SW->getCaseDest(K);
+          break;
+        }
+      BB = Dest;
+      Idx = 0;
+      break;
+    }
+    case Opcode::Ret: {
+      if (!charge(Opts.Costs.Simple))
+        return Leave(Bad);
+      const auto *RI = cast<ReturnInst>(I);
+      Flow R;
+      R.Kind = FlowKind::Return;
+      if (RI->hasReturnValue() &&
+          !evalOperand(FR, RI->getReturnValue(), R.RetVal))
+        return Leave(Bad);
+      return Leave(R);
+    }
+    case Opcode::Unreachable:
+      trap("reached 'unreachable'");
+      return Leave(Bad);
+    }
+  }
+}
+
+ExecResult VM::run() {
+  ExecResult Res;
+  if (!layoutGlobals()) {
+    Res.Error = TrapMessage;
+    return Res;
+  }
+  const Function *Main = M.getFunction("main");
+  if (!Main || Main->isDeclaration()) {
+    Res.Error = "no main() in module";
+    return Res;
+  }
+  Flow R = execFunction(Main, {});
+  Res.Steps = Steps;
+  Res.Cost = Cost;
+  Res.Stdout = std::move(StdoutBuf);
+  switch (R.Kind) {
+  case FlowKind::Return:
+    Res.Ok = true;
+    Res.ExitValue = R.RetVal.I;
+    break;
+  case FlowKind::Exception:
+    Res.Error = formatStr("uncaught exception (payload %lld)",
+                          (long long)R.ExcPayload);
+    break;
+  case FlowKind::LongJmp:
+    Res.Error = "longjmp without matching setjmp";
+    break;
+  default:
+    Res.Error = TrapMessage.empty() ? "abnormal termination" : TrapMessage;
+    break;
+  }
+  return Res;
+}
+
+ExecResult khaos::runModule(const Module &M, const ExecOptions &Opts) {
+  return VM(M, Opts).run();
+}

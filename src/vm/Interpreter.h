@@ -1,0 +1,56 @@
+//===- vm/Interpreter.h - KIR interpreter -----------------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct interpreter over KIR with a byte-addressed memory, a function
+/// address space with 16-byte alignment (so fusion's tagged pointers behave
+/// exactly as on hardware), VM intrinsics (printf, malloc, ...), simplified
+/// C++ EH (invoke/landingpad/__khaos_throw) and setjmp/longjmp.
+///
+/// The interpreter serves two roles in the reproduction:
+///  1. semantic oracle — obfuscated programs must produce identical stdout
+///     and exit values;
+///  2. performance substrate — dynamic cost under CostModel stands in for
+///     the paper's wall-clock overhead measurements (Figs. 6 and 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_VM_INTERPRETER_H
+#define KHAOS_VM_INTERPRETER_H
+
+#include "vm/CostModel.h"
+
+#include <cstdint>
+#include <string>
+
+namespace khaos {
+
+class Module;
+
+/// Interpreter knobs.
+struct ExecOptions {
+  uint64_t MaxSteps = 200'000'000; ///< Abort runaway programs.
+  uint64_t MemoryBytes = 16u << 20;
+  unsigned MaxCallDepth = 4000;
+  CostModel Costs;
+};
+
+/// Result of one program execution.
+struct ExecResult {
+  bool Ok = false;
+  std::string Error;     ///< Trap description when !Ok.
+  int64_t ExitValue = 0; ///< main's return value.
+  std::string Stdout;    ///< Captured printf/puts/putchar output.
+  uint64_t Steps = 0;    ///< Dynamic instruction count.
+  uint64_t Cost = 0;     ///< Dynamic cost under the cost model.
+};
+
+/// Executes @main() of \p M (which must take no parameters).
+ExecResult runModule(const Module &M, const ExecOptions &Opts = {});
+
+} // namespace khaos
+
+#endif // KHAOS_VM_INTERPRETER_H

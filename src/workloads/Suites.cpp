@@ -1,0 +1,252 @@
+//===- workloads/Suites.cpp - Evaluation test suites -----------------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suites.h"
+
+#include "workloads/SyntheticProgram.h"
+
+using namespace khaos;
+
+namespace {
+
+/// Trait rows for the SPEC stand-ins. FP-heavy, indirect-call-heavy and
+/// EH-using benchmarks follow the real suites (C++ benchmarks get
+/// exceptions; interpreters get indirect calls; solvers get FP).
+struct SpecRow {
+  const char *Name;
+  unsigned Funcs;
+  double Float;
+  double Recursion;
+  bool Indirect;
+  bool EH;
+  unsigned Iters;
+};
+
+const SpecRow Spec2006Rows[] = {
+    {"400.perlbench", 74, 0.05, 0.20, true, false, 18},
+    {"401.bzip2", 44, 0.05, 0.05, false, false, 22},
+    {"403.gcc", 95, 0.02, 0.25, true, false, 15},
+    {"429.mcf", 30, 0.05, 0.10, false, false, 24},
+    {"433.milc", 47, 0.55, 0.02, false, false, 20},
+    {"444.namd", 40, 0.60, 0.02, false, false, 20},
+    {"445.gobmk", 68, 0.02, 0.22, false, false, 16},
+    {"447.dealll", 61, 0.45, 0.08, false, true, 15},
+    {"450.soplex", 51, 0.40, 0.06, false, true, 17},
+    {"453.povray", 57, 0.50, 0.08, true, true, 15},
+    {"456.hmmer", 44, 0.25, 0.04, false, false, 20},
+    {"458.sjeng", 51, 0.02, 0.28, false, false, 18},
+    {"462.libquantum", 27, 0.30, 0.05, false, false, 24},
+    {"464.h264ref", 64, 0.20, 0.04, true, false, 17},
+    {"470.lbm", 23, 0.65, 0.02, false, false, 26},
+    {"471.omnetpp", 57, 0.08, 0.10, true, true, 16},
+    {"473.astar", 34, 0.15, 0.15, false, true, 22},
+    {"482.sphinx3", 47, 0.45, 0.05, false, false, 19},
+    {"483.xalancbmk", 81, 0.03, 0.12, true, true, 14},
+};
+
+const SpecRow Spec2017Rows[] = {
+    {"500.perlbench_r", 78, 0.05, 0.20, true, false, 17},
+    {"502.gcc_r", 98, 0.02, 0.26, true, false, 14},
+    {"505.mcf_r", 30, 0.05, 0.10, false, false, 24},
+    {"508.namd_r", 44, 0.60, 0.02, false, false, 20},
+    {"510.parest_r", 64, 0.50, 0.05, false, true, 15},
+    {"511.povray_r", 57, 0.50, 0.08, true, true, 15},
+    {"519.lbm_r", 23, 0.65, 0.02, false, false, 26},
+    {"520.omnetpp_r", 61, 0.08, 0.10, true, true, 15},
+    {"523.xalancbmk_r", 81, 0.03, 0.12, true, true, 14},
+    {"525.x264_r", 61, 0.25, 0.05, true, false, 17},
+    {"526.blender_r", 88, 0.40, 0.08, true, true, 13},
+    {"531.deepsjeng_r", 47, 0.02, 0.30, false, false, 19},
+    {"538.imagick_r", 68, 0.50, 0.04, false, false, 15},
+    {"541.leela_r", 51, 0.15, 0.20, false, true, 17},
+    {"544.nab_r", 44, 0.55, 0.04, false, false, 19},
+    {"557.xz_r", 40, 0.04, 0.10, false, false, 22},
+    {"600.perlbench_s", 78, 0.05, 0.20, true, false, 17},
+    {"602.gcc_s", 98, 0.02, 0.26, true, false, 14},
+    {"605.mcf_s", 30, 0.05, 0.10, false, false, 24},
+    {"619.lbm_s", 23, 0.65, 0.02, false, false, 26},
+    {"620.omnetpp_s", 61, 0.08, 0.10, true, true, 15},
+    {"623.xalancbmk_s", 81, 0.03, 0.12, true, true, 14},
+    {"625.x264_s", 61, 0.25, 0.05, true, false, 17},
+    {"631.deepsjeng_s", 47, 0.02, 0.30, false, false, 19},
+    {"638.imagick_s", 68, 0.50, 0.04, false, false, 15},
+    {"641.leela_s", 51, 0.15, 0.20, false, true, 17},
+    {"644.nab_s", 44, 0.55, 0.04, false, false, 19},
+    {"657.xz_s", 40, 0.04, 0.10, false, false, 22},
+};
+
+Workload buildSpec(const SpecRow &Row, uint64_t SeedSalt) {
+  ProgramSpec S;
+  S.Name = Row.Name;
+  S.NumFunctions = Row.Funcs;
+  S.FloatRatio = Row.Float;
+  S.RecursionRatio = Row.Recursion;
+  S.UseIndirectCalls = Row.Indirect;
+  S.UseExceptions = Row.EH;
+  S.UseSetjmp = false;
+  S.MainIterations = Row.Iters;
+  S.Seed = SeedSalt;
+  Workload W;
+  W.Name = Row.Name;
+  W.Source = generateMiniCProgram(S);
+  return W;
+}
+
+/// The 108 programs of CoreUtils 8.32.
+const char *CoreUtilsNames[] = {
+    "arch",      "b2sum",     "base32",    "base64",    "basename",
+    "basenc",    "cat",       "chcon",     "chgrp",     "chmod",
+    "chown",     "chroot",    "cksum",     "comm",      "cp",
+    "csplit",    "cut",       "date",      "dd",        "df",
+    "dir",       "dircolors", "dirname",   "du",        "echo",
+    "env",       "expand",    "expr",      "factor",    "false",
+    "fmt",       "fold",      "groups",    "head",      "hostid",
+    "id",        "install",   "join",      "kill",      "link",
+    "ln",        "logname",   "ls",        "md5sum",    "mkdir",
+    "mkfifo",    "mknod",     "mktemp",    "mv",        "nice",
+    "nl",        "nohup",     "nproc",     "numfmt",    "od",
+    "paste",     "pathchk",   "pinky",     "pr",        "printenv",
+    "printf",    "ptx",       "pwd",       "readlink",  "realpath",
+    "rm",        "rmdir",     "runcon",    "seq",       "sha1sum",
+    "sha224sum", "sha256sum", "sha384sum", "sha512sum", "shred",
+    "shuf",      "sleep",     "sort",      "split",     "stat",
+    "stdbuf",    "stty",      "sum",       "sync",      "tac",
+    "tail",      "tee",       "test",      "timeout",   "touch",
+    "tr",        "true",      "truncate",  "tsort",     "tty",
+    "uname",     "unexpand",  "uniq",      "unlink",    "uptime",
+    "users",     "vdir",      "wc",        "who",       "whoami",
+    "yes",       "[",         "numsum",
+};
+
+} // namespace
+
+std::vector<Workload> khaos::specCpu2006Suite() {
+  std::vector<Workload> Out;
+  for (const SpecRow &Row : Spec2006Rows)
+    Out.push_back(buildSpec(Row, 2006));
+  return Out;
+}
+
+std::vector<Workload> khaos::specCpu2017Suite() {
+  std::vector<Workload> Out;
+  for (const SpecRow &Row : Spec2017Rows)
+    Out.push_back(buildSpec(Row, 2017));
+  return Out;
+}
+
+std::vector<Workload> khaos::coreUtilsSuite() {
+  std::vector<Workload> Out;
+  unsigned Idx = 0;
+  for (const char *Name : CoreUtilsNames) {
+    ProgramSpec S;
+    S.Name = std::string("coreutils.") + (Name[0] == '[' ? "bracket"
+                                                         : Name);
+    S.NumFunctions = 8 + (Idx % 7);
+    S.FloatRatio = (Idx % 9 == 3) ? 0.2 : 0.0;
+    S.RecursionRatio = 0.08;
+    S.UseIndirectCalls = Idx % 4 == 1;
+    S.UseExceptions = false;
+    S.UseSetjmp = Idx % 17 == 5; // A few use error-recovery longjmps.
+    S.MainIterations = 18;
+    S.Seed = 832 + Idx;
+    Workload W;
+    W.Name = S.Name;
+    W.Source = generateMiniCProgram(S);
+    Out.push_back(std::move(W));
+    ++Idx;
+  }
+  return Out;
+}
+
+std::vector<Workload> khaos::vulnerableSuite() {
+  struct VulnRow {
+    const char *Package;
+    unsigned Funcs;
+    double Float;
+    bool Indirect;
+    bool EH;
+    std::vector<std::pair<const char *, const char *>> Vulns;
+  };
+  const VulnRow Rows[] = {
+      {"jerryscript",
+       240,
+       0.05,
+       true,
+       false,
+       {{"opfunc_spread_arguments", "CVE-2020-13991"}}},
+      {"quickjs",
+       260,
+       0.05,
+       true,
+       false,
+       {{"compute_stack_size_rec", "CVE-2020-22876"}}},
+      {"busybox-1.33.1",
+       270,
+       0.02,
+       true,
+       false,
+       {{"getvar_s", "CVE-2021-42382"},
+        {"handle_special", "CVE-2021-42384"}}},
+      {"openssl-1.1.1",
+       290,
+       0.10,
+       true,
+       false,
+       {{"init_sig_algs", "CVE-2021-3449"},
+        {"EC_GROUP_set_generator", "CVE-2019-1547"}}},
+      {"libcurl-7.34.0",
+       280,
+       0.04,
+       true,
+       false,
+       {{"suboption", "CVE-2021-22925"},
+        {"init_wc_data", "CVE-2020-8285"},
+        {"conn_is_conn", "CVE-2020-8231"},
+        {"tftp_connect", "CVE-2019-5482"},
+        {"ftp_state_list", "CVE-2018-1000120"},
+        {"alloc_addbyter", "CVE-2016-8618"},
+        {"Curl_cookie_getlist", "CVE-2016-8623"},
+        {"ConnectionExists", "CVE-2016-8616"}}},
+  };
+
+  std::vector<Workload> Out;
+  uint64_t Salt = 3;
+  for (const VulnRow &Row : Rows) {
+    ProgramSpec S;
+    S.Name = Row.Package;
+    S.NumFunctions = Row.Funcs;
+    S.FloatRatio = Row.Float;
+    S.RecursionRatio = 0.12;
+    S.UseIndirectCalls = Row.Indirect;
+    S.UseExceptions = Row.EH;
+    S.MainIterations = 10;
+    S.Seed = 7000 + Salt++;
+    for (const auto &[Fn, CVE] : Row.Vulns)
+      S.NamedFunctions.push_back(Fn);
+    Workload W;
+    W.Name = Row.Package;
+    W.Source = generateMiniCProgram(S);
+    for (const auto &[Fn, CVE] : Row.Vulns) {
+      W.VulnFunctions.push_back(Fn);
+      W.VulnCVEs.push_back(CVE);
+    }
+    Out.push_back(std::move(W));
+  }
+  return Out;
+}
+
+std::vector<Workload> khaos::deepBinDiffSubset() {
+  // Small programs only, mirroring the paper's <40k-line restriction.
+  std::vector<Workload> Out;
+  for (Workload &W : specCpu2006Suite())
+    if (W.Name == "429.mcf" || W.Name == "470.lbm" ||
+        W.Name == "462.libquantum")
+      Out.push_back(std::move(W));
+  std::vector<Workload> CU = coreUtilsSuite();
+  for (size_t I = 0; I < CU.size() && Out.size() < 12; I += 12)
+    Out.push_back(std::move(CU[I]));
+  return Out;
+}

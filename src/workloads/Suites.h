@@ -1,0 +1,52 @@
+//===- workloads/Suites.h - Evaluation test suites --------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's three test suites (§4, "Test Suites"):
+///  T-I : all C/C++ SPEC CPU 2006 & 2017 benchmarks (one synthetic stand-in
+///        per benchmark name, traits matching the real workload's flavour),
+///  T-II: the 108 CoreUtils 8.32 programs,
+///  T-III: five embedded packages containing the CVE functions of Table 3
+///        (JerryScript, QuickJS, BusyBox, OpenSSL, libcurl).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_WORKLOADS_SUITES_H
+#define KHAOS_WORKLOADS_SUITES_H
+
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// One workload: a named MiniC program plus its vulnerable functions (only
+/// populated in T-III).
+struct Workload {
+  std::string Name;
+  std::string Source;
+  std::vector<std::string> VulnFunctions;
+  std::vector<std::string> VulnCVEs; ///< Parallel to VulnFunctions.
+};
+
+/// T-I part 1: the 19 SPEC CPU 2006 C/C++ benchmarks.
+std::vector<Workload> specCpu2006Suite();
+
+/// T-I part 2: the 28 SPEC CPU 2017 C/C++ benchmarks.
+std::vector<Workload> specCpu2017Suite();
+
+/// T-II: 108 CoreUtils-like programs.
+std::vector<Workload> coreUtilsSuite();
+
+/// T-III: the five vulnerable packages of Table 3.
+std::vector<Workload> vulnerableSuite();
+
+/// The paper reduces DeepBinDiff's input to programs under 40k lines; this
+/// returns the small subset of T-I + T-II used for that tool.
+std::vector<Workload> deepBinDiffSubset();
+
+} // namespace khaos
+
+#endif // KHAOS_WORKLOADS_SUITES_H

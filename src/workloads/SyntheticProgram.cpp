@@ -1,0 +1,533 @@
+//===- workloads/SyntheticProgram.cpp - MiniC program synthesis ------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SyntheticProgram.h"
+
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace khaos;
+
+namespace {
+
+/// Builds one program. All emitted arithmetic is trap-free: divisions are
+/// guarded with `| 1`, shifts masked, array indices masked to power-of-two
+/// sizes, recursion depth bounded by construction.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(const ProgramSpec &Spec)
+      : Spec(Spec), Rng(RNG::fromName(Spec.Name, Spec.Seed)) {}
+
+  std::string run();
+
+private:
+  struct FnInfo {
+    std::string Name;
+    unsigned NumIntParams = 2;
+    bool IsFP = false;        ///< double-returning flavour.
+    bool IsRecursive = false;
+    bool MayThrow = false;
+    bool IsBinOp = false; ///< (int,int)->int family for pointer tables.
+  };
+
+  // Source emission helpers.
+  void line(const std::string &S) {
+    Out.append(IndentLevel * 2, ' ');
+    Out += S;
+    Out += '\n';
+  }
+  void open(const std::string &S) {
+    line(S + " {");
+    ++IndentLevel;
+  }
+  void close() {
+    --IndentLevel;
+    line("}");
+  }
+
+  // Expression generation.
+  /// Call layer of a function index: 0 = leaf, 2 = top.
+  unsigned layerOf(size_t Index) const {
+    size_t N = std::max<size_t>(Fns.size(), 1);
+    return static_cast<unsigned>(Index * 3 / N);
+  }
+
+  /// A local that is safe to mutate (never a frozen control variable).
+  std::string pickAssignable() {
+    for (int Tries = 0; Tries != 6; ++Tries) {
+      const std::string &V = Rng.pick(IntVars);
+      if (!Frozen.count(V))
+        return V;
+    }
+    return "acc";
+  }
+
+  std::string intLeaf();
+  std::string intExpr(unsigned Depth);
+  std::string fpExpr(unsigned Depth);
+  std::string intCall(size_t MaxCallee);
+
+  // Statement generation.
+  void emitStatements(const FnInfo &F, unsigned Budget, unsigned LoopDepth);
+  void emitFunction(size_t Index);
+  void emitMain();
+
+  const ProgramSpec &Spec;
+  RNG Rng;
+  std::string Out;
+  int IndentLevel = 0;
+
+  std::vector<FnInfo> Fns;
+  size_t CurIndex = 0;
+  std::vector<std::string> IntVars; ///< In-scope int locals of current fn.
+  std::vector<std::string> FPVars;
+  /// Variables that must never be assignment targets: the recursion depth
+  /// parameter and active loop counters (termination depends on them).
+  std::set<std::string> Frozen;
+  unsigned VarCounter = 0;
+  unsigned LoopCounter = 0;
+  unsigned CurLoopDepth = 0;
+};
+
+} // namespace
+
+std::string ProgramBuilder::intLeaf() {
+  switch (Rng.nextBelow(5)) {
+  case 0:
+  case 1:
+    return Rng.pick(IntVars);
+  case 2:
+    // Function-distinctive constants (real code is full of them).
+    return std::to_string(Rng.nextRange(17, 19993));
+  case 3:
+    return "g_state";
+  default:
+    return formatStr("g_table[%s & 31]", Rng.pick(IntVars).c_str());
+  }
+}
+
+std::string ProgramBuilder::intCall(size_t MaxCallee) {
+  // Layered call discipline: a function may only call functions in a
+  // strictly lower layer. This keeps the dynamic call tree polynomial —
+  // an unrestricted acyclic call DAG explodes exponentially.
+  unsigned MyLayer = layerOf(MaxCallee);
+  bool AmRecursive = MaxCallee < Fns.size() && Fns[MaxCallee].IsRecursive;
+  std::vector<size_t> Candidates;
+  for (size_t I = 0; I < MaxCallee; ++I) {
+    if (Fns[I].IsFP || Fns[I].MayThrow) // Throwers only inside try.
+      continue;
+    if (layerOf(I) >= MyLayer)
+      continue;
+    if (AmRecursive && Fns[I].IsRecursive)
+      continue; // Recursion must not stack multiplicatively.
+    Candidates.push_back(I);
+  }
+  if (Candidates.empty())
+    return intLeaf();
+  const FnInfo &Callee = Fns[Candidates[Rng.nextBelow(Candidates.size())]];
+  std::vector<std::string> Args;
+  for (unsigned I = 0; I != Callee.NumIntParams; ++I)
+    Args.push_back(formatStr("(%s & 63)", intLeaf().c_str()));
+  if (Callee.IsRecursive)
+    Args[0] = std::to_string(Rng.nextRange(2, 5)); // Bounded depth.
+  return Callee.Name + "(" + join(Args, ", ") + ")";
+}
+
+std::string ProgramBuilder::intExpr(unsigned Depth) {
+  if (Depth == 0 || Rng.nextBool(0.3))
+    return intLeaf();
+  static const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+  switch (Rng.nextBelow(8)) {
+  case 0:
+    return formatStr("(%s %s %s)", intExpr(Depth - 1).c_str(),
+                     Ops[Rng.nextBelow(6)], intExpr(Depth - 1).c_str());
+  case 1:
+    return formatStr("(%s >> %d)", intExpr(Depth - 1).c_str(),
+                     (int)Rng.nextRange(1, 5));
+  case 2:
+    return formatStr("(%s << %d)", intExpr(Depth - 1).c_str(),
+                     (int)Rng.nextRange(1, 3));
+  case 3:
+    return formatStr("(%s / ((%s & 7) | 1))", intExpr(Depth - 1).c_str(),
+                     intLeaf().c_str());
+  case 4:
+    return formatStr("(%s %% ((%s & 15) | 1))", intExpr(Depth - 1).c_str(),
+                     intLeaf().c_str());
+  case 5:
+    return formatStr("(%s > %s ? %s : %s)", intLeaf().c_str(),
+                     intLeaf().c_str(), intExpr(Depth - 1).c_str(),
+                     intLeaf().c_str());
+  case 6:
+    if (CurIndex > 0 && CurLoopDepth <= 1 && Rng.nextBool(0.45))
+      return intCall(CurIndex);
+    return intLeaf();
+  default:
+    return formatStr("(%s %s %s)", intExpr(Depth - 1).c_str(),
+                     Ops[Rng.nextBelow(6)], intLeaf().c_str());
+  }
+}
+
+std::string ProgramBuilder::fpExpr(unsigned Depth) {
+  if (FPVars.empty() || Depth == 0)
+    return formatStr("%d.%d", (int)Rng.nextRange(0, 9),
+                     (int)Rng.nextRange(1, 99));
+  static const char *Ops[] = {"+", "-", "*"};
+  switch (Rng.nextBelow(4)) {
+  case 0:
+    return Rng.pick(FPVars);
+  case 1:
+    return formatStr("(%s %s %s)", fpExpr(Depth - 1).c_str(),
+                     Ops[Rng.nextBelow(3)], fpExpr(Depth - 1).c_str());
+  case 2:
+    return formatStr("(%s / (%s + 1.5))", fpExpr(Depth - 1).c_str(),
+                     Rng.pick(FPVars).c_str());
+  default:
+    return formatStr("((double)(%s & 255))", intLeaf().c_str());
+  }
+}
+
+void ProgramBuilder::emitStatements(const FnInfo &F, unsigned Budget,
+                                    unsigned LoopDepth) {
+  while (Budget > 0) {
+    --Budget;
+    unsigned Kind = Rng.nextBelow(10);
+    switch (Kind) {
+    case 0: { // New local.
+      std::string V = formatStr("v%u", VarCounter++);
+      line(formatStr("int %s = %s;", V.c_str(), intExpr(2).c_str()));
+      IntVars.push_back(V);
+      break;
+    }
+    case 1: // Assignment.
+      line(formatStr("%s = %s;", pickAssignable().c_str(),
+                     intExpr(2).c_str()));
+      break;
+    case 2: { // If/else with cold branch.
+      size_t Mark = IntVars.size(), FMark = FPVars.size();
+      open(formatStr("if (%s > %d)", Rng.pick(IntVars).c_str(),
+                     (int)Rng.nextRange(5, 60)));
+      emitStatements(F, 2, LoopDepth);
+      close();
+      IntVars.resize(Mark);
+      FPVars.resize(FMark);
+      if (Rng.nextBool(0.5)) {
+        open("else");
+        emitStatements(F, 1, LoopDepth);
+        close();
+        IntVars.resize(Mark);
+        FPVars.resize(FMark);
+      }
+      break;
+    }
+    case 3: { // Counted loop (hot region).
+      if (LoopDepth >= Spec.MaxLoopDepth)
+        break;
+      size_t Mark = IntVars.size(), FMark = FPVars.size();
+      std::string I = formatStr("i%u", LoopCounter++);
+      open(formatStr("for (int %s = 0; %s < %d; %s++)", I.c_str(),
+                     I.c_str(),
+                     (int)(LoopDepth == 0 ? Rng.nextRange(4, 12)
+                                          : Rng.nextRange(3, 6)),
+                     I.c_str()));
+      IntVars.push_back(I);
+      Frozen.insert(I);
+      ++CurLoopDepth;
+      emitStatements(F, 2, LoopDepth + 1);
+      --CurLoopDepth;
+      close();
+      Frozen.erase(I);
+      IntVars.resize(Mark);
+      FPVars.resize(FMark);
+      break;
+    }
+    case 4: // Global table update.
+      line(formatStr("g_table[%s & 31] = %s;",
+                     Rng.pick(IntVars).c_str(), intExpr(1).c_str()));
+      break;
+    case 5: { // Switch.
+      std::string V = pickAssignable();
+      open(formatStr("switch (%s & 3)", V.c_str()));
+      for (int C = 0; C != 3; ++C) {
+        line(formatStr("case %d:", C));
+        ++IndentLevel;
+        line(formatStr("%s = %s; break;", V.c_str(),
+                       intExpr(1).c_str()));
+        --IndentLevel;
+      }
+      line("default:");
+      ++IndentLevel;
+      line(formatStr("%s = %s ^ %d; break;", V.c_str(), V.c_str(),
+                     (int)Rng.nextRange(1, 255)));
+      --IndentLevel;
+      close();
+      break;
+    }
+    case 6: // FP statement in FP functions.
+      if (F.IsFP && !FPVars.empty()) {
+        line(formatStr("%s = %s;", Rng.pick(FPVars).c_str(),
+                       fpExpr(2).c_str()));
+      } else {
+        line(formatStr("g_state = g_state + (%s & 255);",
+                       Rng.pick(IntVars).c_str()));
+      }
+      break;
+    case 7: { // try/catch around a throwing call.
+      if (!Spec.UseExceptions || CurIndex == 0)
+        break;
+      std::vector<size_t> Throwers;
+      for (size_t I = 0; I < CurIndex; ++I)
+        if (Fns[I].MayThrow)
+          Throwers.push_back(I);
+      if (Throwers.empty())
+        break;
+      const FnInfo &T = Fns[Throwers[Rng.nextBelow(Throwers.size())]];
+      std::string V = pickAssignable();
+      open("try");
+      std::vector<std::string> Args;
+      for (unsigned I = 0; I != T.NumIntParams; ++I)
+        Args.push_back(formatStr("(%s & 63)", intLeaf().c_str()));
+      line(formatStr("%s += %s(%s);", V.c_str(), T.Name.c_str(),
+                     join(Args, ", ").c_str()));
+      close();
+      open("catch (int ex)");
+      line(formatStr("%s += ex & 31;", V.c_str()));
+      close();
+      break;
+    }
+    case 8: // Local array round trip.
+      line(formatStr("buf[%s & 15] = %s;", Rng.pick(IntVars).c_str(),
+                     intExpr(1).c_str()));
+      line(formatStr("%s += buf[%s & 15];", pickAssignable().c_str(),
+                     Rng.pick(IntVars).c_str()));
+      break;
+    default: // Plain accumulate (most common filler).
+      line(formatStr("%s += %s;", pickAssignable().c_str(),
+                     intExpr(2).c_str()));
+      break;
+    }
+  }
+}
+
+void ProgramBuilder::emitFunction(size_t Index) {
+  CurIndex = Index;
+  FnInfo &F = Fns[Index];
+  IntVars.clear();
+  FPVars.clear();
+  Frozen.clear();
+  VarCounter = 0;
+  if (F.IsRecursive)
+    Frozen.insert("p0");
+
+  std::vector<std::string> Params;
+  for (unsigned I = 0; I != F.NumIntParams; ++I) {
+    std::string P = formatStr("p%u", I);
+    Params.push_back("int " + P);
+    IntVars.push_back(P);
+  }
+  const char *Ret = F.IsFP ? "double" : "int";
+  // Named (CVE) functions model exported library symbols: they survive
+  // LTO and get trampolines under fusion, exactly like the real packages.
+  bool Exported = Index < Spec.NamedFunctions.size();
+  open(formatStr("%s%s %s(%s)", Exported ? "__export " : "", Ret,
+                 F.Name.c_str(), join(Params, ", ").c_str()));
+
+  if (F.IsRecursive) {
+    // p0 is the depth; bounded by construction at every call site.
+    line("if (p0 <= 0) return " +
+         std::string(F.IsFP ? "1.0;" : "1;"));
+  }
+  if (F.MayThrow)
+    line(formatStr("if (p0 == %d) throw p0 + %d;",
+                   (int)Rng.nextRange(50, 63), (int)Rng.nextRange(1, 9)));
+
+  line("int buf[16];");
+  line(formatStr("int acc = p0 * %d;", (int)Rng.nextRange(1, 9)));
+  // A distinctive constant fingerprint: real functions carry unique
+  // magic numbers, table sizes and offsets that diffing tools key on.
+  for (int K = 0, E = 2 + (int)Rng.nextBelow(3); K != E; ++K)
+    line(formatStr("acc = acc ^ %d;", (int)Rng.nextRange(1000, 999983)));
+  IntVars.push_back("acc");
+  if (F.IsFP) {
+    line("double facc = (double)p0 * 0.5;");
+    FPVars.push_back("facc");
+  }
+
+  emitStatements(F, 2 + Rng.nextBelow(12), 0);
+
+  if (F.IsRecursive) {
+    std::vector<std::string> SelfArgs = {"p0 - 1"};
+    for (unsigned I = 1; I != F.NumIntParams; ++I)
+      SelfArgs.push_back(formatStr("(acc + %u) & 31", I));
+    line(formatStr("acc += %s(%s);", F.Name.c_str(),
+                   join(SelfArgs, ", ").c_str()));
+  }
+
+  line("g_check += acc;");
+  if (F.IsFP)
+    line("return facc + (double)(acc & 1023);");
+  else
+    line("return acc;");
+  close();
+  Out += "\n";
+}
+
+void ProgramBuilder::emitMain() {
+  CurIndex = Fns.size();
+  IntVars = {"iter", "x"};
+  open("int main()");
+  line("long total = 0;");
+  line("int x = 7;");
+
+  // Function-pointer table dispatch (exercises fusion's tagged pointers).
+  bool HasTable = false;
+  if (Spec.UseIndirectCalls) {
+    unsigned BinOps = 0;
+    for (const FnInfo &F : Fns)
+      if (F.IsBinOp)
+        ++BinOps;
+    HasTable = BinOps >= 2;
+  }
+
+  open(formatStr("for (int iter = 0; iter < %u; iter++)",
+                 Spec.MainIterations));
+  // Call every top-layer function (they transitively keep the lower
+  // layers alive through LTO-style dead code elimination), capped to
+  // bound the workload.
+  std::vector<size_t> Tops;
+  for (size_t I = 0; I != Fns.size(); ++I)
+    if (!Fns[I].IsBinOp && layerOf(I) == 2)
+      Tops.push_back(I);
+  if (Tops.size() > 14)
+    Tops.resize(14);
+  // Named (CVE) functions must stay reachable regardless of their layer.
+  for (size_t I = 0;
+       I != Fns.size() && I < Spec.NamedFunctions.size(); ++I)
+    if (std::find(Tops.begin(), Tops.end(), I) == Tops.end())
+      Tops.push_back(I);
+  for (size_t TI : Tops) {
+    const FnInfo &F = Fns[TI];
+    std::vector<std::string> Args;
+    for (unsigned I = 0; I != F.NumIntParams; ++I)
+      Args.push_back(formatStr("((iter * %d + %d) & 63)",
+                               (int)Rng.nextRange(1, 5),
+                               (int)Rng.nextRange(0, 31)));
+    if (F.IsRecursive)
+      Args[0] = std::to_string(Rng.nextRange(3, 6));
+    if (F.MayThrow) {
+      open("try");
+      line(formatStr("total += (long)%s(%s);", F.Name.c_str(),
+                     join(Args, ", ").c_str()));
+      close();
+      open("catch (int e)");
+      line("total += e;");
+      close();
+    } else if (F.IsFP) {
+      line(formatStr("total += (long)%s(%s);", F.Name.c_str(),
+                     join(Args, ", ").c_str()));
+    } else {
+      line(formatStr("total += %s(%s);", F.Name.c_str(),
+                     join(Args, ", ").c_str()));
+    }
+  }
+  if (HasTable)
+    line("x = op_table[iter & 3](x & 1023, iter & 63);");
+  close(); // for
+
+  if (Spec.UseSetjmp) {
+    line("int jr = setjmp(g_jb);");
+    open("if (jr == 0)");
+    line("deep_jump(6);");
+    close();
+    line("total += jr;");
+  }
+
+  line("total += g_check + g_state + x;");
+  line("printf(\"%ld\\n\", total);");
+  line("return (int)(total & 127L);");
+  close();
+}
+
+std::string ProgramBuilder::run() {
+  // Globals.
+  line(formatStr("// %s — synthetic workload (deterministic, seed %llu)",
+                 Spec.Name.c_str(), (unsigned long long)Spec.Seed));
+  line("long g_check = 0;");
+  line("int g_state = 1;");
+  line("int g_table[32];");
+  if (Spec.UseSetjmp)
+    line("long g_jb[8];");
+  Out += "\n";
+
+  // Plan the functions.
+  unsigned N = std::max(3u, Spec.NumFunctions);
+  for (unsigned I = 0; I != N; ++I) {
+    FnInfo F;
+    if (I < Spec.NamedFunctions.size())
+      F.Name = Spec.NamedFunctions[I];
+    else
+      F.Name = formatStr("fn_%s_%u",
+                         std::to_string(Spec.Seed % 97).c_str(), I);
+    F.NumIntParams = 1 + Rng.nextBelow(3);
+    F.IsFP = Rng.nextBool(Spec.FloatRatio);
+    F.IsRecursive = !F.IsFP && Rng.nextBool(Spec.RecursionRatio);
+    F.MayThrow = Spec.UseExceptions && !F.IsFP && Rng.nextBool(0.15);
+    Fns.push_back(F);
+  }
+  // A binop family for the function-pointer table.
+  if (Spec.UseIndirectCalls) {
+    for (unsigned K = 0; K != 4; ++K) {
+      FnInfo F;
+      F.Name = formatStr("op_%u", K);
+      F.NumIntParams = 2;
+      F.IsBinOp = true;
+      Fns.push_back(F);
+    }
+  }
+
+  // Emit binop family first (simple, one block — fission-unprocessed).
+  for (size_t I = 0; I != Fns.size(); ++I) {
+    if (!Fns[I].IsBinOp)
+      continue;
+    static const char *Ops[] = {"+", "-", "^", "*"};
+    open(formatStr("int %s(int a, int b)", Fns[I].Name.c_str()));
+    line(formatStr("return (a %s b) + %d;",
+                   Ops[Rng.nextBelow(4)], (int)Rng.nextRange(0, 9)));
+    close();
+    Out += "\n";
+  }
+  if (Spec.UseIndirectCalls) {
+    std::vector<std::string> Names;
+    for (const FnInfo &F : Fns)
+      if (F.IsBinOp)
+        Names.push_back(F.Name);
+    if (Names.size() >= 4)
+      line(formatStr("int (*op_table[4])(int, int) = {%s};",
+                     join(Names, ", ").c_str()));
+    Out += "\n";
+  }
+
+  if (Spec.UseSetjmp) {
+    open("void deep_jump(int d)");
+    line("if (d <= 0) longjmp(g_jb, 5);");
+    line("deep_jump(d - 1);");
+    close();
+    Out += "\n";
+  }
+
+  for (size_t I = 0; I != Fns.size(); ++I)
+    if (!Fns[I].IsBinOp)
+      emitFunction(I);
+
+  emitMain();
+  return Out;
+}
+
+std::string khaos::generateMiniCProgram(const ProgramSpec &Spec) {
+  return ProgramBuilder(Spec).run();
+}

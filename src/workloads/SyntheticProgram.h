@@ -1,0 +1,48 @@
+//===- workloads/SyntheticProgram.h - MiniC program synthesis ---*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of runnable MiniC programs. Each benchmark name
+/// seeds a generator whose knobs (function count, FP mix, recursion,
+/// indirect calls, EH, loop nesting) model the character of the real
+/// workload it stands in for. All generated programs terminate, never
+/// trap (guarded division, masked indexing, bounded recursion) and print
+/// a checksum so the VM can compare behaviour across obfuscations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_WORKLOADS_SYNTHETICPROGRAM_H
+#define KHAOS_WORKLOADS_SYNTHETICPROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Shape parameters of one synthetic program.
+struct ProgramSpec {
+  std::string Name;
+  unsigned NumFunctions = 20;
+  double FloatRatio = 0.2;     ///< Fraction of FP-flavoured functions.
+  double RecursionRatio = 0.1; ///< Fraction of self-recursive functions.
+  bool UseIndirectCalls = true;
+  bool UseExceptions = false;
+  bool UseSetjmp = false;
+  unsigned MaxLoopDepth = 2;
+  unsigned MainIterations = 40; ///< Outer workload loop in main().
+  uint64_t Seed = 1;
+  /// Function names that must exist with substantial bodies (the CVE
+  /// functions of the paper's Table 3).
+  std::vector<std::string> NamedFunctions;
+};
+
+/// Generates the MiniC source for \p Spec.
+std::string generateMiniCProgram(const ProgramSpec &Spec);
+
+} // namespace khaos
+
+#endif // KHAOS_WORKLOADS_SYNTHETICPROGRAM_H

@@ -1,0 +1,113 @@
+//===- tests/LateAdditionsTest.cpp - LICM + CFG export --------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+#include "ir/CFGExport.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "transform/Pass.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace khaos;
+
+namespace {
+
+const char *HoistableLoop = R"(
+int scale = 7;
+int work(int n, int k) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    int invariant = k * 13 + 5;   // Loop-invariant computation.
+    s += invariant + i;
+  }
+  return s;
+}
+int main() { return work(10, 3) & 255; }
+)";
+
+TEST(LICM, HoistsInvariantOutOfLoop) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(HoistableLoop, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  // Promote memory traffic first so the invariant arithmetic is visible
+  // as pure instructions, then run LICM.
+  PassManager PM(/*VerifyEach=*/true);
+  PM.add(createLoadForwardingPass());
+  PM.add(createLICMPass());
+  PM.run(*M);
+  EXPECT_TRUE(PM.getVerifyError().empty()) << PM.getVerifyError();
+
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, ((3 * 13 + 5) * 10 + 45) & 255);
+}
+
+TEST(LICM, O3BehaviourMatchesO0) {
+  Context Ctx, Ctx2;
+  std::string Error;
+  auto A = compileMiniC(HoistableLoop, Ctx, "a", Error);
+  auto B = compileMiniC(HoistableLoop, Ctx2, "b", Error);
+  ASSERT_TRUE(A && B);
+  optimizeModule(*B, OptLevel::O3);
+  EXPECT_TRUE(verifyModule(*B).empty());
+  ExecResult RA = runModule(*A);
+  ExecResult RB = runModule(*B);
+  ASSERT_TRUE(RA.Ok && RB.Ok);
+  EXPECT_EQ(RA.ExitValue, RB.ExitValue);
+  EXPECT_LE(RB.Cost, RA.Cost); // O3 must not be slower here.
+}
+
+TEST(LICM, LeavesDivisionInPlace) {
+  const char *Src = R"(
+int work(int n, int d) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    if (i > 100) s += 1000 / d;  // Division must not be hoisted: d may
+    s += i;                      // be zero on the never-taken path.
+  }
+  return s;
+}
+int main() { return work(5, 0); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  PassManager PM;
+  PM.add(createLICMPass());
+  PM.run(*M);
+  // d == 0 but the division never executes: hoisting it would trap.
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 10);
+}
+
+TEST(CFGExport, EmitsDotStructure) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(HoistableLoop, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  Function *F = M->getFunction("work");
+  ASSERT_TRUE(F);
+  std::string Dot = exportCFG(*F);
+  EXPECT_NE(Dot.find("digraph \"work\""), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_NE(Dot.find("fillcolor=lightgrey"), std::string::npos); // Entry.
+}
+
+TEST(CFGExport, CallGraphListsEdges) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(HoistableLoop, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  std::string Dot = exportCallGraph(*M);
+  EXPECT_NE(Dot.find("\"main\" -> \"work\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,534 @@
+//===- tests/ObfuscationTest.cpp - Khaos + baselines correctness ------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of every obfuscation: same stdout, same exit value, green
+/// verifier. Parameterized sweeps run (program × mode); targeted tests pin
+/// down the individual mechanisms (region identification, exit encoding,
+/// parameter compression, tagged pointers, trampolines, deep fusion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "obfuscation/KhaosDriver.h"
+#include "obfuscation/OLLVM.h"
+#include "support/StringUtils.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace khaos;
+
+namespace {
+
+struct Program {
+  const char *Name;
+  const char *Source;
+};
+
+const Program TestPrograms[] = {
+    {"branchy", R"(
+int classify(int x) {
+  int r = 0;
+  if (x < 0) { r = -1; if (x < -100) r = -2; }
+  else if (x == 0) r = 7;
+  else { r = 1; if (x > 100) r = 2; while (x > 1000) { x /= 2; r++; } }
+  return r;
+}
+int main() {
+  int s = 0;
+  for (int i = -200; i <= 5000; i += 37) s += classify(i);
+  printf("%d\n", s);
+  return s & 255;
+})"},
+    {"calls", R"(
+int square(int x) { return x * x; }
+int cube(int x) { return x * square(x); }
+double mix(int a, float b) { return (double)a + (double)b * 2.0; }
+int main() {
+  long total = 0;
+  for (int i = 0; i < 40; i++) {
+    total += cube(i) - square(i);
+    total += (long)mix(i, 0.5f);
+  }
+  printf("%ld\n", total);
+  return (int)(total % 251);
+})"},
+    {"arrays", R"(
+int data[64];
+void fill(int* p, int n, int seed) {
+  for (int i = 0; i < n; i++) { seed = seed * 1103515245 + 12345; p[i] = (seed >> 16) & 1023; }
+}
+int sum(int* p, int n) { int s = 0; for (int i = 0; i < n; i++) s += p[i]; return s; }
+int maxv(int* p, int n) { int m = p[0]; for (int i = 1; i < n; i++) if (p[i] > m) m = p[i]; return m; }
+int main() {
+  fill(data, 64, 42);
+  printf("%d %d\n", sum(data, 64), maxv(data, 64));
+  return sum(data, 64) & 127;
+})"},
+    {"funcptr", R"(
+int op_add(int a, int b) { return a + b; }
+int op_sub(int a, int b) { return a - b; }
+int op_mul(int a, int b) { return a * b; }
+int (*table[3])(int, int) = {op_add, op_sub, op_mul};
+int main() {
+  int acc = 1;
+  for (int i = 0; i < 9; i++) {
+    int (*f)(int, int) = table[i % 3];
+    acc = f(acc, 2 + i);
+  }
+  printf("%d\n", acc);
+  return acc & 255;
+})"},
+    {"exceptions", R"(
+int checked_div(int a, int b) {
+  if (b == 0) throw 77;
+  return a / b;
+}
+int main() {
+  int s = 0;
+  for (int i = -3; i <= 3; i++) {
+    try { s += checked_div(100, i); }
+    catch (int e) { s += e; }
+  }
+  printf("%d\n", s);
+  return s & 255;
+})"},
+    {"strings", R"(
+int hash(char* s) {
+  int h = 5381;
+  for (int i = 0; s[i] != '\0'; i++) h = h * 33 + s[i];
+  return h;
+}
+int main() {
+  int a = hash("khaos obfuscation");
+  int b = hash("binary diffing");
+  printf("%d\n", (a ^ b) & 65535);
+  return (a ^ b) & 127;
+})"},
+    {"switchy", R"(
+int dispatch(int op, int x) {
+  switch (op) {
+    case 0: return x + 1;
+    case 1: return x * 2;
+    case 2: return x - 3;
+    case 3: if (x > 10) return x / 2; return x;
+    default: return -x;
+  }
+}
+int main() {
+  int v = 7;
+  for (int i = 0; i < 30; i++) v = dispatch(i % 6, v) & 1023;
+  printf("%d\n", v);
+  return v & 255;
+})"},
+    {"recursion", R"(
+long ack_like(int m, long n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack_like(m - 1, 1);
+  return ack_like(m - 1, ack_like(m, n - 1) % 97);
+}
+int main() {
+  long r = ack_like(2, 3);
+  printf("%ld\n", r);
+  return (int)(r & 255);
+})"},
+    {"floats", R"(
+double poly(double x) { return ((2.0 * x + 3.0) * x - 5.0) * x + 7.0; }
+float reduce(float a, float b) { return a * 0.5f + b * 0.25f; }
+int main() {
+  double acc = 0.0;
+  float f = 1.0f;
+  for (int i = 0; i < 25; i++) {
+    acc += poly((double)i * 0.125);
+    f = reduce(f, (float)i);
+  }
+  printf("%g %g\n", acc, (double)f);
+  return (int)acc & 255;
+})"},
+    {"voidfns", R"(
+int counter = 0;
+void tick() { counter++; }
+void tock(int n) { counter += n; }
+void nop_with_args(int a, int b, int c, int d, int e, int f, int g) {
+  counter += a + b + c + d + e + f + g;
+}
+int main() {
+  for (int i = 0; i < 10; i++) { tick(); tock(i); }
+  nop_with_args(1, 2, 3, 4, 5, 6, 7);
+  printf("%d\n", counter);
+  return counter & 255;
+})"},
+};
+
+struct Behaviour {
+  int64_t Exit = 0;
+  std::string Stdout;
+  bool Ok = false;
+};
+
+Behaviour baselineRun(const std::string &Source) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Source, Ctx, "base", Error);
+  EXPECT_TRUE(M) << Error;
+  if (!M)
+    return {};
+  optimizeModule(*M, OptLevel::O2);
+  ExecResult R = runModule(*M);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return {R.ExitValue, R.Stdout, R.Ok};
+}
+
+/// Full sweep driver: compile, obfuscate with \p Mode, verify, run,
+/// compare against the un-obfuscated behaviour.
+void checkMode(const Program &P, ObfuscationMode Mode) {
+  Behaviour Base = baselineRun(P.Source);
+  ASSERT_TRUE(Base.Ok);
+
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, P.Name, Error);
+  ASSERT_TRUE(M) << Error;
+  obfuscateModule(*M, Mode);
+  std::vector<std::string> Problems = verifyModule(*M);
+  ASSERT_TRUE(Problems.empty())
+      << obfuscationModeName(Mode) << " broke the verifier: "
+      << Problems.front() << "\n"
+      << printModule(*M);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << obfuscationModeName(Mode)
+                    << " broke execution: " << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit) << obfuscationModeName(Mode);
+  EXPECT_EQ(R.Stdout, Base.Stdout) << obfuscationModeName(Mode);
+}
+
+class ObfuscationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ObfuscationSweep, PreservesBehaviour) {
+  const Program &P = TestPrograms[std::get<0>(GetParam())];
+  ObfuscationMode Mode = allObfuscationModes()[std::get<1>(GetParam())];
+  checkMode(P, Mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProgramsAllModes, ObfuscationSweep,
+    ::testing::Combine(
+        ::testing::Range(0, (int)std::size(TestPrograms)),
+        ::testing::Range(0, (int)allObfuscationModes().size())),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+      return std::string(TestPrograms[std::get<0>(Info.param)].Name) +
+             "_" +
+             [](const char *N) {
+               std::string S(N);
+               for (char &C : S)
+                 if (C == '.' || C == '-')
+                   C = '_';
+               return S;
+             }(obfuscationModeName(
+                 allObfuscationModes()[std::get<1>(Info.param)]));
+    });
+
+TEST(ObfuscationModes, FlaFullRatioAlsoPreserves) {
+  for (const Program &P : TestPrograms)
+    checkMode(P, ObfuscationMode::Fla);
+}
+
+//===----------------------------------------------------------------------===//
+// Targeted mechanism tests
+//===----------------------------------------------------------------------===//
+
+TEST(FissionMechanism, CreatesSepFuncsAndKeepsBehaviour) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  size_t FuncsBefore = M->functions().size();
+  FissionStats Stats;
+  runFission(*M, Stats);
+  EXPECT_GT(Stats.SepFuncs, 0u);
+  EXPECT_GT(M->functions().size(), FuncsBefore);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(FissionMechanism, SepFuncCarriesProvenance) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FissionStats Stats;
+  std::vector<std::string> Seps = runFission(*M, Stats);
+  ASSERT_FALSE(Seps.empty());
+  Function *Sep = M->getFunction(Seps.front());
+  ASSERT_TRUE(Sep);
+  // Provenance must reference an original function, not itself.
+  ASSERT_FALSE(Sep->getOrigins().empty());
+  EXPECT_NE(Sep->getOrigins().front(), Sep->getName());
+}
+
+TEST(FissionMechanism, RegionIdentifierRespectsMinBlocks) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  Function *F = M->getFunction("classify");
+  ASSERT_TRUE(F);
+  RegionOptions Opts;
+  Opts.MinBlocks = 2;
+  for (const Region &R : identifyRegions(*F, Opts)) {
+    EXPECT_GE(R.Blocks.size(), 2u);
+    EXPECT_EQ(R.Blocks.front(), R.Head);
+    EXPECT_GT(R.value(), 0.0);
+  }
+}
+
+TEST(FissionMechanism, RegionsAreDisjoint) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  Function *F = M->getFunction("classify");
+  ASSERT_TRUE(F);
+  std::set<BasicBlock *> Seen;
+  for (const Region &R : identifyRegions(*F)) {
+    for (BasicBlock *BB : R.Blocks) {
+      EXPECT_TRUE(Seen.insert(BB).second)
+          << "block appears in two regions";
+    }
+  }
+}
+
+TEST(FissionMechanism, SetjmpRegionsAreNotExtracted) {
+  const char *Src = R"(
+long jb[8];
+int risky(int x) {
+  if (setjmp(jb) != 0) return -1;
+  if (x > 5) longjmp(jb, 1);
+  return x;
+}
+int main() { return risky(3) + risky(9) + 1; }
+)";
+  Behaviour Base = baselineRun(Src);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  obfuscateModule(*M, ObfuscationMode::Fission);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+}
+
+TEST(FusionMechanism, PairsAndCompressesParameters) {
+  const char *Src = R"(
+int alpha(int a, int b) { return a * b + 1; }
+int beta(int x, int y) { return x - y; }
+int main() { return alpha(6, 7) + beta(10, 9); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  Function *A = M->getFunction("alpha");
+  Function *B = M->getFunction("beta");
+  ASSERT_TRUE(A && B);
+  FusionStats Stats;
+  Function *Fus = fusePair(*M, A, B, Stats);
+  ASSERT_TRUE(Fus);
+  // ctrl + two compressed int params.
+  EXPECT_EQ(Fus->arg_size(), 3u);
+  EXPECT_EQ(Stats.CompressedParams, 2u);
+  EXPECT_FALSE(M->getFunction("alpha"));
+  EXPECT_FALSE(M->getFunction("beta"));
+  EXPECT_TRUE(verifyModule(*M).empty());
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 44);
+}
+
+TEST(FusionMechanism, VoidAbsorbsReturnType) {
+  const char *Src = R"(
+int g = 0;
+void poke(int v) { g += v; }
+int peek(int unused) { return g * 2; }
+int main() { poke(21); return peek(0); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FusionStats Stats;
+  Function *Fus =
+      fusePair(*M, M->getFunction("poke"), M->getFunction("peek"), Stats);
+  ASSERT_TRUE(Fus);
+  EXPECT_EQ(Fus->getReturnType()->getKind(), TypeKind::Int32);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(FusionMechanism, RefusesVarargsAndDirectCallers) {
+  const char *Src = R"(
+int callee(int x) { return x + 1; }
+int caller(int x) { return callee(x) * 2; }
+int main() { return caller(20); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FusionStats Stats;
+  // callee/caller have a direct call relation: must refuse.
+  EXPECT_EQ(fusePair(*M, M->getFunction("callee"),
+                     M->getFunction("caller"), Stats),
+            nullptr);
+}
+
+TEST(FusionMechanism, TaggedPointersSurviveIndirectCalls) {
+  // funcptr program fuses op_* functions whose addresses live in a global
+  // table: the tag dispatch at the indirect call site must reconstruct
+  // ctrl correctly.
+  const Program &P = TestPrograms[3];
+  Behaviour Base = baselineRun(P.Source);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FusionStats Stats;
+  FusionOptions Opts;
+  runFusion(*M, Stats, Opts);
+  EXPECT_GT(Stats.Pairs, 0u);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stdout, Base.Stdout);
+}
+
+TEST(FusionMechanism, ExportedFunctionGetsTrampoline) {
+  const char *Src = R"(
+__export int api_entry(int x) { return x * 3; }
+int other(int y) { return y + 4; }
+int main() { return api_entry(10) + other(8); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FusionStats Stats;
+  Function *Fus = fusePair(*M, M->getFunction("api_entry"),
+                           M->getFunction("other"), Stats);
+  ASSERT_TRUE(Fus);
+  // The exported symbol must survive with its original signature.
+  Function *Tramp = M->getFunction("api_entry");
+  ASSERT_TRUE(Tramp);
+  EXPECT_TRUE(Tramp->isExported());
+  EXPECT_TRUE(Tramp->isNoObfuscate());
+  EXPECT_GE(Stats.Trampolines, 1u);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 42);
+}
+
+TEST(FusionMechanism, DeepFusionMergesInnocuousBlocks) {
+  // Both functions have a block of pure local arithmetic: deep fusion
+  // should merge at least one pair.
+  const char *Src = R"(
+int f1(int a) {
+  int t = 0;
+  if (a > 0) { t = a * 3 + 1; t = t ^ 5; t = t + a; }
+  else { t = 9; }
+  return t;
+}
+int f2(int b) {
+  int u = 1;
+  if (b > 2) { u = b * 7 - 2; u = u | 3; u = u - b; }
+  else { u = 4; }
+  return u;
+}
+int main() { return f1(5) + f2(6); }
+)";
+  Behaviour Base = baselineRun(Src);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  FusionStats Stats;
+  Function *Fus =
+      fusePair(*M, M->getFunction("f1"), M->getFunction("f2"), Stats);
+  ASSERT_TRUE(Fus);
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+}
+
+TEST(BaselineMechanism, SubstitutionChangesInstructionMix) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  OLLVMOptions Opts;
+  unsigned N = runSubstitution(*M, Opts);
+  EXPECT_GT(N, 0u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(BaselineMechanism, BogusCFGAddsBlocks) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[2].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  size_t Before = 0;
+  for (const auto &F : M->functions())
+    Before += F->size();
+  OLLVMOptions Opts;
+  unsigned N = runBogusControlFlow(*M, Opts);
+  EXPECT_GT(N, 0u);
+  size_t After = 0;
+  for (const auto &F : M->functions())
+    After += F->size();
+  EXPECT_GT(After, Before);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(BaselineMechanism, FlatteningCreatesDispatcher) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[0].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  OLLVMOptions Opts;
+  unsigned N = runFlattening(*M, Opts);
+  EXPECT_GT(N, 0u);
+  bool SawDispatcher = false;
+  for (const auto &F : M->functions())
+    for (const auto &BB : F->blocks())
+      if (startsWith(BB->getName(), "flat.dispatch"))
+        SawDispatcher = true;
+  EXPECT_TRUE(SawDispatcher);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(KhaosStatistics, Table2ShapesAreSane) {
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(TestPrograms[1].Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  KhaosOptions Opts;
+  Opts.RunPostOpt = false;
+  ObfuscationResult R1 = obfuscateModule(*M, ObfuscationMode::Fission, Opts);
+  EXPECT_GE(R1.Fission.fissionRatio(), 0.0);
+  EXPECT_LE(R1.Fission.reductionRatio(), 1.0);
+
+  Context Ctx2;
+  auto M2 = compileMiniC(TestPrograms[1].Source, Ctx2, "t", Error);
+  ASSERT_TRUE(M2) << Error;
+  ObfuscationResult R2 = obfuscateModule(*M2, ObfuscationMode::Fusion, Opts);
+  EXPECT_GT(R2.Fusion.Candidates, 0u);
+}
+
+} // namespace
