@@ -7,7 +7,9 @@
 /// \file
 /// Helpers shared by the per-figure bench binaries. Set KHAOS_QUICK=1 in
 /// the environment to run each figure on a reduced workload sample (for
-/// smoke-testing the harness).
+/// smoke-testing the harness). Benches that fan out over the EvalScheduler
+/// accept `--threads N` and `--seed S`; their stdout is byte-identical at
+/// every thread count (scheduler diagnostics go to stderr).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +17,7 @@
 #define KHAOS_BENCH_BENCHCOMMON_H
 
 #include "harness/BinTuner.h"
+#include "harness/EvalScheduler.h"
 #include "harness/Evaluator.h"
 #include "harness/TableRenderer.h"
 #include "support/Statistics.h"
@@ -40,6 +43,39 @@ inline std::vector<Workload> maybeThin(std::vector<Workload> W,
   for (size_t I = 0; I < W.size(); I += KeepEvery)
     Out.push_back(std::move(W[I]));
   return Out;
+}
+
+/// Parses `--threads N` / `--threads=N` and `--seed S` / `--seed=S`.
+/// Unrecognized arguments are ignored so benches stay forgiving in scripts.
+inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
+  EvalScheduler::Config C;
+  auto Value = [&](const std::string &Arg, const char *Flag,
+                   int &I) -> const char * {
+    std::string Eq = std::string(Flag) + "=";
+    if (Arg.rfind(Eq, 0) == 0)
+      return Argv[I] + Eq.size();
+    if (Arg == Flag && I + 1 < Argc)
+      return Argv[++I];
+    return nullptr;
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (const char *V = Value(Arg, "--threads", I))
+      C.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V2 = Value(Arg, "--seed", I))
+      C.Seed = std::strtoull(V2, nullptr, 0);
+  }
+  return C;
+}
+
+/// Scheduler diagnostics go to stderr so stdout stays byte-identical
+/// across thread counts.
+inline void reportScheduler(const EvalScheduler &S, const EvalRunStats &R) {
+  std::fprintf(stderr,
+               "[scheduler] threads=%u seed=0x%llx cells=%zu failures=%zu\n",
+               S.threadCount(),
+               static_cast<unsigned long long>(S.baseSeed()), R.Cells,
+               R.Failures);
 }
 
 inline void printHeader(const char *Id, const char *Caption) {

@@ -8,7 +8,8 @@
 /// Figure 6: runtime overhead of Fission / Fusion / FuFi.sep / FuFi.ori /
 /// FuFi.all on every SPEC CPU 2006 and 2017 C/C++ benchmark (plus the
 /// geometric mean), measured as the VM dynamic-cost ratio against the
-/// O2+LTO baseline.
+/// O2+LTO baseline. The (workload × mode) matrix runs on the EvalScheduler
+/// pool; pass --threads N to size it. Output is identical at every N.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,23 +19,30 @@ using namespace khaos;
 
 namespace {
 
-void runSuite(const char *Caption, std::vector<Workload> Suite) {
-  const ObfuscationMode Modes[] = {
+void runSuite(const EvalScheduler &Sched, const char *Caption,
+              const std::vector<Workload> &Suite) {
+  const std::vector<ObfuscationMode> Modes = {
       ObfuscationMode::Fission, ObfuscationMode::Fusion,
       ObfuscationMode::FuFiSep, ObfuscationMode::FuFiOri,
       ObfuscationMode::FuFiAll};
 
+  EvalRunStats Run;
+  std::vector<EvalScheduler::CellOverhead> Cells =
+      Sched.overheadMatrix(Suite, Modes, &Run);
+
+  // Aggregate in row-major matrix order: the per-mode series (and thus the
+  // floating-point geomean) is independent of worker completion order.
   TableRenderer Table({"benchmark", "Fission", "Fusion", "FuFi.sep",
                        "FuFi.ori", "FuFi.all"});
-  std::vector<std::vector<double>> PerMode(5);
-
-  for (const Workload &W : Suite) {
-    std::vector<std::string> Row{W.Name};
-    for (size_t M = 0; M != 5; ++M) {
-      double Ov = 0.0;
-      if (measureOverheadPercent(W, Modes[M], Ov)) {
-        PerMode[M].push_back(Ov);
-        Row.push_back(TableRenderer::fmtPercent(Ov));
+  SeriesAccumulator PerMode(Modes.size());
+  for (size_t WI = 0; WI != Suite.size(); ++WI) {
+    std::vector<std::string> Row{Suite[WI].Name};
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      const EvalScheduler::CellOverhead &Cell =
+          Cells[WI * Modes.size() + MI];
+      if (Cell.Ok) {
+        PerMode.add(MI, WI, Cell.Percent);
+        Row.push_back(TableRenderer::fmtPercent(Cell.Percent));
       } else {
         Row.push_back("n/a");
       }
@@ -42,23 +50,25 @@ void runSuite(const char *Caption, std::vector<Workload> Suite) {
     Table.addRow(std::move(Row));
   }
   std::vector<std::string> Geo{"GEOMEAN"};
-  for (size_t M = 0; M != 5; ++M)
+  for (size_t MI = 0; MI != Modes.size(); ++MI)
     Geo.push_back(
-        TableRenderer::fmtPercent(geomeanOverheadPercent(PerMode[M])));
+        TableRenderer::fmtPercent(geomeanOverheadPercent(PerMode.series(MI))));
   Table.addRow(std::move(Geo));
 
   std::printf("\n%s\n", Caption);
   Table.print();
+  reportScheduler(Sched, Run);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  EvalScheduler Sched(parseSchedulerArgs(argc, argv));
   printHeader("Figure 6",
               "runtime overhead of the Khaos modes on SPEC CPU 2006/2017");
-  runSuite("SPEC CPU 2006 C/C++ (ref-like input)",
+  runSuite(Sched, "SPEC CPU 2006 C/C++ (ref-like input)",
            maybeThin(specCpu2006Suite()));
-  runSuite("SPEC CPU 2017 C/C++ (ref-like input)",
+  runSuite(Sched, "SPEC CPU 2017 C/C++ (ref-like input)",
            maybeThin(specCpu2017Suite()));
   return 0;
 }

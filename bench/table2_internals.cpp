@@ -8,70 +8,69 @@
 /// Table 2: internal statistics of the fission and fusion primitives on
 /// SPEC CPU 2006, SPEC CPU 2017 and CoreUtils — fission ratio, average
 /// basic blocks per sepFunc, reduction ratio; fusion ratio, compressed
-/// parameters per pair, innocuous blocks merged per pair.
+/// parameters per pair, innocuous blocks merged per pair. Each suite's
+/// (workload × {Fission, Fusion}) matrix fans out on the EvalScheduler
+/// pool and the integer counters merge under the EvalRunStats mutex, so
+/// totals are identical at every --threads N.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "frontend/IRGen.h"
-
 using namespace khaos;
 
 namespace {
 
+/// Per-suite totals: Fission-mode cells feed S.Fission, Fusion-mode cells
+/// feed S.Fusion (EvalRunStats would conflate them, since fission also
+/// reports pass-through fusion counters on FuFi configurations).
 struct SuiteStats {
   FissionStats Fission;
   FusionStats Fusion;
 };
 
-SuiteStats gather(const std::vector<Workload> &Suite) {
+SuiteStats gather(const EvalScheduler &Sched,
+                  const std::vector<Workload> &Suite) {
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::Fission,
+                                              ObfuscationMode::Fusion};
+  // Statistics describe the primitives themselves, not the post-O2 module.
+  KhaosOptions Base;
+  Base.RunPostOpt = false;
+
   SuiteStats S;
-  KhaosOptions Opts;
-  Opts.RunPostOpt = false; // Statistics describe the primitives themselves.
-  for (const Workload &W : Suite) {
-    {
-      CompiledWorkload C = compileBaseline(W, OptLevel::O0);
-      if (C) {
-        ObfuscationResult R;
-        Context Ctx2;
-        std::string Err;
-        // Fission statistics.
-        auto M = compileMiniC(W.Source, Ctx2, W.Name, Err);
-        if (M) {
-          R = obfuscateModule(*M, ObfuscationMode::Fission, Opts);
-          S.Fission.OriFuncs += R.Fission.OriFuncs;
-          S.Fission.ProcessedFuncs += R.Fission.ProcessedFuncs;
-          S.Fission.SepFuncs += R.Fission.SepFuncs;
-          S.Fission.SepBlocks += R.Fission.SepBlocks;
-          S.Fission.LazyAllocas += R.Fission.LazyAllocas;
-          S.Fission.OriInstructions += R.Fission.OriInstructions;
-          S.Fission.MovedInstructions += R.Fission.MovedInstructions;
-        }
-      }
+  std::mutex M;
+  Sched.forEachCell(Suite, Modes, [&](const EvalCell &C) {
+    KhaosOptions Opts = Base;
+    Opts.Seed = C.Seed;
+    // A frontend failure leaves R zero-initialized, so merging it is a
+    // no-op — no gating needed.
+    ObfuscationResult R;
+    compileObfuscated(*C.W, C.Mode, Opts, &R);
+    std::lock_guard<std::mutex> Lock(M);
+    if (C.Mode == ObfuscationMode::Fission) {
+      S.Fission.OriFuncs += R.Fission.OriFuncs;
+      S.Fission.ProcessedFuncs += R.Fission.ProcessedFuncs;
+      S.Fission.SepFuncs += R.Fission.SepFuncs;
+      S.Fission.SepBlocks += R.Fission.SepBlocks;
+      S.Fission.LazyAllocas += R.Fission.LazyAllocas;
+      S.Fission.OriInstructions += R.Fission.OriInstructions;
+      S.Fission.MovedInstructions += R.Fission.MovedInstructions;
+    } else {
+      S.Fusion.Candidates += R.Fusion.Candidates;
+      S.Fusion.Fused += R.Fusion.Fused;
+      S.Fusion.Pairs += R.Fusion.Pairs;
+      S.Fusion.CompressedParams += R.Fusion.CompressedParams;
+      S.Fusion.DeepMergedBlocks += R.Fusion.DeepMergedBlocks;
+      S.Fusion.Trampolines += R.Fusion.Trampolines;
     }
-    {
-      Context Ctx2;
-      std::string Err;
-      auto M = compileMiniC(W.Source, Ctx2, W.Name, Err);
-      if (M) {
-        ObfuscationResult R = obfuscateModule(*M, ObfuscationMode::Fusion,
-                                              Opts);
-        S.Fusion.Candidates += R.Fusion.Candidates;
-        S.Fusion.Fused += R.Fusion.Fused;
-        S.Fusion.Pairs += R.Fusion.Pairs;
-        S.Fusion.CompressedParams += R.Fusion.CompressedParams;
-        S.Fusion.DeepMergedBlocks += R.Fusion.DeepMergedBlocks;
-        S.Fusion.Trampolines += R.Fusion.Trampolines;
-      }
-    }
-  }
+  });
   return S;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  EvalScheduler Sched(parseSchedulerArgs(argc, argv));
   printHeader("Table 2", "statistics of the fission and the fusion");
 
   struct SuiteDef {
@@ -87,7 +86,7 @@ int main() {
                        "CoreUtils"});
   std::vector<SuiteStats> Stats;
   for (const SuiteDef &S : Suites)
-    Stats.push_back(gather(S.Programs));
+    Stats.push_back(gather(Sched, S.Programs));
 
   auto Row = [&](const char *Name, auto Extract) {
     std::vector<std::string> Cells{Name};

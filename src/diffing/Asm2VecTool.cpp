@@ -71,8 +71,9 @@ std::vector<double> Asm2VecTool::embed(const FunctionFeatures &F) {
   return Out;
 }
 
-DiffResult Asm2VecTool::diff(const BinaryImage &A, const ImageFeatures &FA,
-                             const BinaryImage &B,
+DiffResult Asm2VecTool::diff(const BinaryImage & /*A*/,
+                             const ImageFeatures &FA,
+                             const BinaryImage & /*B*/,
                              const ImageFeatures &FB) const {
   DiffResult R;
   size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();

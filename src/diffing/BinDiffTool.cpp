@@ -70,7 +70,8 @@ double BinDiffTool::structuralSimilarity(const FunctionFeatures &X,
   return Mix * shapeAffinity(X, Y);
 }
 
-DiffResult BinDiffTool::diff(const BinaryImage &A, const ImageFeatures &FA,
+DiffResult BinDiffTool::diff(const BinaryImage & /*A*/,
+                             const ImageFeatures &FA,
                              const BinaryImage &B,
                              const ImageFeatures &FB) const {
   DiffResult R;

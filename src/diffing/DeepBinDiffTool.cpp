@@ -122,9 +122,9 @@ DeepBinDiffTool::embedBlocks(const ImageFeatures &F,
   return Vecs;
 }
 
-DiffResult DeepBinDiffTool::diff(const BinaryImage &A,
+DiffResult DeepBinDiffTool::diff(const BinaryImage & /*A*/,
                                  const ImageFeatures &FA,
-                                 const BinaryImage &B,
+                                 const BinaryImage & /*B*/,
                                  const ImageFeatures &FB) const {
   DiffResult R;
   size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();

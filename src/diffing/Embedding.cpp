@@ -11,15 +11,22 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 using namespace khaos;
 
 std::vector<double> khaos::tokenVector(uint64_t Token) {
-  // Cache: the token universe is tiny (opcodes + bigrams).
+  // Cache: the token universe is tiny (opcodes + bigrams). Guarded because
+  // diffing tools run concurrently on the EvalScheduler pool; the value is
+  // a pure function of Token, so contention never changes results.
+  static std::mutex CacheMutex;
   static std::map<uint64_t, std::vector<double>> Cache;
-  auto It = Cache.find(Token);
-  if (It != Cache.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    auto It = Cache.find(Token);
+    if (It != Cache.end())
+      return It->second;
+  }
 
   RNG Rng(Token * 0x9e3779b97f4a7c15ull + 0x1234);
   std::vector<double> V(EmbeddingDim);
@@ -32,6 +39,7 @@ std::vector<double> khaos::tokenVector(uint64_t Token) {
   if (Norm > 0)
     for (double &X : V)
       X /= Norm;
+  std::lock_guard<std::mutex> Lock(CacheMutex);
   Cache[Token] = V;
   return V;
 }

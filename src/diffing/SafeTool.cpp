@@ -66,8 +66,8 @@ std::vector<double> SafeTool::embed(const FunctionFeatures &F) {
   return Out;
 }
 
-DiffResult SafeTool::diff(const BinaryImage &A, const ImageFeatures &FA,
-                          const BinaryImage &B,
+DiffResult SafeTool::diff(const BinaryImage & /*A*/, const ImageFeatures &FA,
+                          const BinaryImage & /*B*/,
                           const ImageFeatures &FB) const {
   DiffResult R;
   size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();

@@ -75,9 +75,9 @@ std::vector<double> VulSeekerTool::embed(const FunctionFeatures &F) {
   return Out;
 }
 
-DiffResult VulSeekerTool::diff(const BinaryImage &A,
+DiffResult VulSeekerTool::diff(const BinaryImage & /*A*/,
                                const ImageFeatures &FA,
-                               const BinaryImage &B,
+                               const BinaryImage & /*B*/,
                                const ImageFeatures &FB) const {
   DiffResult R;
   size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();

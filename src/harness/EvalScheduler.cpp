@@ -1,0 +1,185 @@
+//===- harness/EvalScheduler.cpp - Parallel evaluation batches ------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/EvalScheduler.h"
+
+#include "support/RNG.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace khaos;
+
+uint64_t khaos::deriveCellSeed(uint64_t BaseSeed,
+                               const std::string &WorkloadName,
+                               ObfuscationMode Mode) {
+  // Name the stream after the cell and salt it with the base seed and the
+  // mode. RNG::fromName is an FNV-1a mix, so distinct workloads get
+  // uncorrelated streams while the same cell always maps to the same seed.
+  uint64_t Salt =
+      BaseSeed * 0x100000001b3ull + static_cast<uint64_t>(Mode) + 1;
+  return RNG::fromName(WorkloadName, Salt).next();
+}
+
+void EvalRunStats::mergeCell(const ObfuscationResult &R, bool Failed) {
+  std::lock_guard<std::mutex> Lock(M);
+  Cells += 1;
+  Failures += Failed ? 1 : 0;
+  Fission.OriFuncs += R.Fission.OriFuncs;
+  Fission.ProcessedFuncs += R.Fission.ProcessedFuncs;
+  Fission.SepFuncs += R.Fission.SepFuncs;
+  Fission.SepBlocks += R.Fission.SepBlocks;
+  Fission.LazyAllocas += R.Fission.LazyAllocas;
+  Fission.OriInstructions += R.Fission.OriInstructions;
+  Fission.MovedInstructions += R.Fission.MovedInstructions;
+  Fusion.Candidates += R.Fusion.Candidates;
+  Fusion.Fused += R.Fusion.Fused;
+  Fusion.Pairs += R.Fusion.Pairs;
+  Fusion.CompressedParams += R.Fusion.CompressedParams;
+  Fusion.DeepMergedBlocks += R.Fusion.DeepMergedBlocks;
+  Fusion.Trampolines += R.Fusion.Trampolines;
+  Fusion.TaggedPointerSites += R.Fusion.TaggedPointerSites;
+}
+
+void EvalRunStats::countCell(bool Failed) {
+  std::lock_guard<std::mutex> Lock(M);
+  Cells += 1;
+  Failures += Failed ? 1 : 0;
+}
+
+EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
+  Workers = Cfg.Threads;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+}
+
+void EvalScheduler::forEachCell(
+    const std::vector<Workload> &Workloads,
+    const std::vector<ObfuscationMode> &Modes,
+    const std::function<void(const EvalCell &)> &Fn) const {
+  std::vector<EvalCell> Cells;
+  Cells.reserve(Workloads.size() * Modes.size());
+  for (size_t WI = 0; WI != Workloads.size(); ++WI)
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      EvalCell C;
+      C.W = &Workloads[WI];
+      C.Mode = Modes[MI];
+      C.Seed = deriveCellSeed(Cfg.Seed, Workloads[WI].Name, Modes[MI]);
+      C.WorkloadIdx = WI;
+      C.ModeIdx = MI;
+      C.FlatIdx = WI * Modes.size() + MI;
+      Cells.push_back(C);
+    }
+
+  unsigned Pool = Workers;
+  if (Pool > Cells.size())
+    Pool = static_cast<unsigned>(Cells.size());
+
+  if (Pool <= 1) {
+    for (const EvalCell &C : Cells)
+      Fn(C);
+    return;
+  }
+
+  // Work-stealing by atomic ticket: workers pull the next unclaimed cell,
+  // so stragglers never serialize the rest of the matrix.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Cells.size())
+        return;
+      Fn(Cells[I]);
+    }
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(Pool);
+  for (unsigned T = 0; T != Pool; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::vector<EvalScheduler::CellCompilation>
+EvalScheduler::compileMatrix(const std::vector<Workload> &Workloads,
+                             const std::vector<ObfuscationMode> &Modes,
+                             EvalRunStats *RunStats) const {
+  std::vector<CellCompilation> Out(Workloads.size() * Modes.size());
+  forEachCell(Workloads, Modes, [&](const EvalCell &C) {
+    CellCompilation &Slot = Out[C.FlatIdx];
+    Slot.Compiled =
+        compileObfuscated(*C.W, C.Mode, &Slot.Stats, C.Seed);
+    if (RunStats)
+      RunStats->mergeCell(Slot.Stats, !Slot.Compiled);
+  });
+  return Out;
+}
+
+std::vector<EvalScheduler::CellOverhead>
+EvalScheduler::overheadMatrix(const std::vector<Workload> &Workloads,
+                              const std::vector<ObfuscationMode> &Modes,
+                              EvalRunStats *RunStats) const {
+  std::vector<CellOverhead> Out(Workloads.size() * Modes.size());
+  forEachCell(Workloads, Modes, [&](const EvalCell &C) {
+    CellOverhead &Slot = Out[C.FlatIdx];
+    Slot.Ok = measureOverheadPercent(*C.W, C.Mode, Slot.Percent, C.Seed);
+    if (RunStats)
+      RunStats->countCell(!Slot.Ok);
+  });
+  return Out;
+}
+
+std::vector<EvalScheduler::CellPrecision>
+EvalScheduler::precisionMatrix(const std::vector<Workload> &Workloads,
+                               const std::vector<ObfuscationMode> &Modes,
+                               const std::vector<std::string> &ToolNames,
+                               EvalRunStats *RunStats) const {
+  // A misspelled tool name would silently yield an all-zero figure row;
+  // fail fast instead.
+  {
+    std::vector<std::unique_ptr<DiffTool>> Known = createAllDiffTools();
+    for (const std::string &Name : ToolNames) {
+      bool Found = false;
+      for (const auto &Tool : Known)
+        Found |= Name == Tool->getName();
+      if (!Found) {
+        std::fprintf(stderr,
+                     "EvalScheduler::precisionMatrix: unknown diffing tool "
+                     "'%s'\n",
+                     Name.c_str());
+        std::abort();
+      }
+    }
+  }
+  std::vector<CellPrecision> Out(Workloads.size() * Modes.size());
+  forEachCell(Workloads, Modes, [&](const EvalCell &C) {
+    CellPrecision &Slot = Out[C.FlatIdx];
+    Slot.PerTool.assign(ToolNames.size(), -1.0);
+    DiffImages Imgs = buildDiffImages(*C.W, C.Mode, C.Seed);
+    if (RunStats)
+      RunStats->countCell(!Imgs.Ok);
+    if (!Imgs.Ok)
+      return;
+    Slot.Ok = true;
+    // Fresh tool instances per cell: DiffTool::diff is const and the tools
+    // are stateless, but per-cell construction keeps workers fully
+    // independent even if a future tool grows caches.
+    std::vector<std::unique_ptr<DiffTool>> Tools = createAllDiffTools();
+    for (const auto &Tool : Tools) {
+      for (size_t TI = 0; TI != ToolNames.size(); ++TI) {
+        if (ToolNames[TI] != Tool->getName())
+          continue;
+        Slot.PerTool[TI] = runDiffTool(*Tool, Imgs).Precision;
+      }
+    }
+  });
+  return Out;
+}

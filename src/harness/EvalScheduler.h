@@ -1,0 +1,142 @@
+//===- harness/EvalScheduler.h - Parallel evaluation batches ----*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch engine for the evaluation pipeline: fans the (workload ×
+/// ObfuscationMode) matrix across a std::thread pool. Three properties make
+/// parallel runs bit-for-bit reproducible at any thread count:
+///
+///  1. Per-task isolation — every cell compiles into its own Context/Module
+///     (the Evaluator primitives already guarantee this).
+///  2. Deterministic seeding — each cell's RNG seed is derived from
+///     (base seed, workload name, mode), never from scheduling order.
+///  3. Deterministic aggregation — per-cell results land at their row-major
+///     matrix index; shared run statistics are merged under a mutex and are
+///     integer counters, so merge order cannot change them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_HARNESS_EVALSCHEDULER_H
+#define KHAOS_HARNESS_EVALSCHEDULER_H
+
+#include "harness/Evaluator.h"
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace khaos {
+
+/// One cell of the (workload × mode) evaluation matrix.
+struct EvalCell {
+  const Workload *W = nullptr;
+  ObfuscationMode Mode = ObfuscationMode::None;
+  uint64_t Seed = 0;       ///< Derived via deriveCellSeed().
+  size_t WorkloadIdx = 0;  ///< Row: position of W in the workload list.
+  size_t ModeIdx = 0;      ///< Column: position of Mode in the mode list.
+  size_t FlatIdx = 0;      ///< Row-major index into the matrix.
+};
+
+/// Derives the per-cell seed from the run's base seed, the workload's name
+/// and the mode — stable across thread counts and scheduling orders.
+uint64_t deriveCellSeed(uint64_t BaseSeed, const std::string &WorkloadName,
+                        ObfuscationMode Mode);
+
+/// Aggregate counters for one scheduler run, merged under a mutex by the
+/// batch front-ends. All fields are integral, so the merge order that the
+/// pool happens to produce cannot change the totals.
+struct EvalRunStats {
+  size_t Cells = 0;    ///< Cells executed.
+  size_t Failures = 0; ///< Cells whose compile/measure step failed.
+  FissionStats Fission;
+  FusionStats Fusion;
+
+  /// Thread-safe: folds one cell's transformation stats into the totals.
+  void mergeCell(const ObfuscationResult &R, bool Failed);
+
+  /// Thread-safe: counts a cell that produced no transformation stats
+  /// (e.g. an overhead measurement).
+  void countCell(bool Failed);
+
+private:
+  std::mutex M;
+};
+
+class EvalScheduler {
+public:
+  struct Config {
+    unsigned Threads = 0;  ///< 0 = hardware concurrency.
+    uint64_t Seed = 0xc906;
+  };
+
+  explicit EvalScheduler(Config C);
+  EvalScheduler() : EvalScheduler(Config{}) {}
+
+  /// The worker count actually used (>= 1).
+  unsigned threadCount() const { return Workers; }
+  uint64_t baseSeed() const { return Cfg.Seed; }
+
+  /// Runs \p Fn over every cell of the matrix on the pool. \p Fn executes
+  /// concurrently: it must confine itself to per-cell state or lock any
+  /// shared state it touches.
+  void forEachCell(const std::vector<Workload> &Workloads,
+                   const std::vector<ObfuscationMode> &Modes,
+                   const std::function<void(const EvalCell &)> &Fn) const;
+
+  //===--------------------------------------------------------------------===//
+  // Batch front-ends over the Evaluator primitives.
+  //===--------------------------------------------------------------------===//
+
+  /// Compiled cell: the obfuscated module plus its transformation stats.
+  struct CellCompilation {
+    CompiledWorkload Compiled;
+    ObfuscationResult Stats;
+  };
+
+  /// compileObfuscated() over the whole matrix.
+  std::vector<CellCompilation>
+  compileMatrix(const std::vector<Workload> &Workloads,
+                const std::vector<ObfuscationMode> &Modes,
+                EvalRunStats *RunStats = nullptr) const;
+
+  /// Runtime overhead of one cell; Ok=false when compile/run/verify failed.
+  struct CellOverhead {
+    bool Ok = false;
+    double Percent = 0.0;
+  };
+
+  /// measureOverheadPercent() over the whole matrix.
+  std::vector<CellOverhead>
+  overheadMatrix(const std::vector<Workload> &Workloads,
+                 const std::vector<ObfuscationMode> &Modes,
+                 EvalRunStats *RunStats = nullptr) const;
+
+  /// Per-cell diffing result: Precision@1 of each tool in \p ToolNames
+  /// order, or a negative sentinel when the image pair could not be built.
+  struct CellPrecision {
+    bool Ok = false;
+    std::vector<double> PerTool;
+  };
+
+  /// buildDiffImages() + runDiffTool() over the whole matrix. Every cell
+  /// instantiates its own tool set (tools are cheap, stateless objects), so
+  /// no diffing state is shared between workers. Every entry of
+  /// \p ToolNames must name a registered tool (hard error otherwise — a
+  /// silent mismatch would render as an all-zero figure row).
+  std::vector<CellPrecision>
+  precisionMatrix(const std::vector<Workload> &Workloads,
+                  const std::vector<ObfuscationMode> &Modes,
+                  const std::vector<std::string> &ToolNames,
+                  EvalRunStats *RunStats = nullptr) const;
+
+private:
+  Config Cfg;
+  unsigned Workers;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_HARNESS_EVALSCHEDULER_H

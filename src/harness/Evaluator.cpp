@@ -26,13 +26,20 @@ CompiledWorkload khaos::compileObfuscated(const Workload &W,
                                           ObfuscationMode Mode,
                                           ObfuscationResult *StatsOut,
                                           uint64_t Seed) {
+  KhaosOptions Opts;
+  Opts.Seed = Seed;
+  return compileObfuscated(W, Mode, Opts, StatsOut);
+}
+
+CompiledWorkload khaos::compileObfuscated(const Workload &W,
+                                          ObfuscationMode Mode,
+                                          const KhaosOptions &Opts,
+                                          ObfuscationResult *StatsOut) {
   CompiledWorkload Out;
   Out.Ctx = std::make_unique<Context>();
   Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
   if (!Out.M)
     return Out;
-  KhaosOptions Opts;
-  Opts.Seed = Seed;
   ObfuscationResult R = obfuscateModule(*Out.M, Mode, Opts);
   if (StatsOut)
     *StatsOut = R;
@@ -45,7 +52,7 @@ CompiledWorkload khaos::compileObfuscated(const Workload &W,
 }
 
 bool khaos::measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
-                                   double &OverheadOut) {
+                                   double &OverheadOut, uint64_t Seed) {
   CompiledWorkload Base = compileBaseline(W);
   if (!Base)
     return false;
@@ -53,7 +60,7 @@ bool khaos::measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
   if (!BaseRun.Ok || BaseRun.Cost == 0)
     return false;
 
-  CompiledWorkload Obf = compileObfuscated(W, Mode);
+  CompiledWorkload Obf = compileObfuscated(W, Mode, nullptr, Seed);
   if (!Obf)
     return false;
   ExecResult ObfRun = runModule(*Obf.M);

@@ -45,10 +45,16 @@ CompiledWorkload compileObfuscated(const Workload &W, ObfuscationMode Mode,
                                    ObfuscationResult *StatsOut = nullptr,
                                    uint64_t Seed = 0xc906);
 
+/// Variant with full driver options (Opts.Seed is honored; Table 2 sets
+/// RunPostOpt=false to measure the primitives themselves).
+CompiledWorkload compileObfuscated(const Workload &W, ObfuscationMode Mode,
+                                   const KhaosOptions &Opts,
+                                   ObfuscationResult *StatsOut = nullptr);
+
 /// Runtime overhead of \p Mode on \p W in percent (VM dynamic cost ratio).
 /// Returns false on any execution/verification failure.
 bool measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
-                            double &OverheadOut);
+                            double &OverheadOut, uint64_t Seed = 0xc906);
 
 /// A/B images for the diffing experiments: A is the un-obfuscated
 /// (un-stripped) reference, B the obfuscated build.

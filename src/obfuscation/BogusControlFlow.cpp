@@ -32,7 +32,7 @@ GlobalVariable *getOpaqueGlobal(Module &M, const char *Name) {
 
 /// Builds a clone of \p Tail whose arithmetic is scrambled. The clone
 /// ends with a branch back to \p Tail so the CFG stays plausible.
-BasicBlock *buildBogusClone(Module &M, Function &F, BasicBlock *Tail,
+BasicBlock *buildBogusClone(Module & /*M*/, Function &F, BasicBlock *Tail,
                             RNG &Rng) {
   BasicBlock *Bogus = F.addBlockAfter(Tail, Tail->getName() + ".bogus");
   std::map<const Value *, Value *> Local;

@@ -209,7 +209,11 @@ private:
   Function *Fus = nullptr;
   BasicBlock *FusEntry = nullptr;
   Instruction *CtrlIsOne = nullptr; ///< i1, reused by deep fusion.
-  std::set<BasicBlock *> SideBlocks[2];
+  /// Blocks of each side in original function order. Deliberately a
+  /// vector, not a pointer-keyed set: iteration feeds value numbering and
+  /// deep-merge candidate selection, which must not depend on heap
+  /// addresses (runs must be reproducible at any thread count).
+  std::vector<BasicBlock *> SideBlocks[2];
 };
 
 } // namespace
@@ -222,7 +226,7 @@ void PairFuser::moveSideBlocks(unsigned SideIdx, BasicBlock *&SideEntry) {
     Order.push_back(BB.get());
   for (BasicBlock *BB : Order) {
     Fus->adoptBlock(Ori->takeBlock(BB));
-    SideBlocks[SideIdx].insert(BB);
+    SideBlocks[SideIdx].push_back(BB);
   }
 }
 
@@ -514,8 +518,10 @@ void PairFuser::runDeepFusion() {
     auto Colder = [&](BasicBlock *A, BasicBlock *B) {
       return BF.getFrequency(A) < BF.getFrequency(B);
     };
-    std::sort(FCands.begin(), FCands.end(), Colder);
-    std::sort(GCands.begin(), GCands.end(), Colder);
+    // Stable: frequency ties keep original block order, independent of
+    // the sort implementation's internal pivoting.
+    std::stable_sort(FCands.begin(), FCands.end(), Colder);
+    std::stable_sort(GCands.begin(), GCands.end(), Colder);
     // Loop-resident blocks are never merged: the merged block would run
     // on both paths on every iteration (the paper's Fig. 5 example merges
     // straight-line prologue code, not loop bodies).
@@ -569,8 +575,10 @@ void PairFuser::runDeepFusion() {
     // A and B are empty shells now (terminator only).
     Fus->eraseBlock(A);
     Fus->eraseBlock(B);
-    SideBlocks[0].erase(A);
-    SideBlocks[1].erase(B);
+    SideBlocks[0].erase(
+        std::find(SideBlocks[0].begin(), SideBlocks[0].end(), A));
+    SideBlocks[1].erase(
+        std::find(SideBlocks[1].begin(), SideBlocks[1].end(), B));
     Stats.DeepMergedBlocks += 2;
   }
 

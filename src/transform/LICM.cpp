@@ -68,7 +68,7 @@ BasicBlock *findPreheader(Loop &L) {
 
 } // namespace
 
-bool LICMPass::runOnLoop(Function &F, Loop &L) {
+bool LICMPass::runOnLoop(Function & /*F*/, Loop &L) {
   BasicBlock *Pre = findPreheader(L);
   if (!Pre)
     return false;
