@@ -8,8 +8,13 @@
 /// Helpers shared by the per-figure bench binaries. Set KHAOS_QUICK=1 in
 /// the environment to run each figure on a reduced workload sample (for
 /// smoke-testing the harness). Benches that fan out over the EvalScheduler
-/// accept `--threads N` and `--seed S`; their stdout is byte-identical at
-/// every thread count (scheduler diagnostics go to stderr).
+/// accept `--threads N`, `--seed S`, `--no-cache` (recompute every
+/// artifact; results are identical, only slower) and `--shards N
+/// --shard-index I` (cross-process split of the matrix by FlatIdx %
+/// Shards); their stdout is byte-identical at every thread count
+/// (scheduler diagnostics, including cache telemetry, go to stderr).
+/// `--print-cells` switches matrix benches that support it to a
+/// per-(cell × tool) line format whose shard outputs merge losslessly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,7 +50,8 @@ inline std::vector<Workload> maybeThin(std::vector<Workload> W,
   return Out;
 }
 
-/// Parses `--threads N` / `--threads=N` and `--seed S` / `--seed=S`.
+/// Parses `--threads N`, `--seed S`, `--no-cache`, `--shards N` and
+/// `--shard-index I` (both `--flag V` and `--flag=V` spellings).
 /// Unrecognized arguments are ignored so benches stay forgiving in scripts.
 inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
   EvalScheduler::Config C;
@@ -64,18 +70,78 @@ inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
       C.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     else if (const char *V2 = Value(Arg, "--seed", I))
       C.Seed = std::strtoull(V2, nullptr, 0);
+    else if (Arg == "--no-cache")
+      C.CacheEnabled = false;
+    else if (const char *V3 = Value(Arg, "--shards", I))
+      C.Shards = static_cast<unsigned>(std::strtoul(V3, nullptr, 10));
+    else if (const char *V4 = Value(Arg, "--shard-index", I))
+      C.ShardIdx = static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
   }
   return C;
 }
 
+/// True if the boolean flag \p Flag appears in the argument list.
+inline bool hasBenchFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == Flag)
+      return true;
+  return false;
+}
+
+/// Benches whose stdout is only an aggregate table must refuse --shards:
+/// a table computed from one shard's cells looks complete but is silently
+/// wrong. Shardable benches (fig6/fig7/fig8) switch to a per-cell line
+/// format instead, whose sorted shard outputs merge losslessly.
+inline void requireUnsharded(const EvalScheduler &S, const char *Bench) {
+  if (S.shardCount() <= 1)
+    return;
+  std::fprintf(stderr,
+               "%s: this bench prints whole-matrix aggregates and cannot "
+               "compose shard outputs; use --shards with fig6_overhead, "
+               "fig7_ollvm_overhead or fig8_precision (per-cell output "
+               "mode)\n",
+               Bench);
+  std::exit(2);
+}
+
+/// Per-cell overhead lines: "cell <matrix> <flat> <workload> <mode>
+/// <percent|n/a>". The zero-padded flat index makes lexicographic order
+/// equal matrix order, so `sort` merges shard outputs into the unsharded
+/// dump (same contract as fig8's precision cell lines).
+inline void
+printOverheadCellLines(const char *MatrixId,
+                       const std::vector<EvalScheduler::CellOverhead> &Cells,
+                       const std::vector<Workload> &Workloads,
+                       const std::vector<ObfuscationMode> &Modes) {
+  for (size_t WI = 0; WI != Workloads.size(); ++WI)
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      const EvalScheduler::CellOverhead &Cell = Cells[WI * Modes.size() + MI];
+      if (!Cell.Ran)
+        continue;
+      std::printf("cell %s %06zu %s %s %s\n", MatrixId,
+                  WI * Modes.size() + MI, Workloads[WI].Name.c_str(),
+                  obfuscationModeName(Modes[MI]),
+                  Cell.Ok ? TableRenderer::fmtPercent(Cell.Percent).c_str()
+                          : "n/a");
+    }
+}
+
 /// Scheduler diagnostics go to stderr so stdout stays byte-identical
-/// across thread counts.
+/// across thread counts, shard decompositions and cache settings.
 inline void reportScheduler(const EvalScheduler &S, const EvalRunStats &R) {
   std::fprintf(stderr,
-               "[scheduler] threads=%u seed=0x%llx cells=%zu failures=%zu\n",
+               "[scheduler] threads=%u seed=0x%llx shard=%u/%u cells=%zu "
+               "failures=%zu\n",
                S.threadCount(),
-               static_cast<unsigned long long>(S.baseSeed()), R.Cells,
-               R.Failures);
+               static_cast<unsigned long long>(S.baseSeed()), S.shardIndex(),
+               S.shardCount(), R.Cells, R.Failures);
+  std::fprintf(stderr,
+               "[cache] %s hits=%llu misses=%llu recompile-bytes-saved="
+               "%llu\n",
+               S.pipeline().store().enabled() ? "on" : "off",
+               static_cast<unsigned long long>(R.CacheHits),
+               static_cast<unsigned long long>(R.CacheMisses),
+               static_cast<unsigned long long>(R.CacheBytesSaved));
 }
 
 inline void printHeader(const char *Id, const char *Caption) {

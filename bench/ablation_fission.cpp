@@ -25,16 +25,17 @@ using namespace khaos;
 
 namespace {
 
-/// Overhead of plain fission under custom region options.
-bool overheadWithOptions(const Workload &W, const RegionOptions &Regions,
+/// Overhead of plain fission under custom region options. The baseline run
+/// comes from the shared pipeline cache (one compile+run per workload for
+/// both policy variants).
+bool overheadWithOptions(EvalPipeline &Pipe, const Workload &W,
+                         const RegionOptions &Regions,
                          bool IgnoreFrequency, double &OverheadOut,
                          double &AvgParams) {
-  CompiledWorkload Base = compileBaseline(W);
-  if (!Base)
+  auto Base = Pipe.baselineRun(W);
+  if (!Base->Ok)
     return false;
-  ExecResult Ref = runModule(*Base.M);
-  if (!Ref.Ok || Ref.Cost == 0)
-    return false;
+  const ExecResult &Ref = Base->Run;
 
   Context Ctx;
   std::string Error;
@@ -85,11 +86,14 @@ int main() {
   TableRenderer Table({"benchmark", "Alg.1 overhead", "size-greedy overhead",
                        "Alg.1 avg params", "size-greedy avg params"});
   std::vector<double> A1, SG;
+  EvalPipeline Pipe;
   for (const Workload &W : Suite) {
     double OvA = 0, OvB = 0, PA = 0, PB = 0;
     RegionOptions R;
-    bool OkA = overheadWithOptions(W, R, /*IgnoreFrequency=*/false, OvA, PA);
-    bool OkB = overheadWithOptions(W, R, /*IgnoreFrequency=*/true, OvB, PB);
+    bool OkA =
+        overheadWithOptions(Pipe, W, R, /*IgnoreFrequency=*/false, OvA, PA);
+    bool OkB =
+        overheadWithOptions(Pipe, W, R, /*IgnoreFrequency=*/true, OvB, PB);
     if (OkA)
       A1.push_back(OvA);
     if (OkB)

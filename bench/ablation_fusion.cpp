@@ -27,16 +27,20 @@ struct Variant {
   bool DeepFusion;
 };
 
-bool evaluate(const Workload &W, const Variant &V, double &OverheadOut,
-              double &PrecisionOut, double &MergedBlocks) {
-  CompiledWorkload Base = compileBaseline(W);
-  if (!Base)
+bool evaluate(EvalPipeline &Pipe, const Workload &W, const Variant &V,
+              double &OverheadOut, double &PrecisionOut,
+              double &MergedBlocks) {
+  // Baseline run and A-side image come from the shared pipeline cache:
+  // one baseline compile serves both fusion variants.
+  auto BaseRun = Pipe.baselineRun(W);
+  if (!BaseRun->Ok)
     return false;
-  ExecResult Ref = runModule(*Base.M);
-  if (!Ref.Ok || Ref.Cost == 0)
+  const ExecResult &Ref = BaseRun->Run;
+  auto AImg = Pipe.baselineImage(W);
+  if (!AImg->Ok)
     return false;
-  BinaryImage A = lowerToBinary(*Base.M);
-  ImageFeatures FA = extractFeatures(A);
+  const BinaryImage &A = AImg->Image;
+  const ImageFeatures &FA = AImg->Features;
 
   Context Ctx;
   std::string Error;
@@ -92,10 +96,11 @@ int main() {
 
   TableRenderer Table({"benchmark", "variant", "overhead",
                        "Asm2Vec precision@1", "#HBB/pair"});
+  EvalPipeline Pipe;
   for (const Workload &W : Suite) {
     for (const Variant &V : Variants) {
       double Ov = 0, P = 0, HBB = 0;
-      if (evaluate(W, V, Ov, P, HBB))
+      if (evaluate(Pipe, W, V, Ov, P, HBB))
         Table.addRow({W.Name, V.Name, TableRenderer::fmtPercent(Ov),
                       TableRenderer::fmtRatio(P),
                       TableRenderer::fmtRatio(HBB)});

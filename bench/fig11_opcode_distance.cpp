@@ -17,7 +17,8 @@ using namespace khaos;
 
 namespace {
 
-void runSuite(const char *Caption, std::vector<Workload> Suite) {
+void runSuite(EvalPipeline &Pipe, const char *Caption,
+              std::vector<Workload> Suite) {
   struct Config {
     const char *Name;
     ObfuscationMode Mode;
@@ -49,10 +50,10 @@ void runSuite(const char *Caption, std::vector<Workload> Suite) {
   double MaxDist = 0.0;
   for (size_t WI = 0; WI != Suite.size(); ++WI) {
     const Workload &W = Suite[WI];
-    CompiledWorkload Base = compileBaseline(W);
-    if (!Base)
+    std::shared_ptr<const CompiledWorkload> Base = Pipe.baseline(W);
+    if (!*Base)
       continue;
-    std::vector<double> BaseHist = lowerToBinary(*Base.M).opcodeHistogram();
+    std::vector<double> BaseHist = lowerToBinary(*Base->M).opcodeHistogram();
     for (size_t CI = 0; CI != std::size(Configs); ++CI) {
       std::vector<double> ObfHist;
       if (Configs[CI].BinTuner) {
@@ -66,7 +67,7 @@ void runSuite(const char *Caption, std::vector<Workload> Suite) {
         if (!Ok)
           continue;
       } else {
-        CompiledWorkload Obf = compileObfuscated(W, Configs[CI].Mode);
+        CompiledWorkload Obf = Pipe.obfuscate(W, Configs[CI].Mode);
         if (!Obf)
           continue;
         ObfHist = lowerToBinary(*Obf.M).opcodeHistogram();
@@ -101,7 +102,8 @@ void runSuite(const char *Caption, std::vector<Workload> Suite) {
 int main() {
   printHeader("Figure 11",
               "normalized opcode histogram distance (original vs obfuscated)");
-  runSuite("SPEC CPU 2006", maybeThin(specCpu2006Suite()));
-  runSuite("SPEC CPU 2017", maybeThin(specCpu2017Suite()));
+  EvalPipeline Pipe;
+  runSuite(Pipe, "SPEC CPU 2006", maybeThin(specCpu2006Suite()));
+  runSuite(Pipe, "SPEC CPU 2017", maybeThin(specCpu2017Suite()));
   return 0;
 }

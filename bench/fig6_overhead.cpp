@@ -9,7 +9,9 @@
 /// FuFi.all on every SPEC CPU 2006 and 2017 C/C++ benchmark (plus the
 /// geometric mean), measured as the VM dynamic-cost ratio against the
 /// O2+LTO baseline. The (workload × mode) matrix runs on the EvalScheduler
-/// pool; pass --threads N to size it. Output is identical at every N.
+/// pool; pass --threads N to size it. Output is identical at every N and
+/// cache setting; sharded runs (--shards/--shard-index) emit sortable
+/// per-cell lines (as does --print-cells) that merge losslessly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +22,7 @@ using namespace khaos;
 namespace {
 
 void runSuite(const EvalScheduler &Sched, const char *Caption,
+              const char *MatrixId, bool CellMode,
               const std::vector<Workload> &Suite) {
   const std::vector<ObfuscationMode> Modes = {
       ObfuscationMode::Fission, ObfuscationMode::Fusion,
@@ -29,6 +32,12 @@ void runSuite(const EvalScheduler &Sched, const char *Caption,
   EvalRunStats Run;
   std::vector<EvalScheduler::CellOverhead> Cells =
       Sched.overheadMatrix(Suite, Modes, &Run);
+
+  if (CellMode) {
+    printOverheadCellLines(MatrixId, Cells, Suite, Modes);
+    reportScheduler(Sched, Run);
+    return;
+  }
 
   // Aggregate in row-major matrix order: the per-mode series (and thus the
   // floating-point geomean) is independent of worker completion order.
@@ -64,11 +73,14 @@ void runSuite(const EvalScheduler &Sched, const char *Caption,
 
 int main(int argc, char **argv) {
   EvalScheduler Sched(parseSchedulerArgs(argc, argv));
-  printHeader("Figure 6",
-              "runtime overhead of the Khaos modes on SPEC CPU 2006/2017");
-  runSuite(Sched, "SPEC CPU 2006 C/C++ (ref-like input)",
+  const bool CellMode =
+      hasBenchFlag(argc, argv, "--print-cells") || Sched.shardCount() > 1;
+  if (!CellMode)
+    printHeader("Figure 6",
+                "runtime overhead of the Khaos modes on SPEC CPU 2006/2017");
+  runSuite(Sched, "SPEC CPU 2006 C/C++ (ref-like input)", "M0", CellMode,
            maybeThin(specCpu2006Suite()));
-  runSuite(Sched, "SPEC CPU 2017 C/C++ (ref-like input)",
+  runSuite(Sched, "SPEC CPU 2017 C/C++ (ref-like input)", "M1", CellMode,
            maybeThin(specCpu2017Suite()));
   return 0;
 }

@@ -7,6 +7,12 @@
 /// \file
 /// Figure 7: geometric-mean runtime overhead of O-LLVM (Sub, Bog, Fla,
 /// Fla-10) next to the Khaos configurations, on SPEC CPU 2006 and 2017.
+/// Each suite's (workload × mode) matrix fans out on the EvalScheduler
+/// pool (--threads N); the shared pipeline builds and runs each baseline
+/// once and reuses it across all nine modes. Output is identical at every
+/// thread count and cache setting; sharded runs (--shards/--shard-index)
+/// emit sortable per-cell lines (as does --print-cells) that merge
+/// losslessly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,11 +20,15 @@
 
 using namespace khaos;
 
-int main() {
-  printHeader("Figure 7",
-              "O-LLVM vs Khaos geomean overhead (SPEC CPU 2006/2017)");
+int main(int argc, char **argv) {
+  EvalScheduler Sched(parseSchedulerArgs(argc, argv));
+  const bool CellMode =
+      hasBenchFlag(argc, argv, "--print-cells") || Sched.shardCount() > 1;
+  if (!CellMode)
+    printHeader("Figure 7",
+                "O-LLVM vs Khaos geomean overhead (SPEC CPU 2006/2017)");
 
-  const ObfuscationMode Modes[] = {
+  const std::vector<ObfuscationMode> Modes = {
       ObfuscationMode::Sub,     ObfuscationMode::Bog,
       ObfuscationMode::Fla,     ObfuscationMode::Fla10,
       ObfuscationMode::Fission, ObfuscationMode::Fusion,
@@ -35,17 +45,29 @@ int main() {
 
   TableRenderer Table({"suite", "Sub", "Bog", "Fla", "Fla-10", "Fission",
                        "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"});
-  std::vector<std::vector<double>> All(std::size(Modes));
+  std::vector<std::vector<double>> All(Modes.size());
 
-  for (const SuiteDef &S : Suites) {
+  EvalRunStats Run;
+  for (size_t SI = 0; SI != Suites.size(); ++SI) {
+    const SuiteDef &S = Suites[SI];
+    std::vector<EvalScheduler::CellOverhead> Cells =
+        Sched.overheadMatrix(S.Programs, Modes, &Run);
+    if (CellMode) {
+      printOverheadCellLines(SI == 0 ? "M0" : "M1", Cells, S.Programs,
+                             Modes);
+      continue;
+    }
+    // Aggregate in row-major matrix order: the per-mode series (and thus
+    // the geomean) is independent of worker completion order.
     std::vector<std::string> Row{S.Name};
-    for (size_t M = 0; M != std::size(Modes); ++M) {
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
       std::vector<double> Ovs;
-      for (const Workload &W : S.Programs) {
-        double Ov = 0.0;
-        if (measureOverheadPercent(W, Modes[M], Ov)) {
-          Ovs.push_back(Ov);
-          All[M].push_back(Ov);
+      for (size_t WI = 0; WI != S.Programs.size(); ++WI) {
+        const EvalScheduler::CellOverhead &Cell =
+            Cells[WI * Modes.size() + MI];
+        if (Cell.Ok) {
+          Ovs.push_back(Cell.Percent);
+          All[MI].push_back(Cell.Percent);
         }
       }
       Row.push_back(
@@ -53,10 +75,14 @@ int main() {
     }
     Table.addRow(std::move(Row));
   }
-  std::vector<std::string> Geo{"GEOMEAN"};
-  for (size_t M = 0; M != std::size(Modes); ++M)
-    Geo.push_back(TableRenderer::fmtPercent(geomeanOverheadPercent(All[M])));
-  Table.addRow(std::move(Geo));
-  Table.print();
+  if (!CellMode) {
+    std::vector<std::string> Geo{"GEOMEAN"};
+    for (size_t MI = 0; MI != Modes.size(); ++MI)
+      Geo.push_back(
+          TableRenderer::fmtPercent(geomeanOverheadPercent(All[MI])));
+    Table.addRow(std::move(Geo));
+    Table.print();
+  }
+  reportScheduler(Sched, Run);
   return 0;
 }

@@ -8,9 +8,14 @@
 /// Figure 8: Precision@1 of the five diffing tools against eight
 /// obfuscation configurations, averaged over T-I (SPEC) + T-II
 /// (CoreUtils). DeepBinDiff runs on the reduced suite, mirroring the
-/// paper's <40k-line restriction. Both (workload × mode) matrices fan out
-/// on the EvalScheduler pool; pass --threads N to size it. Output is
-/// identical at every N.
+/// paper's <40k-line restriction. Both matrices fan out over the
+/// EvalScheduler's (cell × tool) task plane; pass --threads N to size the
+/// pool. Output is identical at every N, with the cache on or off
+/// (--no-cache), and composes across shard runs (--shards/--shard-index):
+/// with --print-cells the bench emits one sortable line per (cell × tool)
+/// task, and the sorted union of all shards' lines equals the sorted
+/// unsharded output. Sharded runs always use the per-cell format — an
+/// aggregate table over a shard's cells alone would be misleading.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,12 +46,40 @@ meanPrecision(const std::vector<EvalScheduler::CellPrecision> &Cells,
   return Out;
 }
 
+/// Per-(cell × tool) lines: "cell <matrix> <task> <workload> <mode> <tool>
+/// <precision>". The zero-padded task index makes lexicographic order equal
+/// task order, so `sort` merges shard outputs into the unsharded output.
+void printCellLines(const char *MatrixId,
+                    const std::vector<EvalScheduler::CellPrecision> &Cells,
+                    const std::vector<Workload> &Workloads,
+                    const std::vector<ObfuscationMode> &Modes,
+                    const std::vector<std::string> &Tools) {
+  for (size_t WI = 0; WI != Workloads.size(); ++WI)
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      const EvalScheduler::CellPrecision &Cell = Cells[WI * Modes.size() + MI];
+      if (!Cell.Ran)
+        continue;
+      for (size_t TI = 0; TI != Tools.size(); ++TI) {
+        double P = Cell.Ok ? Cell.PerTool[TI] : -1.0;
+        std::printf("cell %s %06zu %s %s %s %s\n", MatrixId,
+                    (WI * Modes.size() + MI) * Tools.size() + TI,
+                    Workloads[WI].Name.c_str(),
+                    obfuscationModeName(Modes[MI]), Tools[TI].c_str(),
+                    P >= 0.0 ? TableRenderer::fmtRatio(P).c_str() : "n/a");
+      }
+    }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   EvalScheduler Sched(parseSchedulerArgs(argc, argv));
-  printHeader("Figure 8",
-              "Precision@1 of five binary diffing tools (relaxed pairing)");
+  const bool CellMode =
+      hasBenchFlag(argc, argv, "--print-cells") || Sched.shardCount() > 1;
+
+  if (!CellMode)
+    printHeader("Figure 8",
+                "Precision@1 of five binary diffing tools (relaxed pairing)");
 
   std::vector<Workload> Main = maybeThin(specCpu2006Suite());
   {
@@ -79,6 +112,13 @@ int main(int argc, char **argv) {
       Sched.precisionMatrix(Main, Modes, LightTools, &Run);
   std::vector<EvalScheduler::CellPrecision> SmallCells =
       Sched.precisionMatrix(Small, Modes, HeavyTools, &Run);
+
+  if (CellMode) {
+    printCellLines("M0", MainCells, Main, Modes, LightTools);
+    printCellLines("M1", SmallCells, Small, Modes, HeavyTools);
+    reportScheduler(Sched, Run);
+    return 0;
+  }
 
   std::vector<std::vector<double>> LightMeans = meanPrecision(
       MainCells, Main.size(), Modes.size(), LightTools.size());

@@ -8,7 +8,10 @@
 /// Figure 9: BinDiff similarity scores of BinTuner's best option tuple and
 /// of Khaos (FuFi.all) against reference builds at O0..O3, for the
 /// SPECint 2006 / SPECspeed 2017 benchmarks the paper plots — plus
-/// BinTuner's runtime overhead (the paper reports 30.35%).
+/// BinTuner's runtime overhead (the paper reports 30.35%). Rows fan out on
+/// the EvalScheduler pool; the pipeline caches each workload's FuFi.all
+/// image once and diffs it against all four cached reference-level images
+/// instead of recompiling the obfuscated build per level.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,28 +29,31 @@ const char *Fig9Names[] = {
     "620.omnetpp_s", "623.xalancbmk_s", "625.x264_s",
     "631.deepsjeng_s", "641.leela_s",  "657.xz_s"};
 
-/// BinDiff similarity of a Khaos(FuFi.all) build against a build at the
-/// given reference level.
-double khaosSimilarityVsLevel(const Workload &W, OptLevel Level) {
-  CompiledWorkload Ref = compileBaseline(W, Level);
-  if (!Ref)
-    return 0.0;
+/// BinDiff similarity of the cell's Khaos (FuFi.all) build against a
+/// cached reference build at the given level.
+double khaosSimilarityVsLevel(EvalPipeline &Pipe, const EvalCell &C,
+                              OptLevel Level) {
   CodegenOptions RefCG;
   RefCG.SpillEverything = Level == OptLevel::O0;
-  BinaryImage A = lowerToBinary(*Ref.M, RefCG);
-  ImageFeatures FA = extractFeatures(A);
-
-  CompiledWorkload Obf = compileObfuscated(W, ObfuscationMode::FuFiAll);
-  if (!Obf)
+  auto Ref = Pipe.baselineImage(*C.W, Level, RefCG);
+  auto Obf = Pipe.obfuscatedImage(*C.W, ObfuscationMode::FuFiAll, C.Seed);
+  if (!Ref->Ok || !Obf->Ok)
     return 0.0;
-  BinaryImage B = lowerToBinary(*Obf.M);
-  ImageFeatures FB = extractFeatures(B);
-  return createBinDiffTool()->diff(A, FA, B, FB).WholeBinarySimilarity;
+  return createDiffTool("BinDiff")
+      ->diff(Ref->Image, Ref->Features, Obf->Image, Obf->Features)
+      .WholeBinarySimilarity;
 }
+
+struct RowResult {
+  BinTunerResult BT;
+  double KhaosSim[4] = {0, 0, 0, 0};
+};
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  EvalScheduler Sched(parseSchedulerArgs(argc, argv));
+  requireUnsharded(Sched, "fig9_bindiff_options");
   printHeader("Figure 9", "BinDiff similarity: BinTuner vs Khaos across "
                           "compiler option levels");
 
@@ -63,29 +69,42 @@ int main() {
   if (quickMode())
     Picked.resize(4);
 
+  // One row per workload; the single FuFi.all "mode column" makes each row
+  // one scheduler cell, so rows run concurrently and land at their
+  // workload index.
+  const std::vector<ObfuscationMode> RowMode = {ObfuscationMode::FuFiAll};
+  std::vector<RowResult> Rows(Picked.size());
+  Sched.forEachCell(Picked, RowMode, [&](const EvalCell &C) {
+    RowResult &Row = Rows[C.WorkloadIdx];
+    BinTunerOptions Opts;
+    Opts.Budget = quickMode() ? 6 : 24;
+    Row.BT = runBinTuner(*C.W, Opts);
+    for (int L = 0; L != 4; ++L)
+      Row.KhaosSim[L] =
+          khaosSimilarityVsLevel(Sched.pipeline(), C,
+                                 static_cast<OptLevel>(L));
+  });
+
   TableRenderer Table({"benchmark", "BT.vsO0", "BT.vsO1", "BT.vsO2",
                        "BT.vsO3", "Kh.vsO0", "Kh.vsO1", "Kh.vsO2",
                        "Kh.vsO3"});
   std::vector<std::vector<double>> Cols(8);
   std::vector<double> BTOverheads;
 
-  for (const Workload &W : Picked) {
-    BinTunerOptions Opts;
-    Opts.Budget = quickMode() ? 6 : 24;
-    BinTunerResult BT = runBinTuner(W, Opts);
-    std::vector<std::string> Row{W.Name};
+  for (size_t WI = 0; WI != Picked.size(); ++WI) {
+    const RowResult &R = Rows[WI];
+    std::vector<std::string> Row{Picked[WI].Name};
     for (int L = 0; L != 4; ++L) {
-      double S = BT.Ok ? BT.SimilarityVsLevel[L] : 0.0;
+      double S = R.BT.Ok ? R.BT.SimilarityVsLevel[L] : 0.0;
       Cols[L].push_back(S);
       Row.push_back(TableRenderer::fmtRatio(S));
     }
     for (int L = 0; L != 4; ++L) {
-      double S = khaosSimilarityVsLevel(W, static_cast<OptLevel>(L));
-      Cols[4 + L].push_back(S);
-      Row.push_back(TableRenderer::fmtRatio(S));
+      Cols[4 + L].push_back(R.KhaosSim[L]);
+      Row.push_back(TableRenderer::fmtRatio(R.KhaosSim[L]));
     }
-    if (BT.Ok)
-      BTOverheads.push_back(BT.OverheadPercent);
+    if (R.BT.Ok)
+      BTOverheads.push_back(R.BT.OverheadPercent);
     Table.addRow(std::move(Row));
   }
   std::vector<std::string> Geo{"GEOMEAN"};

@@ -101,7 +101,7 @@ void BM_DiffBinDiff(benchmark::State &State) {
   S.NumFunctions = 40;
   S.Seed = 99;
   Workload W{S.Name, generateMiniCProgram(S), {}, {}};
-  DiffImages Imgs = buildDiffImages(W, ObfuscationMode::FuFiAll);
+  DiffImages Imgs = EvalPipeline().diffImages(W, ObfuscationMode::FuFiAll);
   auto Tool = createBinDiffTool();
   for (auto _ : State) {
     DiffResult R = Tool->diff(Imgs.A, Imgs.FA, Imgs.B, Imgs.FB);

@@ -21,9 +21,13 @@ int main() {
   TableRenderer Table({"diffing", "granularity", "symbol relying",
                        "time consuming", "memory consuming",
                        "call-graph lacking"});
-  for (const auto &Tool : createAllDiffTools()) {
+  // Every row comes straight from the registry, in registration (Table-1)
+  // order, so a newly registered backend shows up here automatically.
+  for (const std::string &Name : registeredToolNames()) {
+    auto Tool = createDiffTool(Name);
     ToolTraits T = Tool->getTraits();
-    Table.addRow({Tool->getName(), T.Granularity, T.UsesSymbols ? "Y" : "N",
+    Table.addRow({Tool->getName(), toolGranularityName(T.Granularity),
+                  T.UsesSymbols ? "Y" : "N",
                   T.TimeConsuming ? "Y" : "N",
                   T.MemoryConsuming ? "Y" : "N",
                   T.UsesCallGraph ? "N" : "Y"});
@@ -32,18 +36,19 @@ int main() {
 
   // Measured sanity probe: symbol reliance shows up as a precision gap
   // between stripped and un-stripped diffing for BinDiff only.
+  EvalPipeline Pipe;
   std::vector<Workload> Suite = maybeThin(specCpu2006Suite(), 8);
   if (!Suite.empty()) {
     const Workload &W = Suite.front();
-    DiffImages Imgs = buildDiffImages(W, ObfuscationMode::Fission);
+    DiffImages Imgs = Pipe.diffImages(W, ObfuscationMode::Fission);
     if (Imgs.Ok) {
       DiffImages Stripped = Imgs;
       for (MFunction &F : Stripped.B.Functions)
         F.Name = "sub_" + std::to_string(F.Address); // Strip symbols.
       Stripped.FB = extractFeatures(Stripped.B);
-      auto BinDiff = createBinDiffTool();
-      double WithSyms = runDiffTool(*BinDiff, Imgs).Precision;
-      double NoSyms = runDiffTool(*BinDiff, Stripped).Precision;
+      auto BinDiff = createDiffTool("BinDiff");
+      double WithSyms = Pipe.runDiffTool(*BinDiff, Imgs).Precision;
+      double NoSyms = Pipe.runDiffTool(*BinDiff, Stripped).Precision;
       std::printf("\nmeasured symbol reliance (BinDiff, %s, Fission): "
                   "un-stripped %.3f vs stripped %.3f\n",
                   W.Name.c_str(), WithSyms, NoSyms);

@@ -45,7 +45,7 @@ SuiteStats gather(const EvalScheduler &Sched,
     // A frontend failure leaves R zero-initialized, so merging it is a
     // no-op — no gating needed.
     ObfuscationResult R;
-    compileObfuscated(*C.W, C.Mode, Opts, &R);
+    Sched.pipeline().obfuscate(*C.W, C.Mode, Opts, &R);
     std::lock_guard<std::mutex> Lock(M);
     if (C.Mode == ObfuscationMode::Fission) {
       S.Fission.OriFuncs += R.Fission.OriFuncs;
@@ -71,6 +71,7 @@ SuiteStats gather(const EvalScheduler &Sched,
 
 int main(int argc, char **argv) {
   EvalScheduler Sched(parseSchedulerArgs(argc, argv));
+  requireUnsharded(Sched, "table2_internals");
   printHeader("Table 2", "statistics of the fission and the fusion");
 
   struct SuiteDef {

@@ -7,33 +7,40 @@
 /// \file
 /// Table 3: the vulnerable functions of Test Suite III, with the measured
 /// post-obfuscation rank of each function under FuFi.all + Asm2Vec (the
-/// per-function detail behind Figure 10).
+/// per-function detail behind Figure 10). The (workload × FuFi.all) cells
+/// fan out via EvalScheduler::vulnRankMatrix over the shared pipeline;
+/// rows are emitted in suite order regardless of completion order.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
-#include "diffing/Metrics.h"
+#include <cstdint>
 
 using namespace khaos;
 
-int main() {
+int main(int argc, char **argv) {
+  EvalScheduler Sched(parseSchedulerArgs(argc, argv));
+  requireUnsharded(Sched, "table3_cves");
   printHeader("Table 3", "vulnerable functions of Test Suite III");
+
+  std::vector<Workload> Suite = vulnerableSuite();
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::FuFiAll};
+  const std::vector<std::string> Tools = {"Asm2Vec"};
+
+  EvalRunStats Run;
+  std::vector<EvalScheduler::CellRanks> Cells =
+      Sched.vulnRankMatrix(Suite, Modes, Tools, &Run);
 
   TableRenderer Table({"program", "function", "CVE",
                        "rank (FuFi.all, Asm2Vec)", "escapes top-50"});
-  auto Tool = createAsm2VecTool();
-
-  for (const Workload &W : vulnerableSuite()) {
-    DiffImages Imgs = buildDiffImages(W, ObfuscationMode::FuFiAll);
-    DiffOutcome O;
-    if (Imgs.Ok)
-      O = runDiffTool(*Tool, Imgs);
+  for (size_t WI = 0; WI != Suite.size(); ++WI) {
+    const Workload &W = Suite[WI];
+    const EvalScheduler::CellRanks &Cell = Cells[WI];
     for (size_t V = 0; V != W.VulnFunctions.size(); ++V) {
       std::string Rank = "n/a", Escapes = "n/a";
-      if (Imgs.Ok) {
-        uint32_t R = trueMatchRank(Imgs.A, Imgs.B, O.Raw,
-                                   W.VulnFunctions[V]);
+      if (Cell.Ok) {
+        uint32_t R = Cell.PerTool[0][V];
         Rank = R == UINT32_MAX ? "not found" : std::to_string(R);
         Escapes = (R > 50) ? "yes" : "no";
       }
@@ -42,5 +49,6 @@ int main() {
     }
   }
   Table.print();
+  reportScheduler(Sched, Run);
   return 0;
 }

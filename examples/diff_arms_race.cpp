@@ -34,6 +34,7 @@ int main(int argc, char **argv) {
   }
 
   std::printf("workload: %s\n\n", W->Name.c_str());
+  EvalPipeline Pipe;
   auto Tools = createAllDiffTools();
 
   TableRenderer Table({"mode", "overhead", "BinDiff", "VulSeeker",
@@ -41,13 +42,13 @@ int main(int argc, char **argv) {
   for (ObfuscationMode Mode : allObfuscationModes()) {
     std::vector<std::string> Row{obfuscationModeName(Mode)};
     double Ov = 0.0;
-    Row.push_back(measureOverheadPercent(*W, Mode, Ov)
+    Row.push_back(Pipe.overheadPercent(*W, Mode, Ov)
                       ? TableRenderer::fmtPercent(Ov)
                       : "n/a");
-    DiffImages Imgs = buildDiffImages(*W, Mode);
+    DiffImages Imgs = Pipe.diffImages(*W, Mode);
     for (const auto &Tool : Tools)
       Row.push_back(Imgs.Ok ? TableRenderer::fmtRatio(
-                                  runDiffTool(*Tool, Imgs).Precision)
+                                  Pipe.runDiffTool(*Tool, Imgs).Precision)
                             : "n/a");
     Table.addRow(std::move(Row));
   }

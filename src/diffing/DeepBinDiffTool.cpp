@@ -38,7 +38,7 @@ public:
   const char *getName() const override { return "DeepBinDiff"; }
   ToolTraits getTraits() const override {
     ToolTraits T;
-    T.Granularity = "basic block";
+    T.Granularity = ToolGranularity::BasicBlock;
     T.TimeConsuming = true;
     T.MemoryConsuming = true;
     T.UsesCallGraph = true;

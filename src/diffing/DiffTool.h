@@ -28,6 +28,7 @@
 
 #include "diffing/BinaryFeatures.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,9 +43,16 @@ struct DiffResult {
   double WholeBinarySimilarity = 0.0;
 };
 
+/// Matching granularity of a tool (paper Table 1). An enum so registry
+/// consumers can branch on it without string compares.
+enum class ToolGranularity : uint8_t { Function, BasicBlock };
+
+/// Printable granularity, spelled as in the paper's Table 1.
+const char *toolGranularityName(ToolGranularity G);
+
 /// Static tool characteristics (paper Table 1).
 struct ToolTraits {
-  const char *Granularity = "function";
+  ToolGranularity Granularity = ToolGranularity::Function;
   bool UsesSymbols = false;
   bool TimeConsuming = false;
   bool MemoryConsuming = false;
@@ -68,7 +76,35 @@ std::unique_ptr<DiffTool> createAsm2VecTool();
 std::unique_ptr<DiffTool> createSafeTool();
 std::unique_ptr<DiffTool> createDeepBinDiffTool();
 
-/// All five, in the paper's order.
+//===----------------------------------------------------------------------===//
+// Tool registry: a string-keyed factory table. The five paper tools are
+// pre-registered in Table-1 order; new backends (an ORCAS- or jTrans-style
+// analogue) register themselves and immediately become addressable by every
+// matrix bench through EvalScheduler::precisionMatrix.
+//===----------------------------------------------------------------------===//
+
+using DiffToolFactory = std::function<std::unique_ptr<DiffTool>()>;
+
+/// Registers \p Factory under \p Name. Returns false (and registers
+/// nothing) if the name is already taken. Thread-safe.
+bool registerDiffTool(const std::string &Name, DiffToolFactory Factory);
+
+/// Instantiates the registered tool \p Name. Unknown names are a hard
+/// error (message + abort): a misspelled tool would otherwise render as an
+/// all-zero figure row.
+std::unique_ptr<DiffTool> createDiffTool(const std::string &Name);
+
+/// Like createDiffTool, but returns nullptr for unknown names.
+std::unique_ptr<DiffTool> tryCreateDiffTool(const std::string &Name);
+
+/// True if \p Name is registered.
+bool isDiffToolRegistered(const std::string &Name);
+
+/// Registered names, in registration order (the five paper tools first, in
+/// Table-1 order: BinDiff, VulSeeker, Asm2Vec, SAFE, DeepBinDiff).
+std::vector<std::string> registeredToolNames();
+
+/// One instance of every registered tool, in registration order.
 std::vector<std::unique_ptr<DiffTool>> createAllDiffTools();
 
 } // namespace khaos

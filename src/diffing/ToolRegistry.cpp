@@ -1,21 +1,140 @@
-//===- diffing/ToolRegistry.cpp - Tool construction --------------------------------===//
+//===- diffing/ToolRegistry.cpp - Diffing tool factory registry -----------===//
 //
 // Part of the Khaos reproduction project.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// String-keyed factory registry behind the DiffTool surface. The five
+/// paper tools are registered lazily on first access, in Table-1 order;
+/// additional backends register at any time and slot into every matrix
+/// bench without further wiring.
+///
+//===----------------------------------------------------------------------===//
 
 #include "diffing/DiffTool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 using namespace khaos;
 
 DiffTool::~DiffTool() = default;
 
+const char *khaos::toolGranularityName(ToolGranularity G) {
+  switch (G) {
+  case ToolGranularity::Function:
+    return "function";
+  case ToolGranularity::BasicBlock:
+    return "basic block";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Registry {
+  std::mutex M;
+  /// Registration order matters (figure legends, Table 1); keep a vector
+  /// of (name, factory) rather than a map.
+  std::vector<std::pair<std::string, DiffToolFactory>> Tools;
+
+  DiffToolFactory *find(const std::string &Name) {
+    for (auto &Entry : Tools)
+      if (Entry.first == Name)
+        return &Entry.second;
+    return nullptr;
+  }
+};
+
+Registry &registry() {
+  static Registry R;
+  // Thread-safe one-time seeding (C++ guarantees static-local init runs
+  // once): the paper's five confrontation targets, in Table-1 order.
+  static const bool Seeded = [] {
+    R.Tools.emplace_back("BinDiff", createBinDiffTool);
+    R.Tools.emplace_back("VulSeeker", createVulSeekerTool);
+    R.Tools.emplace_back("Asm2Vec", createAsm2VecTool);
+    R.Tools.emplace_back("SAFE", createSafeTool);
+    R.Tools.emplace_back("DeepBinDiff", createDeepBinDiffTool);
+    return true;
+  }();
+  (void)Seeded;
+  return R;
+}
+
+} // namespace
+
+bool khaos::registerDiffTool(const std::string &Name,
+                             DiffToolFactory Factory) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (R.find(Name))
+    return false;
+  R.Tools.emplace_back(Name, std::move(Factory));
+  return true;
+}
+
+std::unique_ptr<DiffTool> khaos::tryCreateDiffTool(const std::string &Name) {
+  // Copy the factory out and invoke it unlocked: a composing backend's
+  // factory may legitimately call back into the registry (e.g. an
+  // ensemble tool wrapping "BinDiff"), and per-task tool construction
+  // must not serialize on the registry mutex.
+  DiffToolFactory Factory;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.M);
+    if (DiffToolFactory *F = R.find(Name))
+      Factory = *F;
+  }
+  return Factory ? Factory() : nullptr;
+}
+
+std::unique_ptr<DiffTool> khaos::createDiffTool(const std::string &Name) {
+  std::unique_ptr<DiffTool> Tool = tryCreateDiffTool(Name);
+  if (!Tool) {
+    std::fprintf(stderr,
+                 "createDiffTool: unknown diffing tool '%s' (registered:",
+                 Name.c_str());
+    for (const std::string &Known : registeredToolNames())
+      std::fprintf(stderr, " %s", Known.c_str());
+    std::fprintf(stderr, ")\n");
+    std::abort();
+  }
+  return Tool;
+}
+
+bool khaos::isDiffToolRegistered(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.find(Name) != nullptr;
+}
+
+std::vector<std::string> khaos::registeredToolNames() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<std::string> Names;
+  Names.reserve(R.Tools.size());
+  for (const auto &Entry : R.Tools)
+    Names.push_back(Entry.first);
+  return Names;
+}
+
 std::vector<std::unique_ptr<DiffTool>> khaos::createAllDiffTools() {
+  // Snapshot the factories under the lock, instantiate unlocked (see
+  // tryCreateDiffTool).
+  std::vector<DiffToolFactory> Factories;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.M);
+    Factories.reserve(R.Tools.size());
+    for (const auto &Entry : R.Tools)
+      Factories.push_back(Entry.second);
+  }
   std::vector<std::unique_ptr<DiffTool>> Tools;
-  Tools.push_back(createBinDiffTool());
-  Tools.push_back(createVulSeekerTool());
-  Tools.push_back(createAsm2VecTool());
-  Tools.push_back(createSafeTool());
-  Tools.push_back(createDeepBinDiffTool());
+  Tools.reserve(Factories.size());
+  for (const DiffToolFactory &F : Factories)
+    Tools.push_back(F());
   return Tools;
 }

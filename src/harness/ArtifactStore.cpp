@@ -1,0 +1,150 @@
+//===- harness/ArtifactStore.cpp - Content-addressed artifacts ------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ArtifactStore.h"
+
+#include <cassert>
+#include <tuple>
+
+using namespace khaos;
+
+const char *khaos::artifactStageName(ArtifactStage Stage) {
+  switch (Stage) {
+  case ArtifactStage::Baseline:
+    return "baseline";
+  case ArtifactStage::BaselineRun:
+    return "baseline-run";
+  case ArtifactStage::BaselineImage:
+    return "baseline-image";
+  case ArtifactStage::FissionStage:
+    return "fission-stage";
+  case ArtifactStage::ObfuscatedImage:
+    return "obfuscated-image";
+  case ArtifactStage::NumStages:
+    break;
+  }
+  return "?";
+}
+
+bool ArtifactKey::operator<(const ArtifactKey &O) const {
+  return std::tie(Stage, Workload, Mode, Seed, Extra, SourceHash) <
+         std::tie(O.Stage, O.Workload, O.Mode, O.Seed, O.Extra,
+                  O.SourceHash);
+}
+
+bool ArtifactKey::operator==(const ArtifactKey &O) const {
+  return Stage == O.Stage && Workload == O.Workload && Mode == O.Mode &&
+         Seed == O.Seed && Extra == O.Extra && SourceHash == O.SourceHash;
+}
+
+uint64_t ArtifactKey::address() const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  };
+  for (char C : Workload) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  Mix(static_cast<uint64_t>(Mode));
+  Mix(Seed);
+  Mix(static_cast<uint64_t>(Stage));
+  Mix(Extra);
+  Mix(SourceHash);
+  return H;
+}
+
+ArtifactStore::Snapshot
+ArtifactStore::Snapshot::delta(const Snapshot &After,
+                               const Snapshot &Before) {
+  Snapshot D;
+  for (size_t S = 0; S != static_cast<size_t>(ArtifactStage::NumStages);
+       ++S) {
+    D.PerStage[S].Hits = After.PerStage[S].Hits - Before.PerStage[S].Hits;
+    D.PerStage[S].Misses =
+        After.PerStage[S].Misses - Before.PerStage[S].Misses;
+  }
+  D.Hits = After.Hits - Before.Hits;
+  D.Misses = After.Misses - Before.Misses;
+  D.BytesSaved = After.BytesSaved - Before.BytesSaved;
+  return D;
+}
+
+std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
+    const ArtifactKey &K, uint64_t CostBytes, std::type_index Type,
+    const std::function<std::shared_ptr<const void>()> &F) {
+  size_t StageIdx = static_cast<size_t>(K.Stage);
+  assert(StageIdx < static_cast<size_t>(ArtifactStage::NumStages) &&
+         "key has an invalid stage");
+
+  if (!Enabled) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Counters.Misses += 1;
+      Counters.PerStage[StageIdx].Misses += 1;
+    }
+    return F();
+  }
+
+  std::promise<std::shared_ptr<const void>> Promise;
+  std::shared_future<std::shared_ptr<const void>> Existing;
+  bool Hit = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Artifacts.find(K);
+    if (It != Artifacts.end()) {
+      assert(It->second.Type == Type &&
+             "one key requested with two artifact types");
+      Counters.Hits += 1;
+      Counters.PerStage[StageIdx].Hits += 1;
+      Counters.BytesSaved += It->second.CostBytes;
+      Existing = It->second.Value;
+      Hit = true;
+    } else {
+      Counters.Misses += 1;
+      Counters.PerStage[StageIdx].Misses += 1;
+      Artifacts.emplace(K, Entry{Promise.get_future().share(), Type,
+                                 CostBytes});
+    }
+  }
+
+  // Waiting (outside the lock) on a computation another thread started
+  // still counts as a hit: the work is not redone.
+  if (Hit)
+    return Existing.get();
+
+  // First requester: compute outside the lock (single-flight). If the
+  // computation throws, the exception must reach the promise too —
+  // otherwise every later requester of this key would block forever on a
+  // never-ready future.
+  std::shared_ptr<const void> Value;
+  try {
+    Value = F();
+  } catch (...) {
+    Promise.set_exception(std::current_exception());
+    throw;
+  }
+  Promise.set_value(Value);
+  return Value;
+}
+
+ArtifactStore::Snapshot ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}
+
+size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Artifacts.size();
+}
+
+void ArtifactStore::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Artifacts.clear();
+}

@@ -1,0 +1,154 @@
+//===- harness/ArtifactStore.h - Content-addressed artifacts ----*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-safe, content-addressed store for evaluation-pipeline artifacts.
+/// Every artifact is a pure function of its key — (workload name, mode,
+/// seed, stage, options fingerprint) — so re-runs, sibling modes and
+/// sibling (cell × tool) tasks can share one computation:
+///
+///   * the un-obfuscated baseline (and its A-side image) is built once per
+///     workload and shared by all obfuscation modes,
+///   * the fission-stage module is computed once and cloned by the Fission
+///     and FuFi.{sep,ori,all} consumers,
+///   * the five diffing tools of one cell diff the same cached image pair.
+///
+/// Lookups are single-flight: the first requester of a key computes the
+/// artifact outside the store lock while later requesters block on a
+/// shared future, so no artifact is ever computed twice — and with the
+/// store disabled (--no-cache) every request computes, which keeps cached
+/// and uncached runs on the same code path and byte-identical output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_HARNESS_ARTIFACTSTORE_H
+#define KHAOS_HARNESS_ARTIFACTSTORE_H
+
+#include "obfuscation/KhaosDriver.h"
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+
+namespace khaos {
+
+/// The pipeline stages whose outputs are worth sharing. Stage is part of
+/// the artifact key, and the store keeps hit/miss counters per stage.
+enum class ArtifactStage : uint8_t {
+  Baseline,        ///< Compiled + optimized un-obfuscated module.
+  BaselineRun,     ///< VM execution of the O2 baseline (cost/stdout/exit).
+  BaselineImage,   ///< Lowered A-side BinaryImage + ImageFeatures.
+  FissionStage,    ///< Post-fission module shared by Fission/FuFi modes.
+  ObfuscatedImage, ///< Lowered B-side BinaryImage + ImageFeatures.
+  NumStages,
+};
+
+/// Printable stage name for telemetry.
+const char *artifactStageName(ArtifactStage Stage);
+
+/// Identity of one artifact: the tuple the artifact is a pure function of.
+/// \c Extra fingerprints stage-specific options (opt level, codegen style,
+/// fission options) and \c SourceHash fingerprints the workload's MiniC
+/// source, so neither incompatible configurations nor two workloads that
+/// merely share a name can alias.
+struct ArtifactKey {
+  std::string Workload;
+  ObfuscationMode Mode = ObfuscationMode::None;
+  uint64_t Seed = 0;
+  ArtifactStage Stage = ArtifactStage::Baseline;
+  uint64_t Extra = 0;
+  uint64_t SourceHash = 0;
+
+  bool operator<(const ArtifactKey &O) const;
+  bool operator==(const ArtifactKey &O) const;
+
+  /// The content address: an FNV-1a mix of every field. Collisions are
+  /// harmless for correctness (the store compares full keys); the address
+  /// exists for telemetry and cross-process artifact naming.
+  uint64_t address() const;
+};
+
+class ArtifactStore {
+public:
+  struct StageCounters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+
+  /// Monotonic counter snapshot. Matrix runs diff two snapshots to report
+  /// per-run telemetry while the store itself lives across runs.
+  struct Snapshot {
+    StageCounters PerStage[static_cast<size_t>(ArtifactStage::NumStages)];
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    /// Bytes of MiniC source whose recompilation hits avoided.
+    uint64_t BytesSaved = 0;
+
+    StageCounters stage(ArtifactStage S) const {
+      return PerStage[static_cast<size_t>(S)];
+    }
+    /// Counter-wise After - Before.
+    static Snapshot delta(const Snapshot &After, const Snapshot &Before);
+  };
+
+  /// A disabled store never retains anything: every request recomputes
+  /// (counted as a miss), which is what --no-cache runs use.
+  explicit ArtifactStore(bool Enabled = true) : Enabled(Enabled) {}
+
+  bool enabled() const { return Enabled; }
+
+  /// Returns the artifact for \p K, computing it with \p Compute on first
+  /// request. \p CostBytes is the recompilation cost a future hit on this
+  /// key avoids (by convention the workload's MiniC source size).
+  ///
+  /// \p Compute must be a pure function of the key; it runs outside the
+  /// store lock. Failed computations are artifacts too (e.g. a
+  /// CompiledWorkload carrying its frontend error), so failures are
+  /// computed once like successes, never retried.
+  template <typename T>
+  std::shared_ptr<const T>
+  getOrCompute(const ArtifactKey &K, uint64_t CostBytes,
+               const std::function<std::shared_ptr<const T>()> &Compute) {
+    return std::static_pointer_cast<const T>(getOrComputeErased(
+        K, CostBytes, std::type_index(typeid(T)),
+        [&Compute]() -> std::shared_ptr<const void> { return Compute(); }));
+  }
+
+  /// Current counters (cheap copy under the lock).
+  Snapshot stats() const;
+
+  /// Number of retained artifacts.
+  size_t size() const;
+
+  /// Drops every artifact (counters are kept: they are monotonic).
+  void clear();
+
+private:
+  std::shared_ptr<const void>
+  getOrComputeErased(const ArtifactKey &K, uint64_t CostBytes,
+                     std::type_index Type,
+                     const std::function<std::shared_ptr<const void>()> &F);
+
+  struct Entry {
+    std::shared_future<std::shared_ptr<const void>> Value;
+    std::type_index Type;
+    uint64_t CostBytes = 0;
+  };
+
+  const bool Enabled;
+  mutable std::mutex M;
+  std::map<ArtifactKey, Entry> Artifacts;
+  Snapshot Counters;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_HARNESS_ARTIFACTSTORE_H

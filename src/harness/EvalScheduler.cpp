@@ -6,6 +6,7 @@
 
 #include "harness/EvalScheduler.h"
 
+#include "diffing/Metrics.h"
 #include "support/RNG.h"
 
 #include <atomic>
@@ -52,52 +53,55 @@ void EvalRunStats::countCell(bool Failed) {
   Failures += Failed ? 1 : 0;
 }
 
+void EvalRunStats::mergeCache(const ArtifactStore::Snapshot &Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  CacheHits += Delta.Hits;
+  CacheMisses += Delta.Misses;
+  CacheBytesSaved += Delta.BytesSaved;
+}
+
 EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
+  if (Cfg.Shards == 0)
+    Cfg.Shards = 1;
+  if (Cfg.ShardIdx >= Cfg.Shards) {
+    std::fprintf(stderr,
+                 "EvalScheduler: shard index %u out of range for %u "
+                 "shards\n",
+                 Cfg.ShardIdx, Cfg.Shards);
+    std::abort();
+  }
   Workers = Cfg.Threads;
   if (Workers == 0) {
     Workers = std::thread::hardware_concurrency();
     if (Workers == 0)
       Workers = 1;
   }
+  EvalPipeline::Config PC;
+  PC.CacheEnabled = Cfg.CacheEnabled;
+  Pipe = std::make_shared<EvalPipeline>(PC);
 }
 
-void EvalScheduler::forEachCell(
-    const std::vector<Workload> &Workloads,
-    const std::vector<ObfuscationMode> &Modes,
-    const std::function<void(const EvalCell &)> &Fn) const {
-  std::vector<EvalCell> Cells;
-  Cells.reserve(Workloads.size() * Modes.size());
-  for (size_t WI = 0; WI != Workloads.size(); ++WI)
-    for (size_t MI = 0; MI != Modes.size(); ++MI) {
-      EvalCell C;
-      C.W = &Workloads[WI];
-      C.Mode = Modes[MI];
-      C.Seed = deriveCellSeed(Cfg.Seed, Workloads[WI].Name, Modes[MI]);
-      C.WorkloadIdx = WI;
-      C.ModeIdx = MI;
-      C.FlatIdx = WI * Modes.size() + MI;
-      Cells.push_back(C);
-    }
-
+void EvalScheduler::runPool(size_t N,
+                            const std::function<void(size_t)> &Fn) const {
   unsigned Pool = Workers;
-  if (Pool > Cells.size())
-    Pool = static_cast<unsigned>(Cells.size());
+  if (Pool > N)
+    Pool = static_cast<unsigned>(N);
 
   if (Pool <= 1) {
-    for (const EvalCell &C : Cells)
-      Fn(C);
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
     return;
   }
 
-  // Work-stealing by atomic ticket: workers pull the next unclaimed cell,
+  // Work-stealing by atomic ticket: workers pull the next unclaimed item,
   // so stragglers never serialize the rest of the matrix.
   std::atomic<size_t> Next{0};
   auto Worker = [&]() {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Cells.size())
+      if (I >= N)
         return;
-      Fn(Cells[I]);
+      Fn(I);
     }
   };
   std::vector<std::thread> Threads;
@@ -108,18 +112,70 @@ void EvalScheduler::forEachCell(
     T.join();
 }
 
+std::vector<EvalCell>
+EvalScheduler::ownedCells(const std::vector<Workload> &Workloads,
+                          const std::vector<ObfuscationMode> &Modes) const {
+  std::vector<EvalCell> Cells;
+  Cells.reserve(Workloads.size() * Modes.size() / Cfg.Shards + 1);
+  for (size_t WI = 0; WI != Workloads.size(); ++WI)
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      size_t Flat = WI * Modes.size() + MI;
+      if (!ownsCell(Flat))
+        continue;
+      EvalCell C;
+      C.W = &Workloads[WI];
+      C.Mode = Modes[MI];
+      C.Seed = deriveCellSeed(Cfg.Seed, Workloads[WI].Name, Modes[MI]);
+      C.WorkloadIdx = WI;
+      C.ModeIdx = MI;
+      C.FlatIdx = Flat;
+      Cells.push_back(C);
+    }
+  return Cells;
+}
+
+void EvalScheduler::forEachCell(
+    const std::vector<Workload> &Workloads,
+    const std::vector<ObfuscationMode> &Modes,
+    const std::function<void(const EvalCell &)> &Fn) const {
+  std::vector<EvalCell> Cells = ownedCells(Workloads, Modes);
+  runPool(Cells.size(), [&](size_t I) { Fn(Cells[I]); });
+}
+
+void EvalScheduler::forEachCellTask(
+    const std::vector<Workload> &Workloads,
+    const std::vector<ObfuscationMode> &Modes, size_t NumTools,
+    const std::function<void(const EvalTask &)> &Fn) const {
+  std::vector<EvalCell> Cells = ownedCells(Workloads, Modes);
+  std::vector<EvalTask> Tasks;
+  Tasks.reserve(Cells.size() * NumTools);
+  for (const EvalCell &C : Cells)
+    for (size_t TI = 0; TI != NumTools; ++TI) {
+      EvalTask T;
+      T.Cell = C;
+      T.ToolIdx = TI;
+      T.TaskIdx = C.FlatIdx * NumTools + TI;
+      Tasks.push_back(T);
+    }
+  runPool(Tasks.size(), [&](size_t I) { Fn(Tasks[I]); });
+}
+
 std::vector<EvalScheduler::CellCompilation>
 EvalScheduler::compileMatrix(const std::vector<Workload> &Workloads,
                              const std::vector<ObfuscationMode> &Modes,
                              EvalRunStats *RunStats) const {
+  ArtifactStore::Snapshot Before = Pipe->store().stats();
   std::vector<CellCompilation> Out(Workloads.size() * Modes.size());
   forEachCell(Workloads, Modes, [&](const EvalCell &C) {
     CellCompilation &Slot = Out[C.FlatIdx];
-    Slot.Compiled =
-        compileObfuscated(*C.W, C.Mode, &Slot.Stats, C.Seed);
+    Slot.Ran = true;
+    Slot.Compiled = Pipe->obfuscate(*C.W, C.Mode, &Slot.Stats, C.Seed);
     if (RunStats)
       RunStats->mergeCell(Slot.Stats, !Slot.Compiled);
   });
+  if (RunStats)
+    RunStats->mergeCache(
+        ArtifactStore::Snapshot::delta(Pipe->store().stats(), Before));
   return Out;
 }
 
@@ -127,14 +183,70 @@ std::vector<EvalScheduler::CellOverhead>
 EvalScheduler::overheadMatrix(const std::vector<Workload> &Workloads,
                               const std::vector<ObfuscationMode> &Modes,
                               EvalRunStats *RunStats) const {
+  ArtifactStore::Snapshot Before = Pipe->store().stats();
   std::vector<CellOverhead> Out(Workloads.size() * Modes.size());
   forEachCell(Workloads, Modes, [&](const EvalCell &C) {
     CellOverhead &Slot = Out[C.FlatIdx];
-    Slot.Ok = measureOverheadPercent(*C.W, C.Mode, Slot.Percent, C.Seed);
+    Slot.Ran = true;
+    Slot.Ok = Pipe->overheadPercent(*C.W, C.Mode, Slot.Percent, C.Seed);
     if (RunStats)
       RunStats->countCell(!Slot.Ok);
   });
+  if (RunStats)
+    RunStats->mergeCache(
+        ArtifactStore::Snapshot::delta(Pipe->store().stats(), Before));
   return Out;
+}
+
+std::vector<uint8_t> EvalScheduler::runCellToolPlane(
+    const std::vector<Workload> &Workloads,
+    const std::vector<ObfuscationMode> &Modes,
+    const std::vector<std::string> &ToolNames,
+    const std::function<void(const EvalTask &,
+                             const EvalPipeline::ImageArtifact &,
+                             const EvalPipeline::ImageArtifact &)> &Fn,
+    EvalRunStats *RunStats) const {
+  // A misspelled tool name would silently yield an all-zero figure row;
+  // fail fast against the registry instead.
+  for (const std::string &Name : ToolNames) {
+    if (!isDiffToolRegistered(Name)) {
+      std::fprintf(stderr,
+                   "EvalScheduler: unknown diffing tool '%s'\n",
+                   Name.c_str());
+      std::abort();
+    }
+  }
+
+  ArtifactStore::Snapshot Before = Pipe->store().stats();
+  std::vector<uint8_t> CellOk(Workloads.size() * Modes.size(), 0);
+
+  // (cell × tool) tasks: the cell's image pair is built once by whichever
+  // task gets there first (single-flight in the ArtifactStore) and
+  // shared. The task with ToolIdx 0 records the cell's image-build
+  // outcome — cells are owned whole, so it always runs in this shard, and
+  // it is the cell's only writer.
+  forEachCellTask(
+      Workloads, Modes, ToolNames.empty() ? 1 : ToolNames.size(),
+      [&](const EvalTask &T) {
+        auto A = Pipe->baselineImage(*T.Cell.W);
+        auto B = Pipe->obfuscatedImage(*T.Cell.W, T.Cell.Mode, T.Cell.Seed);
+        bool ImagesOk = A->Ok && B->Ok;
+        if (T.ToolIdx == 0)
+          CellOk[T.Cell.FlatIdx] = ImagesOk ? 1 : 0;
+        if (!ImagesOk || T.ToolIdx >= ToolNames.size())
+          return;
+        Fn(T, *A, *B);
+      });
+
+  // Deterministic post-pass: count owned cells in row-major order.
+  if (RunStats) {
+    for (size_t Flat = 0; Flat != CellOk.size(); ++Flat)
+      if (ownsCell(Flat))
+        RunStats->countCell(!CellOk[Flat]);
+    RunStats->mergeCache(
+        ArtifactStore::Snapshot::delta(Pipe->store().stats(), Before));
+  }
+  return CellOk;
 }
 
 std::vector<EvalScheduler::CellPrecision>
@@ -142,44 +254,66 @@ EvalScheduler::precisionMatrix(const std::vector<Workload> &Workloads,
                                const std::vector<ObfuscationMode> &Modes,
                                const std::vector<std::string> &ToolNames,
                                EvalRunStats *RunStats) const {
-  // A misspelled tool name would silently yield an all-zero figure row;
-  // fail fast instead.
-  {
-    std::vector<std::unique_ptr<DiffTool>> Known = createAllDiffTools();
-    for (const std::string &Name : ToolNames) {
-      bool Found = false;
-      for (const auto &Tool : Known)
-        Found |= Name == Tool->getName();
-      if (!Found) {
-        std::fprintf(stderr,
-                     "EvalScheduler::precisionMatrix: unknown diffing tool "
-                     "'%s'\n",
-                     Name.c_str());
-        std::abort();
-      }
-    }
-  }
   std::vector<CellPrecision> Out(Workloads.size() * Modes.size());
-  forEachCell(Workloads, Modes, [&](const EvalCell &C) {
-    CellPrecision &Slot = Out[C.FlatIdx];
-    Slot.PerTool.assign(ToolNames.size(), -1.0);
-    DiffImages Imgs = buildDiffImages(*C.W, C.Mode, C.Seed);
-    if (RunStats)
-      RunStats->countCell(!Imgs.Ok);
-    if (!Imgs.Ok)
-      return;
-    Slot.Ok = true;
-    // Fresh tool instances per cell: DiffTool::diff is const and the tools
-    // are stateless, but per-cell construction keeps workers fully
-    // independent even if a future tool grows caches.
-    std::vector<std::unique_ptr<DiffTool>> Tools = createAllDiffTools();
-    for (const auto &Tool : Tools) {
-      for (size_t TI = 0; TI != ToolNames.size(); ++TI) {
-        if (ToolNames[TI] != Tool->getName())
-          continue;
-        Slot.PerTool[TI] = runDiffTool(*Tool, Imgs).Precision;
-      }
-    }
-  });
+  for (size_t Flat = 0; Flat != Out.size(); ++Flat) {
+    if (!ownsCell(Flat))
+      continue;
+    Out[Flat].Ran = true;
+    Out[Flat].PerTool.assign(ToolNames.size(), -1.0);
+  }
+
+  // Each task instantiates its own tool from the registry, so workers
+  // stay fully independent even if a future tool grows caches.
+  std::vector<uint8_t> CellOk = runCellToolPlane(
+      Workloads, Modes, ToolNames,
+      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &A,
+          const EvalPipeline::ImageArtifact &B) {
+        std::unique_ptr<DiffTool> Tool =
+            createDiffTool(ToolNames[T.ToolIdx]);
+        Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] =
+            Pipe->runDiffTool(*Tool, A.Image, A.Features, B.Image,
+                              B.Features)
+                .Precision;
+      },
+      RunStats);
+
+  for (size_t Flat = 0; Flat != Out.size(); ++Flat)
+    if (Out[Flat].Ran)
+      Out[Flat].Ok = CellOk[Flat] != 0;
+  return Out;
+}
+
+std::vector<EvalScheduler::CellRanks>
+EvalScheduler::vulnRankMatrix(const std::vector<Workload> &Workloads,
+                              const std::vector<ObfuscationMode> &Modes,
+                              const std::vector<std::string> &ToolNames,
+                              EvalRunStats *RunStats) const {
+  std::vector<CellRanks> Out(Workloads.size() * Modes.size());
+  for (size_t Flat = 0; Flat != Out.size(); ++Flat) {
+    if (!ownsCell(Flat))
+      continue;
+    Out[Flat].Ran = true;
+    Out[Flat].PerTool.resize(ToolNames.size());
+  }
+
+  std::vector<uint8_t> CellOk = runCellToolPlane(
+      Workloads, Modes, ToolNames,
+      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &A,
+          const EvalPipeline::ImageArtifact &B) {
+        std::unique_ptr<DiffTool> Tool =
+            createDiffTool(ToolNames[T.ToolIdx]);
+        DiffOutcome O = Pipe->runDiffTool(*Tool, A.Image, A.Features,
+                                          B.Image, B.Features);
+        std::vector<uint32_t> &Ranks =
+            Out[T.Cell.FlatIdx].PerTool[T.ToolIdx];
+        Ranks.reserve(T.Cell.W->VulnFunctions.size());
+        for (const std::string &V : T.Cell.W->VulnFunctions)
+          Ranks.push_back(trueMatchRank(A.Image, B.Image, O.Raw, V));
+      },
+      RunStats);
+
+  for (size_t Flat = 0; Flat != Out.size(); ++Flat)
+    if (Out[Flat].Ran)
+      Out[Flat].Ok = CellOk[Flat] != 0;
   return Out;
 }

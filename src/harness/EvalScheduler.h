@@ -5,17 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Batch engine for the evaluation pipeline: fans the (workload ×
-/// ObfuscationMode) matrix across a std::thread pool. Three properties make
-/// parallel runs bit-for-bit reproducible at any thread count:
+/// Batch engine over the EvalPipeline: fans the (workload ×
+/// ObfuscationMode) matrix — and, for diffing, the (cell × tool) task
+/// plane — across a std::thread pool. Four properties make parallel runs
+/// bit-for-bit reproducible at any thread count, shard decomposition and
+/// cache setting:
 ///
-///  1. Per-task isolation — every cell compiles into its own Context/Module
-///     (the Evaluator primitives already guarantee this).
+///  1. Per-task isolation — every cell compiles into its own
+///     Context/Module; shared pipeline artifacts are immutable and
+///     consumers clone before mutating.
 ///  2. Deterministic seeding — each cell's RNG seed is derived from
 ///     (base seed, workload name, mode), never from scheduling order.
-///  3. Deterministic aggregation — per-cell results land at their row-major
-///     matrix index; shared run statistics are merged under a mutex and are
-///     integer counters, so merge order cannot change them.
+///  3. Deterministic aggregation — per-task results land at their
+///     row-major matrix index; shared run statistics are merged under a
+///     mutex and are integer counters, so merge order cannot change them.
+///  4. Schedule-independent artifacts — every cached artifact is a pure
+///     function of its key, and cached/uncached runs share one code path.
+///
+/// Cross-process sharding: cells are partitioned by FlatIdx % Shards, and
+/// a scheduler configured with (Shards, ShardIdx) executes only its own
+/// cells (results for foreign cells keep Ran == false). Because per-cell
+/// seeds are scheduling-independent, the union of all shards' results is
+/// cell-for-cell identical to an unsharded run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +51,16 @@ struct EvalCell {
   size_t FlatIdx = 0;      ///< Row-major index into the matrix.
 };
 
+/// One task of the (cell × tool) plane: one diffing tool over one cell.
+/// Heavy tools (DeepBinDiff, VulSeeker — Table 1's time+memory column) get
+/// their own pool slots instead of serializing inside a cell worker; the
+/// cell's image pair is built once in the ArtifactStore and shared.
+struct EvalTask {
+  EvalCell Cell;
+  size_t ToolIdx = 0; ///< Position in the tool list.
+  size_t TaskIdx = 0; ///< Cell.FlatIdx * NumTools + ToolIdx.
+};
+
 /// Derives the per-cell seed from the run's base seed, the workload's name
 /// and the mode — stable across thread counts and scheduling orders.
 uint64_t deriveCellSeed(uint64_t BaseSeed, const std::string &WorkloadName,
@@ -49,10 +70,16 @@ uint64_t deriveCellSeed(uint64_t BaseSeed, const std::string &WorkloadName,
 /// batch front-ends. All fields are integral, so the merge order that the
 /// pool happens to produce cannot change the totals.
 struct EvalRunStats {
-  size_t Cells = 0;    ///< Cells executed.
+  size_t Cells = 0;    ///< Cells executed (owned by this shard).
   size_t Failures = 0; ///< Cells whose compile/measure step failed.
   FissionStats Fission;
   FusionStats Fusion;
+
+  // Cache telemetry, folded in from the ArtifactStore after each matrix
+  // run (reportScheduler prints it on stderr; stdout stays byte-identical).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheBytesSaved = 0; ///< Bytes of recompilation avoided.
 
   /// Thread-safe: folds one cell's transformation stats into the totals.
   void mergeCell(const ObfuscationResult &R, bool Failed);
@@ -60,6 +87,9 @@ struct EvalRunStats {
   /// Thread-safe: counts a cell that produced no transformation stats
   /// (e.g. an overhead measurement).
   void countCell(bool Failed);
+
+  /// Thread-safe: folds an ArtifactStore counter delta into the totals.
+  void mergeCache(const ArtifactStore::Snapshot &Delta);
 
 private:
   std::mutex M;
@@ -70,6 +100,9 @@ public:
   struct Config {
     unsigned Threads = 0;  ///< 0 = hardware concurrency.
     uint64_t Seed = 0xc906;
+    bool CacheEnabled = true; ///< false = --no-cache (recompute per use).
+    unsigned Shards = 1;      ///< Total shard count (cross-process split).
+    unsigned ShardIdx = 0;    ///< This process's shard in [0, Shards).
   };
 
   explicit EvalScheduler(Config C);
@@ -78,25 +111,46 @@ public:
   /// The worker count actually used (>= 1).
   unsigned threadCount() const { return Workers; }
   uint64_t baseSeed() const { return Cfg.Seed; }
+  unsigned shardCount() const { return Cfg.Shards; }
+  unsigned shardIndex() const { return Cfg.ShardIdx; }
 
-  /// Runs \p Fn over every cell of the matrix on the pool. \p Fn executes
-  /// concurrently: it must confine itself to per-cell state or lock any
-  /// shared state it touches.
+  /// True if this scheduler's shard owns \p FlatIdx.
+  bool ownsCell(size_t FlatIdx) const {
+    return FlatIdx % Cfg.Shards == Cfg.ShardIdx;
+  }
+
+  /// The pipeline whose ArtifactStore backs every matrix run of this
+  /// scheduler (telemetry, tests, and direct stage access for benches).
+  EvalPipeline &pipeline() const { return *Pipe; }
+
+  /// Runs \p Fn over every owned cell of the matrix on the pool. \p Fn
+  /// executes concurrently: it must confine itself to per-cell state or
+  /// lock any shared state it touches.
   void forEachCell(const std::vector<Workload> &Workloads,
                    const std::vector<ObfuscationMode> &Modes,
                    const std::function<void(const EvalCell &)> &Fn) const;
 
+  /// Runs \p Fn over the (owned cell × tool index) task plane — the unit
+  /// benches use when per-tool work dominates per-cell work.
+  void forEachCellTask(const std::vector<Workload> &Workloads,
+                       const std::vector<ObfuscationMode> &Modes,
+                       size_t NumTools,
+                       const std::function<void(const EvalTask &)> &Fn) const;
+
   //===--------------------------------------------------------------------===//
-  // Batch front-ends over the Evaluator primitives.
+  // Batch front-ends over the EvalPipeline stages. Result vectors always
+  // have one slot per matrix cell; slots of cells owned by other shards
+  // keep Ran == false and are otherwise default-initialized.
   //===--------------------------------------------------------------------===//
 
   /// Compiled cell: the obfuscated module plus its transformation stats.
   struct CellCompilation {
+    bool Ran = false;
     CompiledWorkload Compiled;
     ObfuscationResult Stats;
   };
 
-  /// compileObfuscated() over the whole matrix.
+  /// EvalPipeline::obfuscate() over the whole matrix.
   std::vector<CellCompilation>
   compileMatrix(const std::vector<Workload> &Workloads,
                 const std::vector<ObfuscationMode> &Modes,
@@ -104,11 +158,12 @@ public:
 
   /// Runtime overhead of one cell; Ok=false when compile/run/verify failed.
   struct CellOverhead {
+    bool Ran = false;
     bool Ok = false;
     double Percent = 0.0;
   };
 
-  /// measureOverheadPercent() over the whole matrix.
+  /// EvalPipeline::overheadPercent() over the whole matrix.
   std::vector<CellOverhead>
   overheadMatrix(const std::vector<Workload> &Workloads,
                  const std::vector<ObfuscationMode> &Modes,
@@ -117,24 +172,68 @@ public:
   /// Per-cell diffing result: Precision@1 of each tool in \p ToolNames
   /// order, or a negative sentinel when the image pair could not be built.
   struct CellPrecision {
+    bool Ran = false;
     bool Ok = false;
     std::vector<double> PerTool;
   };
 
-  /// buildDiffImages() + runDiffTool() over the whole matrix. Every cell
-  /// instantiates its own tool set (tools are cheap, stateless objects), so
-  /// no diffing state is shared between workers. Every entry of
-  /// \p ToolNames must name a registered tool (hard error otherwise — a
-  /// silent mismatch would render as an all-zero figure row).
+  /// Diffing over the (cell × tool) task plane: each task fetches the
+  /// cell's shared image pair from the ArtifactStore (built once per cell)
+  /// and runs one registry tool over it, so heavy tools never serialize a
+  /// cell. Every entry of \p ToolNames must be registered (hard error
+  /// otherwise — a silent mismatch would render as an all-zero figure row).
   std::vector<CellPrecision>
   precisionMatrix(const std::vector<Workload> &Workloads,
                   const std::vector<ObfuscationMode> &Modes,
                   const std::vector<std::string> &ToolNames,
                   EvalRunStats *RunStats = nullptr) const;
 
+  /// Per-cell search ranks of the workload's vulnerable functions — the
+  /// escape@k / Table-3 front-end (fig10, table3). PerTool[toolIdx] is
+  /// parallel to Workload::VulnFunctions (UINT32_MAX = not found) and
+  /// empty when the cell's images could not be built.
+  struct CellRanks {
+    bool Ran = false;
+    bool Ok = false;
+    std::vector<std::vector<uint32_t>> PerTool;
+  };
+
+  /// trueMatchRank over the (cell × tool) task plane, sharing each cell's
+  /// cached image pair exactly like precisionMatrix. Tool names must be
+  /// registered (hard error otherwise).
+  std::vector<CellRanks>
+  vulnRankMatrix(const std::vector<Workload> &Workloads,
+                 const std::vector<ObfuscationMode> &Modes,
+                 const std::vector<std::string> &ToolNames,
+                 EvalRunStats *RunStats = nullptr) const;
+
 private:
+  /// Shared precisionMatrix/vulnRankMatrix plumbing: validates \p
+  /// ToolNames against the registry (abort on unknown), fans \p Fn over
+  /// the (owned cell × tool) task plane with the cell's shared cached
+  /// images (Fn runs only when both images built), counts owned cells
+  /// into RunStats and folds in the store's counter delta. Returns
+  /// per-cell image-build success, indexed by FlatIdx (foreign-shard
+  /// cells stay 0).
+  std::vector<uint8_t> runCellToolPlane(
+      const std::vector<Workload> &Workloads,
+      const std::vector<ObfuscationMode> &Modes,
+      const std::vector<std::string> &ToolNames,
+      const std::function<void(const EvalTask &,
+                               const EvalPipeline::ImageArtifact &,
+                               const EvalPipeline::ImageArtifact &)> &Fn,
+      EvalRunStats *RunStats) const;
+  /// Runs Fn(0..N-1) on the worker pool (atomic-ticket work stealing).
+  void runPool(size_t N, const std::function<void(size_t)> &Fn) const;
+
+  /// Enumerates the owned cells of the matrix, in row-major order.
+  std::vector<EvalCell>
+  ownedCells(const std::vector<Workload> &Workloads,
+             const std::vector<ObfuscationMode> &Modes) const;
+
   Config Cfg;
   unsigned Workers;
+  std::shared_ptr<EvalPipeline> Pipe;
 };
 
 } // namespace khaos

@@ -1,4 +1,4 @@
-//===- harness/Evaluator.cpp - Evaluation pipeline -------------------------------===//
+//===- harness/Evaluator.cpp - Staged evaluation pipeline -----------------===//
 //
 // Part of the Khaos reproduction project.
 //
@@ -9,38 +9,163 @@
 #include "diffing/Metrics.h"
 #include "frontend/IRGen.h"
 #include "ir/Verifier.h"
+#include "transform/Cloning.h"
 
 using namespace khaos;
 
-CompiledWorkload khaos::compileBaseline(const Workload &W, OptLevel Level) {
-  CompiledWorkload Out;
-  Out.Ctx = std::make_unique<Context>();
-  Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
-  if (!Out.M)
-    return Out;
-  optimizeModule(*Out.M, Level);
-  return Out;
+namespace {
+
+/// FNV-1a of the workload's MiniC source: keys must distinguish two
+/// workloads that merely share a name (the content-address part of the
+/// ArtifactKey contract).
+uint64_t fingerprintSource(const Workload &W) {
+  uint64_t F = 0xcbf29ce484222325ull;
+  for (char C : W.Source) {
+    F ^= static_cast<unsigned char>(C);
+    F *= 0x100000001b3ull;
+  }
+  return F;
 }
 
-CompiledWorkload khaos::compileObfuscated(const Workload &W,
-                                          ObfuscationMode Mode,
-                                          ObfuscationResult *StatsOut,
-                                          uint64_t Seed) {
+/// Stage-key fingerprint of (opt level, codegen style): one bit per knob.
+uint64_t fingerprintCodegen(OptLevel Level, const CodegenOptions &CG) {
+  uint64_t F = static_cast<uint64_t>(Level);
+  F |= static_cast<uint64_t>(CG.SpillEverything) << 8;
+  F |= static_cast<uint64_t>(CG.UseLea) << 9;
+  F |= static_cast<uint64_t>(CG.UseCmov) << 10;
+  F |= static_cast<uint64_t>(CG.UseJumpTables) << 11;
+  F |= static_cast<uint64_t>(CG.AlignLoops) << 12;
+  return F;
+}
+
+/// Stage-key fingerprint of the fission options (fission has no seed; its
+/// output is a pure function of the module and these knobs).
+uint64_t fingerprintFission(const FissionOptions &Opts) {
+  uint64_t F = 0xcbf29ce484222325ull;
+  auto Mix = [&F](uint64_t V) {
+    F ^= V;
+    F *= 0x100000001b3ull;
+  };
+  Mix(Opts.Regions.MinBlocks);
+  Mix(Opts.Regions.MaxRegionsPerFunction);
+  Mix(Opts.Regions.IgnoreFrequencyCost);
+  for (char C : Opts.SepSuffix)
+    Mix(static_cast<unsigned char>(C));
+  return F;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledWorkload>
+EvalPipeline::baseline(const Workload &W, OptLevel Level) {
+  ArtifactKey K{W.Name, ObfuscationMode::None, 0, ArtifactStage::Baseline,
+                static_cast<uint64_t>(Level), fingerprintSource(W)};
+  return Store.getOrCompute<CompiledWorkload>(
+      K, W.Source.size(), [&]() -> std::shared_ptr<const CompiledWorkload> {
+        auto Out = std::make_shared<CompiledWorkload>();
+        Out->Ctx = std::make_shared<Context>();
+        Out->M = compileMiniC(W.Source, *Out->Ctx, W.Name, Out->Error);
+        if (Out->M)
+          optimizeModule(*Out->M, Level);
+        return Out;
+      });
+}
+
+std::shared_ptr<const EvalPipeline::BaselineRunArtifact>
+EvalPipeline::baselineRun(const Workload &W) {
+  ArtifactKey K{W.Name, ObfuscationMode::None, 0, ArtifactStage::BaselineRun,
+                static_cast<uint64_t>(OptLevel::O2), fingerprintSource(W)};
+  return Store.getOrCompute<BaselineRunArtifact>(
+      K, W.Source.size(),
+      [&]() -> std::shared_ptr<const BaselineRunArtifact> {
+        auto Out = std::make_shared<BaselineRunArtifact>();
+        std::shared_ptr<const CompiledWorkload> Base = baseline(W);
+        if (!*Base)
+          return Out;
+        Out->Run = runModule(*Base->M);
+        Out->Ok = Out->Run.Ok && Out->Run.Cost != 0;
+        return Out;
+      });
+}
+
+std::shared_ptr<const EvalPipeline::ImageArtifact>
+EvalPipeline::baselineImage(const Workload &W, OptLevel Level,
+                            const CodegenOptions &CG) {
+  ArtifactKey K{W.Name, ObfuscationMode::None, 0,
+                ArtifactStage::BaselineImage, fingerprintCodegen(Level, CG),
+                fingerprintSource(W)};
+  return Store.getOrCompute<ImageArtifact>(
+      K, W.Source.size(), [&]() -> std::shared_ptr<const ImageArtifact> {
+        auto Out = std::make_shared<ImageArtifact>();
+        std::shared_ptr<const CompiledWorkload> Base = baseline(W, Level);
+        if (!*Base)
+          return Out;
+        Out->Image = lowerToBinary(*Base->M, CG);
+        Out->Features = extractFeatures(Out->Image);
+        Out->Ok = true;
+        return Out;
+      });
+}
+
+std::shared_ptr<const EvalPipeline::FissionArtifact>
+EvalPipeline::fissionStage(const Workload &W, const FissionOptions &Opts) {
+  ArtifactKey K{W.Name, ObfuscationMode::Fission, 0,
+                ArtifactStage::FissionStage, fingerprintFission(Opts),
+                fingerprintSource(W)};
+  return Store.getOrCompute<FissionArtifact>(
+      K, W.Source.size(), [&]() -> std::shared_ptr<const FissionArtifact> {
+        auto Out = std::make_shared<FissionArtifact>();
+        Out->Ctx = std::make_shared<Context>();
+        Out->M = compileMiniC(W.Source, *Out->Ctx, W.Name, Out->Error);
+        if (!Out->M)
+          return Out;
+        Out->Phase = runFissionPhase(*Out->M, Opts);
+        Out->Ok = true;
+        return Out;
+      });
+}
+
+CompiledWorkload EvalPipeline::obfuscate(const Workload &W,
+                                         ObfuscationMode Mode,
+                                         ObfuscationResult *StatsOut,
+                                         uint64_t Seed) {
   KhaosOptions Opts;
   Opts.Seed = Seed;
-  return compileObfuscated(W, Mode, Opts, StatsOut);
+  return obfuscate(W, Mode, Opts, StatsOut);
 }
 
-CompiledWorkload khaos::compileObfuscated(const Workload &W,
-                                          ObfuscationMode Mode,
-                                          const KhaosOptions &Opts,
-                                          ObfuscationResult *StatsOut) {
+CompiledWorkload EvalPipeline::obfuscate(const Workload &W,
+                                         ObfuscationMode Mode,
+                                         const KhaosOptions &Opts,
+                                         ObfuscationResult *StatsOut) {
   CompiledWorkload Out;
-  Out.Ctx = std::make_unique<Context>();
-  Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
-  if (!Out.M)
-    return Out;
-  ObfuscationResult R = obfuscateModule(*Out.M, Mode, Opts);
+  ObfuscationResult R;
+  if (modeUsesFission(Mode)) {
+    // Clone the shared fission-stage artifact and run only the fusion
+    // suffix. The uncached path takes exactly the same route (the store
+    // recomputes the artifact per request), so results cannot depend on
+    // whether caching is enabled.
+    std::shared_ptr<const FissionArtifact> FA =
+        fissionStage(W, Opts.Fission);
+    Out.Ctx = FA->Ctx;
+    if (!FA->Ok) {
+      Out.Error = FA->Error;
+      return Out;
+    }
+    {
+      // cloneModule transiently registers the copy's instructions in the
+      // artifact's use lists; serialize clones of the shared module.
+      std::lock_guard<std::mutex> CloneLock(FA->CloneMutex);
+      Out.M = cloneModule(*FA->M);
+    }
+    R = finishFissionMode(*Out.M, Mode, Opts, FA->Phase);
+  } else {
+    Out.Ctx = std::make_shared<Context>();
+    Out.M = compileMiniC(W.Source, *Out.Ctx, W.Name, Out.Error);
+    if (!Out.M)
+      return Out;
+    R = obfuscateModule(*Out.M, Mode, Opts);
+  }
   if (StatsOut)
     *StatsOut = R;
   std::vector<std::string> Problems = verifyModule(*Out.M);
@@ -51,52 +176,75 @@ CompiledWorkload khaos::compileObfuscated(const Workload &W,
   return Out;
 }
 
-bool khaos::measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
+std::shared_ptr<const EvalPipeline::ImageArtifact>
+EvalPipeline::obfuscatedImage(const Workload &W, ObfuscationMode Mode,
+                              uint64_t Seed) {
+  ArtifactKey K{W.Name, Mode, Seed, ArtifactStage::ObfuscatedImage, 0,
+                fingerprintSource(W)};
+  return Store.getOrCompute<ImageArtifact>(
+      K, W.Source.size(), [&]() -> std::shared_ptr<const ImageArtifact> {
+        auto Out = std::make_shared<ImageArtifact>();
+        CompiledWorkload Obf = obfuscate(W, Mode, nullptr, Seed);
+        if (!Obf)
+          return Out;
+        Out->Image = lowerToBinary(*Obf.M);
+        Out->Features = extractFeatures(Out->Image);
+        Out->Ok = true;
+        return Out;
+      });
+}
+
+DiffImages EvalPipeline::diffImages(const Workload &W, ObfuscationMode Mode,
+                                    uint64_t Seed) {
+  DiffImages Out;
+  std::shared_ptr<const ImageArtifact> A = baselineImage(W);
+  std::shared_ptr<const ImageArtifact> B = obfuscatedImage(W, Mode, Seed);
+  if (!A->Ok || !B->Ok)
+    return Out;
+  Out.A = A->Image;
+  Out.FA = A->Features;
+  Out.B = B->Image;
+  Out.FB = B->Features;
+  Out.Ok = true;
+  return Out;
+}
+
+bool EvalPipeline::overheadPercent(const Workload &W, ObfuscationMode Mode,
                                    double &OverheadOut, uint64_t Seed) {
-  CompiledWorkload Base = compileBaseline(W);
-  if (!Base)
-    return false;
-  ExecResult BaseRun = runModule(*Base.M);
-  if (!BaseRun.Ok || BaseRun.Cost == 0)
+  std::shared_ptr<const BaselineRunArtifact> Base = baselineRun(W);
+  if (!Base->Ok)
     return false;
 
-  CompiledWorkload Obf = compileObfuscated(W, Mode, nullptr, Seed);
+  CompiledWorkload Obf = obfuscate(W, Mode, nullptr, Seed);
   if (!Obf)
     return false;
   ExecResult ObfRun = runModule(*Obf.M);
   if (!ObfRun.Ok)
     return false;
   // Behavioural equality is part of the experiment's validity.
-  if (ObfRun.Stdout != BaseRun.Stdout ||
-      ObfRun.ExitValue != BaseRun.ExitValue)
+  if (ObfRun.Stdout != Base->Run.Stdout ||
+      ObfRun.ExitValue != Base->Run.ExitValue)
     return false;
 
   OverheadOut = (static_cast<double>(ObfRun.Cost) -
-                 static_cast<double>(BaseRun.Cost)) /
-                static_cast<double>(BaseRun.Cost) * 100.0;
+                 static_cast<double>(Base->Run.Cost)) /
+                static_cast<double>(Base->Run.Cost) * 100.0;
   return true;
 }
 
-DiffImages khaos::buildDiffImages(const Workload &W, ObfuscationMode Mode,
-                                  uint64_t Seed) {
-  DiffImages Out;
-  CompiledWorkload Base = compileBaseline(W);
-  CompiledWorkload Obf = compileObfuscated(W, Mode, nullptr, Seed);
-  if (!Base || !Obf)
-    return Out;
-  Out.A = lowerToBinary(*Base.M);
-  Out.B = lowerToBinary(*Obf.M);
-  Out.FA = extractFeatures(Out.A);
-  Out.FB = extractFeatures(Out.B);
-  Out.Ok = true;
-  return Out;
+DiffOutcome EvalPipeline::runDiffTool(const DiffTool &Tool,
+                                      const DiffImages &Imgs) const {
+  return runDiffTool(Tool, Imgs.A, Imgs.FA, Imgs.B, Imgs.FB);
 }
 
-DiffOutcome khaos::runDiffTool(const DiffTool &Tool,
-                               const DiffImages &Imgs) {
+DiffOutcome EvalPipeline::runDiffTool(const DiffTool &Tool,
+                                      const BinaryImage &A,
+                                      const ImageFeatures &FA,
+                                      const BinaryImage &B,
+                                      const ImageFeatures &FB) const {
   DiffOutcome Out;
-  Out.Raw = Tool.diff(Imgs.A, Imgs.FA, Imgs.B, Imgs.FB);
-  Out.Precision = precisionAt1(Imgs.A, Imgs.B, Out.Raw);
+  Out.Raw = Tool.diff(A, FA, B, FB);
+  Out.Precision = precisionAt1(A, B, Out.Raw);
   Out.Similarity = Out.Raw.WholeBinarySimilarity;
   return Out;
 }

@@ -1,14 +1,28 @@
-//===- harness/Evaluator.h - Evaluation pipeline ----------------*- C++ -*-===//
+//===- harness/Evaluator.h - Staged evaluation pipeline ---------*- C++ -*-===//
 //
 // Part of the Khaos reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// End-to-end pipeline shared by all benchmarks: MiniC source -> KIR ->
-/// (obfuscation) -> O2 optimization -> VM cost measurement and/or binary
-/// lowering -> diffing. The baseline configuration matches the paper: O2
-/// with whole-program (LTO-style) visibility.
+/// The end-to-end pipeline shared by all benchmarks, as a stage graph over
+/// a content-addressed ArtifactStore:
+///
+///   MiniC source ──► Baseline ──► BaselineRun        (VM cost reference)
+///                       │
+///                       └───────► BaselineImage ──┐  (A-side of a diff)
+///   MiniC source ──► FissionStage ─ clone ─┐      │
+///                                          ▼      ▼
+///                    Obfuscated ──► ObfuscatedImage ──► diff tools
+///
+/// Every boxed stage is cached in the ArtifactStore keyed on
+/// (workload, mode, seed, stage): the baseline (and its A-side image) is
+/// built once per workload and shared by every obfuscation mode, and the
+/// FuFi modes clone the cached fission-stage module instead of re-running
+/// the whole fission prefix. Cached and uncached runs execute the same
+/// code path — a disabled store recomputes per request — so results are
+/// bit-identical with the cache on or off. The baseline configuration
+/// matches the paper: O2 with whole-program (LTO-style) visibility.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,45 +30,30 @@
 #define KHAOS_HARNESS_EVALUATOR_H
 
 #include "codegen/ISel.h"
-#include "ir/Module.h"
 #include "diffing/DiffTool.h"
+#include "harness/ArtifactStore.h"
+#include "ir/Module.h"
 #include "obfuscation/KhaosDriver.h"
 #include "vm/Interpreter.h"
 #include "workloads/Suites.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace khaos {
 
-/// A compiled workload owns its Context + Module.
+/// A compiled workload owns its Module. The Context is shared: a module
+/// cloned from a cached fission-stage artifact lives in the artifact's
+/// Context (type interning is mutex-guarded, see ir/Type.h), and keeping a
+/// reference here makes the artifact's lifetime a non-issue for callers.
 struct CompiledWorkload {
-  std::unique_ptr<Context> Ctx;
+  std::shared_ptr<Context> Ctx;
   std::unique_ptr<Module> M;
   std::string Error;
 
   explicit operator bool() const { return M != nullptr; }
 };
-
-/// Compiles \p W and optimizes at \p Level (no obfuscation).
-CompiledWorkload compileBaseline(const Workload &W,
-                                 OptLevel Level = OptLevel::O2);
-
-/// Compiles \p W and applies \p Mode (obfuscate, then O2 per the paper).
-CompiledWorkload compileObfuscated(const Workload &W, ObfuscationMode Mode,
-                                   ObfuscationResult *StatsOut = nullptr,
-                                   uint64_t Seed = 0xc906);
-
-/// Variant with full driver options (Opts.Seed is honored; Table 2 sets
-/// RunPostOpt=false to measure the primitives themselves).
-CompiledWorkload compileObfuscated(const Workload &W, ObfuscationMode Mode,
-                                   const KhaosOptions &Opts,
-                                   ObfuscationResult *StatsOut = nullptr);
-
-/// Runtime overhead of \p Mode on \p W in percent (VM dynamic cost ratio).
-/// Returns false on any execution/verification failure.
-bool measureOverheadPercent(const Workload &W, ObfuscationMode Mode,
-                            double &OverheadOut, uint64_t Seed = 0xc906);
 
 /// A/B images for the diffing experiments: A is the un-obfuscated
 /// (un-stripped) reference, B the obfuscated build.
@@ -64,18 +63,120 @@ struct DiffImages {
   bool Ok = false;
 };
 
-/// Builds the image pair for (workload, mode).
-DiffImages buildDiffImages(const Workload &W, ObfuscationMode Mode,
-                           uint64_t Seed = 0xc906);
-
-/// Runs \p Tool over prebuilt images; returns Precision@1 (relaxed
-/// pairing judgment) and the whole-binary similarity.
+/// Precision@1 (relaxed pairing judgment) and whole-binary similarity of
+/// one tool run.
 struct DiffOutcome {
   double Precision = 0.0;
   double Similarity = 0.0;
   DiffResult Raw;
 };
-DiffOutcome runDiffTool(const DiffTool &Tool, const DiffImages &Imgs);
+
+/// The staged evaluation pipeline. One instance serves any number of
+/// threads: every stage entry point consults the ArtifactStore first, and
+/// computations are single-flight, so concurrent (cell × tool) tasks that
+/// need the same artifact share one computation.
+class EvalPipeline {
+public:
+  struct Config {
+    /// false = --no-cache: every request recomputes (same code path, same
+    /// results; the store only stops retaining).
+    bool CacheEnabled = true;
+  };
+
+  explicit EvalPipeline(Config C) : Store(C.CacheEnabled) {}
+  EvalPipeline() : EvalPipeline(Config{}) {}
+
+  //===--------------------------------------------------------------------===//
+  // Cached stages. Artifacts are shared and immutable.
+  //===--------------------------------------------------------------------===//
+
+  /// Stage Baseline: compile \p W and optimize at \p Level, no obfuscation.
+  std::shared_ptr<const CompiledWorkload>
+  baseline(const Workload &W, OptLevel Level = OptLevel::O2);
+
+  /// Stage BaselineRun: VM execution of the O2 baseline. Ok requires a
+  /// clean run with a nonzero cost (the overhead denominator).
+  struct BaselineRunArtifact {
+    bool Ok = false;
+    ExecResult Run;
+  };
+  std::shared_ptr<const BaselineRunArtifact> baselineRun(const Workload &W);
+
+  /// Stage BaselineImage: the A-side binary + features at \p Level under
+  /// \p CG codegen (fig9 diffs reference builds at O0..O3).
+  struct ImageArtifact {
+    bool Ok = false;
+    BinaryImage Image;
+    ImageFeatures Features;
+  };
+  std::shared_ptr<const ImageArtifact>
+  baselineImage(const Workload &W, OptLevel Level = OptLevel::O2,
+                const CodegenOptions &CG = {});
+
+  /// Stage FissionStage: compile + fission prefix, shared by the Fission
+  /// and FuFi.{sep,ori,all} modes (fission takes no seed, so the stage is
+  /// keyed on the workload and the fission options alone). Consumers clone
+  /// the module — never mutate it.
+  struct FissionArtifact {
+    bool Ok = false;          ///< false = frontend failure (see Error).
+    std::string Error;
+    std::shared_ptr<Context> Ctx;
+    std::unique_ptr<Module> M;
+    FissionPhase Phase;
+    /// cloneModule transiently touches M's use lists; concurrent consumers
+    /// (one per FuFi cell) must hold this while cloning.
+    mutable std::mutex CloneMutex;
+  };
+  std::shared_ptr<const FissionArtifact>
+  fissionStage(const Workload &W, const FissionOptions &Opts = {});
+
+  /// Stage ObfuscatedImage: the B-side binary + features of
+  /// (workload, mode, seed).
+  std::shared_ptr<const ImageArtifact>
+  obfuscatedImage(const Workload &W, ObfuscationMode Mode,
+                  uint64_t Seed = 0xc906);
+
+  //===--------------------------------------------------------------------===//
+  // Uncached products built from the stages.
+  //===--------------------------------------------------------------------===//
+
+  /// Compiles \p W and applies \p Mode (obfuscate, then O2 per the paper).
+  /// Fission modes clone the cached FissionStage artifact and run only the
+  /// fusion suffix. The returned module is private to the caller.
+  CompiledWorkload obfuscate(const Workload &W, ObfuscationMode Mode,
+                             ObfuscationResult *StatsOut = nullptr,
+                             uint64_t Seed = 0xc906);
+
+  /// Variant with full driver options (Opts.Seed is honored; Table 2 sets
+  /// RunPostOpt=false to measure the primitives themselves).
+  CompiledWorkload obfuscate(const Workload &W, ObfuscationMode Mode,
+                             const KhaosOptions &Opts,
+                             ObfuscationResult *StatsOut = nullptr);
+
+  /// The A/B image pair of (workload, mode, seed), composed by value from
+  /// the BaselineImage and ObfuscatedImage stages.
+  DiffImages diffImages(const Workload &W, ObfuscationMode Mode,
+                        uint64_t Seed = 0xc906);
+
+  /// Runtime overhead of \p Mode on \p W in percent (VM dynamic cost ratio
+  /// against the cached baseline run). Returns false on any
+  /// execution/verification failure.
+  bool overheadPercent(const Workload &W, ObfuscationMode Mode,
+                       double &OverheadOut, uint64_t Seed = 0xc906);
+
+  /// Runs \p Tool over prebuilt images. Pure; needs no store access.
+  DiffOutcome runDiffTool(const DiffTool &Tool, const DiffImages &Imgs) const;
+  DiffOutcome runDiffTool(const DiffTool &Tool, const BinaryImage &A,
+                          const ImageFeatures &FA, const BinaryImage &B,
+                          const ImageFeatures &FB) const;
+
+  /// The store, for telemetry (hit/miss/bytes-saved counters per stage).
+  ArtifactStore &store() { return Store; }
+  const ArtifactStore &store() const { return Store; }
+
+private:
+  ArtifactStore Store;
+};
 
 } // namespace khaos
 

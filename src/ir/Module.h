@@ -70,6 +70,17 @@ public:
   /// Deterministically fresh symbol name with the given stem.
   std::string uniqueName(const std::string &Stem);
 
+  /// uniqueName() counter state. cloneModule() copies it into the clone so
+  /// that name generation continues identically in both modules — a clone
+  /// must be indistinguishable from the module it was copied from, down to
+  /// the names later passes would mint.
+  const std::map<std::string, unsigned> &nameCounters() const {
+    return NameCounters;
+  }
+  void setNameCounters(std::map<std::string, unsigned> Counters) {
+    NameCounters = std::move(Counters);
+  }
+
 private:
   Context &Ctx;
   std::string Name;

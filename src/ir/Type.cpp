@@ -120,6 +120,7 @@ Context::Context() {
 Context::~Context() = default;
 
 PointerType *Context::getPointerType(Type *Pointee) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = PointerTypes[Pointee];
   if (!Slot)
     Slot.reset(new PointerType(*this, Pointee));
@@ -127,6 +128,7 @@ PointerType *Context::getPointerType(Type *Pointee) {
 }
 
 ArrayType *Context::getArrayType(Type *Element, uint64_t NumElements) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto &Slot = ArrayTypes[{Element, NumElements}];
   if (!Slot)
     Slot.reset(new ArrayType(*this, Element, NumElements));
@@ -136,6 +138,7 @@ ArrayType *Context::getArrayType(Type *Element, uint64_t NumElements) {
 FunctionType *Context::getFunctionType(Type *ReturnType,
                                        std::vector<Type *> ParamTypes,
                                        bool VarArg) {
+  std::lock_guard<std::mutex> Lock(InternMutex);
   auto Key = std::make_pair(ReturnType, std::make_pair(ParamTypes, VarArg));
   auto &Slot = FunctionTypes[Key];
   if (!Slot)

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -157,6 +158,11 @@ private:
 
 /// Owns and interns all types (and, transitively, nothing else). One Context
 /// may serve many Modules; pointer identity of types holds across them.
+///
+/// Interning is guarded by a mutex, so Modules in different threads may
+/// share one Context (the evaluation pipeline clones cached fission-stage
+/// modules into the artifact's Context and obfuscates the clones
+/// concurrently).
 class Context {
 public:
   Context();
@@ -179,6 +185,7 @@ public:
                                 bool VarArg = false);
 
 private:
+  std::mutex InternMutex;
   std::unique_ptr<Type> Primitives[(int)TypeKind::Pointer];
   std::map<Type *, std::unique_ptr<PointerType>> PointerTypes;
   std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>>

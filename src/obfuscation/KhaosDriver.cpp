@@ -9,6 +9,8 @@
 #include "ir/Module.h"
 #include "obfuscation/OLLVM.h"
 
+#include <cassert>
+#include <map>
 #include <set>
 
 using namespace khaos;
@@ -49,46 +51,97 @@ const char *khaos::obfuscationModeName(ObfuscationMode Mode) {
   return "?";
 }
 
-ObfuscationResult khaos::obfuscateModule(Module &M, ObfuscationMode Mode,
-                                         const KhaosOptions &Opts) {
-  ObfuscationResult R;
-  OLLVMOptions Base;
-  Base.Seed = Opts.Seed;
+bool khaos::modeUsesFission(ObfuscationMode Mode) {
+  switch (Mode) {
+  case ObfuscationMode::Fission:
+  case ObfuscationMode::FuFiSep:
+  case ObfuscationMode::FuFiOri:
+  case ObfuscationMode::FuFiAll:
+    return true;
+  default:
+    return false;
+  }
+}
 
-  auto NamesOfUnprocessed = [&](const std::set<std::string> &Processed,
-                                const std::vector<std::string> &Seps) {
-    std::set<std::string> SepSet(Seps.begin(), Seps.end());
+FissionPhase khaos::runFissionPhase(Module &M, const FissionOptions &Opts) {
+  FissionPhase Phase;
+  // Functions that lose a region to fission are tracked by name (via their
+  // instruction-count delta) for the FuFi.ori candidate set.
+  std::map<std::string, size_t> SizeBefore;
+  for (const auto &F : M.functions())
+    SizeBefore[F->getName()] = F->instructionCount();
+  Phase.SepFuncs = runFission(M, Phase.Stats, Opts);
+  std::set<std::string> SepSet(Phase.SepFuncs.begin(), Phase.SepFuncs.end());
+  for (const auto &F : M.functions()) {
+    if (SepSet.count(F->getName()))
+      continue;
+    auto It = SizeBefore.find(F->getName());
+    if (It != SizeBefore.end() && F->instructionCount() != It->second)
+      Phase.ProcessedFuncs.insert(F->getName());
+  }
+  return Phase;
+}
+
+ObfuscationResult khaos::finishFissionMode(Module &M, ObfuscationMode Mode,
+                                           const KhaosOptions &Opts,
+                                           const FissionPhase &Phase) {
+  assert(modeUsesFission(Mode) && "mode has no fission prefix");
+  ObfuscationResult R;
+  R.Fission = Phase.Stats;
+
+  // Eligible functions fission did not touch, in module order (fusion's
+  // candidate ordering is part of the reproducible-output contract).
+  auto NamesOfUnprocessed = [&]() {
+    std::set<std::string> SepSet(Phase.SepFuncs.begin(),
+                                 Phase.SepFuncs.end());
     std::vector<std::string> Out;
     for (const auto &F : M.functions()) {
       if (F->isDeclaration() || F->isIntrinsic() || F->isNoObfuscate())
         continue;
-      if (Processed.count(F->getName()) || SepSet.count(F->getName()))
+      if (Phase.ProcessedFuncs.count(F->getName()) ||
+          SepSet.count(F->getName()))
         continue;
       Out.push_back(F->getName());
     }
     return Out;
   };
 
-  // Functions that lost a region to fission (tracked by name for the
-  // FuFi.ori candidate set).
-  auto RunFissionPhase = [&](std::vector<std::string> &Seps,
-                             std::set<std::string> &Processed) {
-    std::set<std::string> Before;
-    std::map<std::string, size_t> SizeBefore;
-    for (const auto &F : M.functions())
-      SizeBefore[F->getName()] = F->instructionCount();
-    FissionOptions FOpt = Opts.Fission;
-    Seps = runFission(M, R.Fission, FOpt);
-    std::set<std::string> SepSet(Seps.begin(), Seps.end());
-    for (const auto &F : M.functions()) {
-      if (SepSet.count(F->getName()))
-        continue;
-      auto It = SizeBefore.find(F->getName());
-      if (It != SizeBefore.end() &&
-          F->instructionCount() != It->second)
-        Processed.insert(F->getName());
+  if (Mode != ObfuscationMode::Fission) {
+    FusionOptions FuOpt = Opts.Fusion;
+    FuOpt.Seed = Opts.Seed;
+    switch (Mode) {
+    case ObfuscationMode::FuFiSep:
+      FuOpt.RestrictTo = Phase.SepFuncs;
+      break;
+    case ObfuscationMode::FuFiOri:
+      FuOpt.RestrictTo = NamesOfUnprocessed();
+      break;
+    case ObfuscationMode::FuFiAll:
+      FuOpt.RestrictTo = NamesOfUnprocessed();
+      for (const std::string &S : Phase.SepFuncs)
+        FuOpt.RestrictTo.push_back(S);
+      break;
+    default:
+      break;
     }
-  };
+    runFusion(M, R.Fusion, FuOpt);
+  }
+
+  if (Opts.RunPostOpt)
+    optimizeModule(M, Opts.PostOptLevel);
+  return R;
+}
+
+ObfuscationResult khaos::obfuscateModule(Module &M, ObfuscationMode Mode,
+                                         const KhaosOptions &Opts) {
+  if (modeUsesFission(Mode)) {
+    FissionPhase Phase = runFissionPhase(M, Opts.Fission);
+    return finishFissionMode(M, Mode, Opts, Phase);
+  }
+
+  ObfuscationResult R;
+  OLLVMOptions Base;
+  Base.Seed = Opts.Seed;
 
   switch (Mode) {
   case ObfuscationMode::None:
@@ -109,49 +162,19 @@ ObfuscationResult khaos::obfuscateModule(Module &M, ObfuscationMode Mode,
     Base.Ratio = 0.1;
     R.BaselineSites = runFlattening(M, Base);
     break;
-  case ObfuscationMode::Fission: {
-    FissionOptions FOpt = Opts.Fission;
-    runFission(M, R.Fission, FOpt);
-    break;
-  }
   case ObfuscationMode::Fusion: {
     FusionOptions FuOpt = Opts.Fusion;
     FuOpt.Seed = Opts.Seed;
     runFusion(M, R.Fusion, FuOpt);
     break;
   }
-  case ObfuscationMode::FuFiSep: {
-    std::vector<std::string> Seps;
-    std::set<std::string> Processed;
-    RunFissionPhase(Seps, Processed);
-    FusionOptions FuOpt = Opts.Fusion;
-    FuOpt.Seed = Opts.Seed;
-    FuOpt.RestrictTo = Seps;
-    runFusion(M, R.Fusion, FuOpt);
+  // Listed (not defaulted) so -Wswitch flags any future mode that falls
+  // through here untransformed; these four took the early fission path.
+  case ObfuscationMode::Fission:
+  case ObfuscationMode::FuFiSep:
+  case ObfuscationMode::FuFiOri:
+  case ObfuscationMode::FuFiAll:
     break;
-  }
-  case ObfuscationMode::FuFiOri: {
-    std::vector<std::string> Seps;
-    std::set<std::string> Processed;
-    RunFissionPhase(Seps, Processed);
-    FusionOptions FuOpt = Opts.Fusion;
-    FuOpt.Seed = Opts.Seed;
-    FuOpt.RestrictTo = NamesOfUnprocessed(Processed, Seps);
-    runFusion(M, R.Fusion, FuOpt);
-    break;
-  }
-  case ObfuscationMode::FuFiAll: {
-    std::vector<std::string> Seps;
-    std::set<std::string> Processed;
-    RunFissionPhase(Seps, Processed);
-    FusionOptions FuOpt = Opts.Fusion;
-    FuOpt.Seed = Opts.Seed;
-    FuOpt.RestrictTo = NamesOfUnprocessed(Processed, Seps);
-    for (const std::string &S : Seps)
-      FuOpt.RestrictTo.push_back(S);
-    runFusion(M, R.Fusion, FuOpt);
-    break;
-  }
   }
 
   if (Opts.RunPostOpt)

@@ -19,7 +19,9 @@
 #include "obfuscation/Fusion.h"
 #include "transform/Pass.h"
 
+#include <set>
 #include <string>
+#include <vector>
 
 namespace khaos {
 
@@ -61,7 +63,36 @@ struct KhaosOptions {
   FusionOptions Fusion;
 };
 
-/// Obfuscates \p M in place with \p Mode and re-optimizes.
+/// True for the modes whose pipeline starts with the fission pass
+/// (Fission and the three FuFi configurations). These share the same
+/// fission prefix: fission takes no seed, so its output is a pure function
+/// of the input module and the FissionOptions — which is what lets the
+/// evaluation pipeline compute the prefix once per workload and clone it.
+bool modeUsesFission(ObfuscationMode Mode);
+
+/// Output of the shared fission prefix, beyond the transformed module
+/// itself: everything the FuFi fusion step needs to pick its candidate set.
+struct FissionPhase {
+  FissionStats Stats;
+  /// Names of the created sepFuncs (the FuFi.sep candidate set).
+  std::vector<std::string> SepFuncs;
+  /// Names of functions that lost a region (excluded from FuFi.ori).
+  std::set<std::string> ProcessedFuncs;
+};
+
+/// Runs the fission prefix on \p M (no post-optimization).
+FissionPhase runFissionPhase(Module &M, const FissionOptions &Opts = {});
+
+/// Completes \p Mode on a module that already carries \p Phase's fission
+/// output: applies the mode's fusion step (restricted to the candidate set
+/// the mode prescribes) and the post-optimization. Only valid for modes
+/// where modeUsesFission() is true.
+ObfuscationResult finishFissionMode(Module &M, ObfuscationMode Mode,
+                                    const KhaosOptions &Opts,
+                                    const FissionPhase &Phase);
+
+/// Obfuscates \p M in place with \p Mode and re-optimizes. For fission
+/// modes this is exactly runFissionPhase() + finishFissionMode().
 ObfuscationResult obfuscateModule(Module &M, ObfuscationMode Mode,
                                   const KhaosOptions &Opts = {});
 

@@ -7,6 +7,7 @@
 #include "transform/Cloning.h"
 
 #include "ir/Function.h"
+#include "ir/Module.h"
 
 #include <cassert>
 
@@ -52,4 +53,116 @@ khaos::cloneFunctionBlocks(const Function &Src, Function &Dst,
     }
   }
   return NewBlocks;
+}
+
+namespace {
+
+/// Re-interns \p C (a constant of Src's module) in \p Dst. Functions inside
+/// tagged-function constants are remapped through \p VMap.
+Constant *remapConstant(const Constant *C, Module &Dst,
+                        const std::map<const Value *, Value *> &VMap) {
+  switch (C->getValueKind()) {
+  case ValueKind::ConstantInt: {
+    const auto *CI = cast<ConstantInt>(C);
+    return Dst.getConstantInt(CI->getType(), CI->getValue());
+  }
+  case ValueKind::ConstantFP: {
+    const auto *CF = cast<ConstantFP>(C);
+    return Dst.getConstantFP(CF->getType(), CF->getValue());
+  }
+  case ValueKind::ConstantNull:
+    return Dst.getNullPtr(cast<PointerType>(C->getType()));
+  case ValueKind::ConstantTaggedFunc: {
+    const auto *CT = cast<ConstantTaggedFunc>(C);
+    auto It = VMap.find(CT->getFunction());
+    assert(It != VMap.end() && "tagged function not cloned yet");
+    return Dst.getTaggedFunc(CT->getType(), cast<Function>(It->second),
+                             CT->getTag());
+  }
+  default:
+    assert(false && "not a constant");
+    return nullptr;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Module> khaos::cloneModule(const Module &Src) {
+  auto Dst = std::make_unique<Module>(Src.getContext(), Src.getName());
+  std::map<const Value *, Value *> VMap;
+
+  // Function shells first: bodies and global initializers may reference any
+  // function (calls, tagged pointers), so every Function must exist before
+  // operands are remapped.
+  for (const auto &F : Src.functions()) {
+    Function *NF = Dst->createFunction(F->getName(), F->getFunctionType());
+    NF->setExported(F->isExported());
+    NF->setNoObfuscate(F->isNoObfuscate());
+    NF->setNoInline(F->isNoInline());
+    NF->setIntrinsic(F->isIntrinsic());
+    NF->setOrigins(F->getOrigins());
+    VMap[F.get()] = NF;
+    for (unsigned I = 0, E = F->arg_size(); I != E; ++I) {
+      NF->getArg(I)->setName(F->getArg(I)->getName());
+      VMap[F->getArg(I)] = NF->getArg(I);
+    }
+  }
+
+  for (const auto &G : Src.globals()) {
+    GlobalVariable *NG = Dst->createGlobal(G->getName(), G->getValueType());
+    std::vector<Constant *> Init;
+    Init.reserve(G->getInitializer().size());
+    for (const Constant *C : G->getInitializer())
+      Init.push_back(remapConstant(C, *Dst, VMap));
+    NG->setInitializer(std::move(Init));
+    VMap[G.get()] = NG;
+  }
+
+  // Bodies: blocks keep their exact names (unlike cloneFunctionBlocks,
+  // which suffixes inlined copies); operands are remapped through VMap,
+  // re-interning constants on first sight.
+  for (const auto &F : Src.functions()) {
+    if (F->isDeclaration())
+      continue;
+    Function *NF = cast<Function>(VMap[F.get()]);
+    std::map<const BasicBlock *, BasicBlock *> BlockMap;
+    for (const auto &BB : F->blocks())
+      BlockMap[BB.get()] = NF->addBlock(BB->getName());
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NB = BlockMap[BB.get()];
+      for (const auto &I : BB->insts()) {
+        Instruction *NI = I->clone();
+        NB->push(NI);
+        VMap[I.get()] = NI;
+      }
+    }
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NB = BlockMap[BB.get()];
+      for (const auto &NI : NB->insts()) {
+        for (unsigned OpIdx = 0, E = NI->getNumOperands(); OpIdx != E;
+             ++OpIdx) {
+          Value *Op = NI->getOperand(OpIdx);
+          auto It = VMap.find(Op);
+          if (It == VMap.end()) {
+            assert(Op->isConstant() &&
+                   "non-constant operand escaped the clone map");
+            It = VMap.emplace(Op, remapConstant(cast<Constant>(Op), *Dst,
+                                                VMap))
+                     .first;
+          }
+          NI->setOperand(OpIdx, It->second);
+        }
+        for (unsigned SIdx = 0, E = NI->getNumSuccessors(); SIdx != E;
+             ++SIdx) {
+          auto It = BlockMap.find(NI->getSuccessor(SIdx));
+          assert(It != BlockMap.end() &&
+                 "successor outside cloned function");
+          NI->setSuccessor(SIdx, It->second);
+        }
+      }
+    }
+  }
+
+  Dst->setNameCounters(Src.nameCounters());
+  return Dst;
 }

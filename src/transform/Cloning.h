@@ -14,12 +14,14 @@
 #define KHAOS_TRANSFORM_CLONING_H
 
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace khaos {
 
 class BasicBlock;
 class Function;
+class Module;
 class Value;
 
 /// Clones every block of \p Src into \p Dst. \p VMap must already map
@@ -30,6 +32,27 @@ class Value;
 std::vector<BasicBlock *>
 cloneFunctionBlocks(const Function &Src, Function &Dst,
                     std::map<const Value *, Value *> &VMap);
+
+/// Deep-copies \p Src into a fresh Module that shares Src's Context (types
+/// are interned per Context, so sharing it makes the copy remap-free for
+/// types; Context interning is mutex-guarded, so clones may be transformed
+/// concurrently). Function/global/block order, all symbol and value names,
+/// per-function flags, provenance and the uniqueName() counters are
+/// preserved exactly: a pass run on the clone produces byte-identical
+/// printed IR to the same pass run on \p Src. Constants are re-interned in
+/// the new module, so the clone's lifetime is independent of \p Src — only
+/// the Context must outlive it.
+///
+/// This is what lets the evaluation pipeline cache the fission-stage module
+/// once per workload and hand each FuFi mode its own mutable copy.
+///
+/// Concurrency: cloning temporarily registers the copy's instructions in
+/// \p Src's use lists (instruction constructors track users) and unlinks
+/// them again while remapping, so \p Src is bit-identical afterwards but
+/// NOT safe to clone or read-with-uses from two threads at once — callers
+/// sharing a module across threads must serialize clones (EvalPipeline
+/// locks its FissionArtifact::CloneMutex).
+std::unique_ptr<Module> cloneModule(const Module &Src);
 
 } // namespace khaos
 

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Tests for the parallel evaluation batch engine: thread-count
-/// independence of compileObfuscated over a (workload × mode) matrix,
-/// graceful error surfacing for failing workloads, deterministic per-cell
-/// seeding, and the order-deterministic SeriesAccumulator.
+/// independence of EvalPipeline::obfuscate over a (workload × mode)
+/// matrix, graceful error surfacing for failing workloads, deterministic
+/// per-cell seeding, and the order-deterministic SeriesAccumulator.
+/// (Cache/shard behaviour is covered by PipelineCacheTest.)
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,314 @@
+//===- tests/PipelineCacheTest.cpp - ArtifactStore / registry tests ----------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the staged pipeline redesign: cached and uncached runs
+/// produce identical printed IR and precision numbers, a warm-cache
+/// precision re-run performs zero baseline recompiles and reuses the
+/// fission-stage artifact for the FuFi modes, the union of sharded runs
+/// equals the unsharded run cell-for-cell, and the DiffTool registry
+/// rejects unknown names loudly while accepting new backends.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/EvalScheduler.h"
+#include "ir/IRPrinter.h"
+#include "transform/Cloning.h"
+#include "workloads/Suites.h"
+#include "workloads/SyntheticProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace khaos;
+
+namespace {
+
+std::vector<Workload> smallSuite(size_t N = 3) {
+  std::vector<Workload> All = coreUtilsSuite();
+  return std::vector<Workload>(All.begin(), All.begin() + N);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache transparency
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineCache, CachedAndUncachedProduceIdenticalIR) {
+  std::vector<Workload> Suite = smallSuite();
+  const std::vector<ObfuscationMode> Modes = {
+      ObfuscationMode::Sub, ObfuscationMode::Fission,
+      ObfuscationMode::Fusion, ObfuscationMode::FuFiSep,
+      ObfuscationMode::FuFiAll};
+
+  EvalPipeline Cached(EvalPipeline::Config{/*CacheEnabled=*/true});
+  EvalPipeline Uncached(EvalPipeline::Config{/*CacheEnabled=*/false});
+
+  for (const Workload &W : Suite) {
+    for (ObfuscationMode Mode : Modes) {
+      uint64_t Seed = deriveCellSeed(0xc906, W.Name, Mode);
+      CompiledWorkload A = Cached.obfuscate(W, Mode, nullptr, Seed);
+      CompiledWorkload B = Uncached.obfuscate(W, Mode, nullptr, Seed);
+      ASSERT_TRUE(A) << W.Name << "/" << obfuscationModeName(Mode) << ": "
+                     << A.Error;
+      ASSERT_TRUE(B) << W.Name << "/" << obfuscationModeName(Mode) << ": "
+                     << B.Error;
+      EXPECT_EQ(printModule(*A.M), printModule(*B.M))
+          << W.Name << "/" << obfuscationModeName(Mode);
+      // A second cached request must also be identical (the FuFi modes now
+      // clone the shared fission-stage artifact instead of re-running it).
+      CompiledWorkload A2 = Cached.obfuscate(W, Mode, nullptr, Seed);
+      EXPECT_EQ(printModule(*A.M), printModule(*A2.M));
+    }
+  }
+  EXPECT_GT(Cached.store().stats().Hits, 0u);
+  EXPECT_EQ(Uncached.store().stats().Hits, 0u);
+}
+
+TEST(PipelineCache, SameNameDifferentSourceDoesNotAlias) {
+  // Keys are content-addressed: a name collision between two distinct
+  // programs must not hand the second one the first one's artifacts.
+  ProgramSpec S1;
+  S1.Name = "twin";
+  S1.NumFunctions = 4;
+  S1.Seed = 1;
+  ProgramSpec S2 = S1;
+  S2.Seed = 2;
+  Workload A{S1.Name, generateMiniCProgram(S1), {}, {}};
+  Workload B{S2.Name, generateMiniCProgram(S2), {}, {}};
+  ASSERT_NE(A.Source, B.Source);
+
+  EvalPipeline Pipe;
+  auto BA = Pipe.baseline(A);
+  auto BB = Pipe.baseline(B);
+  ASSERT_TRUE(*BA && *BB);
+  ArtifactStore::Snapshot S = Pipe.store().stats();
+  EXPECT_EQ(S.stage(ArtifactStage::Baseline).Misses, 2u);
+  EXPECT_EQ(S.stage(ArtifactStage::Baseline).Hits, 0u);
+  EXPECT_NE(printModule(*BA->M), printModule(*BB->M));
+}
+
+TEST(PipelineCache, CloneModulePrintsIdentically) {
+  Workload W = smallSuite(1).front();
+  EvalPipeline Pipe;
+  std::shared_ptr<const EvalPipeline::FissionArtifact> FA =
+      Pipe.fissionStage(W);
+  ASSERT_TRUE(FA->Ok);
+  std::unique_ptr<Module> Clone = cloneModule(*FA->M);
+  EXPECT_EQ(printModule(*FA->M), printModule(*Clone));
+}
+
+TEST(PipelineCache, FissionStageSharedAcrossFissionModes) {
+  std::vector<Workload> Suite = smallSuite();
+  EvalScheduler Sched({/*Threads=*/4, /*Seed=*/0xc906});
+  const std::vector<ObfuscationMode> Modes = {
+      ObfuscationMode::Fission, ObfuscationMode::FuFiSep,
+      ObfuscationMode::FuFiOri, ObfuscationMode::FuFiAll};
+  EvalRunStats Run;
+  auto Cells = Sched.compileMatrix(Suite, Modes, &Run);
+  ASSERT_EQ(Cells.size(), Suite.size() * Modes.size());
+  for (const auto &Cell : Cells)
+    EXPECT_TRUE(Cell.Compiled) << Cell.Compiled.Error;
+
+  // The fission prefix ran once per workload; the other three fission-mode
+  // cells of each workload reused (cloned) the cached artifact.
+  ArtifactStore::Snapshot S = Sched.pipeline().store().stats();
+  EXPECT_EQ(S.stage(ArtifactStage::FissionStage).Misses, Suite.size());
+  EXPECT_EQ(S.stage(ArtifactStage::FissionStage).Hits, 3 * Suite.size());
+  EXPECT_EQ(Run.CacheMisses + Run.CacheHits, S.Hits + S.Misses);
+  EXPECT_GT(Run.CacheBytesSaved, 0u);
+}
+
+TEST(PipelineCache, WarmPrecisionRunPerformsZeroRecompiles) {
+  std::vector<Workload> Suite = smallSuite();
+  const std::vector<ObfuscationMode> &Modes = allObfuscationModes();
+  const std::vector<std::string> Tools = {"BinDiff", "Asm2Vec"};
+
+  EvalScheduler Sched({/*Threads=*/4, /*Seed=*/0xc906});
+  EvalRunStats ColdRun;
+  auto Cold = Sched.precisionMatrix(Suite, Modes, Tools, &ColdRun);
+
+  ArtifactStore::Snapshot AfterCold = Sched.pipeline().store().stats();
+  // One baseline compile and one fission prefix per workload, ever.
+  EXPECT_EQ(AfterCold.stage(ArtifactStage::Baseline).Misses, Suite.size());
+  EXPECT_EQ(AfterCold.stage(ArtifactStage::BaselineImage).Misses,
+            Suite.size());
+  EXPECT_EQ(AfterCold.stage(ArtifactStage::FissionStage).Misses,
+            Suite.size());
+
+  EvalRunStats WarmRun;
+  auto Warm = Sched.precisionMatrix(Suite, Modes, Tools, &WarmRun);
+
+  // The warm re-run recompiled nothing: every stage was a hit.
+  ArtifactStore::Snapshot AfterWarm = Sched.pipeline().store().stats();
+  ArtifactStore::Snapshot Delta =
+      ArtifactStore::Snapshot::delta(AfterWarm, AfterCold);
+  EXPECT_EQ(Delta.Misses, 0u);
+  EXPECT_GT(Delta.Hits, 0u);
+  EXPECT_EQ(WarmRun.CacheMisses, 0u);
+  EXPECT_GT(WarmRun.CacheBytesSaved, 0u);
+
+  // And produced bit-identical numbers.
+  ASSERT_EQ(Cold.size(), Warm.size());
+  for (size_t I = 0; I != Cold.size(); ++I) {
+    EXPECT_EQ(Cold[I].Ok, Warm[I].Ok);
+    EXPECT_EQ(Cold[I].PerTool, Warm[I].PerTool);
+  }
+}
+
+TEST(PipelineCache, CacheOffMatchesCacheOnPrecision) {
+  std::vector<Workload> Suite = smallSuite(2);
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::Sub,
+                                              ObfuscationMode::FuFiAll};
+  const std::vector<std::string> Tools = {"Asm2Vec"};
+
+  EvalScheduler On({/*Threads=*/4, /*Seed=*/0xc906,
+                    /*CacheEnabled=*/true});
+  EvalScheduler Off({/*Threads=*/4, /*Seed=*/0xc906,
+                     /*CacheEnabled=*/false});
+  auto A = On.precisionMatrix(Suite, Modes, Tools);
+  auto B = Off.precisionMatrix(Suite, Modes, Tools);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Ok, B[I].Ok);
+    EXPECT_EQ(A[I].PerTool, B[I].PerTool);
+  }
+  EXPECT_EQ(Off.pipeline().store().stats().Hits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharding
+//===----------------------------------------------------------------------===//
+
+TEST(Sharding, UnionOfShardsEqualsUnshardedRun) {
+  std::vector<Workload> Suite = smallSuite(4);
+  const std::vector<ObfuscationMode> Modes = {
+      ObfuscationMode::Sub, ObfuscationMode::Fission,
+      ObfuscationMode::FuFiAll};
+  const std::vector<std::string> Tools = {"BinDiff", "SAFE"};
+
+  EvalScheduler Full({/*Threads=*/4, /*Seed=*/0xc906});
+  auto Unsharded = Full.precisionMatrix(Suite, Modes, Tools);
+
+  const unsigned Shards = 3;
+  std::vector<EvalScheduler::CellPrecision> Union(Unsharded.size());
+  size_t RanCells = 0;
+  for (unsigned SI = 0; SI != Shards; ++SI) {
+    EvalScheduler::Config C;
+    C.Threads = 4;
+    C.Seed = 0xc906;
+    C.Shards = Shards;
+    C.ShardIdx = SI;
+    EvalScheduler Shard(C);
+    auto Part = Shard.precisionMatrix(Suite, Modes, Tools);
+    ASSERT_EQ(Part.size(), Unsharded.size());
+    for (size_t I = 0; I != Part.size(); ++I) {
+      EXPECT_EQ(Part[I].Ran, I % Shards == SI);
+      if (!Part[I].Ran)
+        continue;
+      Union[I] = Part[I];
+      ++RanCells;
+    }
+  }
+
+  // Every cell ran in exactly one shard, with the unsharded result.
+  EXPECT_EQ(RanCells, Unsharded.size());
+  for (size_t I = 0; I != Unsharded.size(); ++I) {
+    EXPECT_TRUE(Union[I].Ran);
+    EXPECT_EQ(Union[I].Ok, Unsharded[I].Ok);
+    EXPECT_EQ(Union[I].PerTool, Unsharded[I].PerTool) << "cell " << I;
+  }
+}
+
+TEST(Sharding, OverheadMatrixMarksForeignCells) {
+  std::vector<Workload> Suite = smallSuite(2);
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::Fission,
+                                              ObfuscationMode::Fusion};
+  EvalScheduler::Config C;
+  C.Threads = 2;
+  C.Shards = 2;
+  C.ShardIdx = 1;
+  EvalScheduler Shard(C);
+  auto Cells = Shard.overheadMatrix(Suite, Modes);
+  ASSERT_EQ(Cells.size(), 4u);
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    EXPECT_EQ(Cells[I].Ran, I % 2 == 1);
+    if (!Cells[I].Ran) {
+      EXPECT_FALSE(Cells[I].Ok);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DiffTool registry
+//===----------------------------------------------------------------------===//
+
+TEST(ToolRegistry, PaperToolsRegisteredInTableOrder) {
+  std::vector<std::string> Names = registeredToolNames();
+  ASSERT_GE(Names.size(), 5u);
+  EXPECT_EQ(Names[0], "BinDiff");
+  EXPECT_EQ(Names[1], "VulSeeker");
+  EXPECT_EQ(Names[2], "Asm2Vec");
+  EXPECT_EQ(Names[3], "SAFE");
+  EXPECT_EQ(Names[4], "DeepBinDiff");
+  for (const std::string &Name : Names) {
+    EXPECT_TRUE(isDiffToolRegistered(Name));
+    std::unique_ptr<DiffTool> Tool = createDiffTool(Name);
+    ASSERT_NE(Tool, nullptr);
+    EXPECT_EQ(Tool->getName(), Name);
+  }
+  EXPECT_FALSE(isDiffToolRegistered("bogus"));
+  EXPECT_EQ(tryCreateDiffTool("bogus"), nullptr);
+}
+
+TEST(ToolRegistryDeathTest, CreateUnknownToolFailsLoudly) {
+  EXPECT_DEATH(createDiffTool("bogus"), "unknown diffing tool 'bogus'");
+}
+
+namespace {
+
+/// Minimal backend used to exercise registration: ranks B functions in
+/// index order for every A function.
+class EchoTool : public DiffTool {
+public:
+  const char *getName() const override { return "TestEcho"; }
+  ToolTraits getTraits() const override { return {}; }
+  DiffResult diff(const BinaryImage &A, const ImageFeatures &,
+                  const BinaryImage &B,
+                  const ImageFeatures &) const override {
+    DiffResult R;
+    R.Rankings.resize(A.Functions.size());
+    for (auto &Ranking : R.Rankings)
+      for (uint32_t I = 0; I != B.Functions.size(); ++I)
+        Ranking.push_back(I);
+    R.WholeBinarySimilarity = 1.0;
+    return R;
+  }
+};
+
+} // namespace
+
+// Runs last in this file (gtest executes in declaration order within a
+// suite file): registering mutates the global registry.
+TEST(ToolRegistry, NewBackendSlotsIntoTheMatrix) {
+  EXPECT_TRUE(registerDiffTool("TestEcho",
+                               [] { return std::make_unique<EchoTool>(); }));
+  // Duplicate registration is rejected.
+  EXPECT_FALSE(registerDiffTool("TestEcho",
+                                [] { return std::make_unique<EchoTool>(); }));
+  EXPECT_TRUE(isDiffToolRegistered("TestEcho"));
+  EXPECT_EQ(registeredToolNames().back(), "TestEcho");
+
+  // The new backend is immediately usable by the matrix front-end.
+  std::vector<Workload> Suite = smallSuite(1);
+  EvalScheduler Sched({/*Threads=*/2, /*Seed=*/0xc906});
+  auto Cells = Sched.precisionMatrix(
+      Suite, {ObfuscationMode::Sub}, {"TestEcho"});
+  ASSERT_EQ(Cells.size(), 1u);
+  ASSERT_TRUE(Cells[0].Ok);
+  ASSERT_EQ(Cells[0].PerTool.size(), 1u);
+  EXPECT_GE(Cells[0].PerTool[0], 0.0);
+}
+
+} // namespace

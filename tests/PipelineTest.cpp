@@ -203,9 +203,10 @@ TEST(Diffing, IdentityDiffIsNearPerfect) {
   S.NumFunctions = 24;
   S.Seed = 5;
   Workload W{S.Name, generateMiniCProgram(S), {}, {}};
-  CompiledWorkload C = compileBaseline(W);
-  ASSERT_TRUE(C);
-  BinaryImage A = lowerToBinary(*C.M);
+  EvalPipeline Pipe;
+  std::shared_ptr<const CompiledWorkload> C = Pipe.baseline(W);
+  ASSERT_TRUE(*C);
+  BinaryImage A = lowerToBinary(*C->M);
   ImageFeatures FA = extractFeatures(A);
   for (const auto &Tool : createAllDiffTools()) {
     DiffResult R = Tool->diff(A, FA, A, FA);
@@ -216,10 +217,13 @@ TEST(Diffing, IdentityDiffIsNearPerfect) {
 
 TEST(Diffing, ToolTraitsMatchPaperTable1) {
   auto Tools = createAllDiffTools();
-  ASSERT_EQ(Tools.size(), 5u);
+  ASSERT_GE(Tools.size(), 5u);
   EXPECT_TRUE(Tools[0]->getTraits().UsesSymbols);  // BinDiff
   EXPECT_FALSE(Tools[2]->getTraits().UsesSymbols); // Asm2Vec
-  EXPECT_STREQ(Tools[4]->getTraits().Granularity, "basic block");
+  EXPECT_EQ(Tools[4]->getTraits().Granularity, ToolGranularity::BasicBlock);
+  EXPECT_STREQ(toolGranularityName(Tools[4]->getTraits().Granularity),
+               "basic block");
+  EXPECT_EQ(Tools[0]->getTraits().Granularity, ToolGranularity::Function);
   EXPECT_TRUE(Tools[4]->getTraits().MemoryConsuming);
 }
 
@@ -238,12 +242,13 @@ TEST(Diffing, KhaosDegradesAccuracyMoreThanSub) {
   S.NumFunctions = 40;
   S.Seed = 11;
   Workload W{S.Name, generateMiniCProgram(S), {}, {}};
+  EvalPipeline Pipe;
   auto Tool = createAsm2VecTool();
-  DiffImages SubImgs = buildDiffImages(W, ObfuscationMode::Sub);
-  DiffImages KhaosImgs = buildDiffImages(W, ObfuscationMode::FuFiAll);
+  DiffImages SubImgs = Pipe.diffImages(W, ObfuscationMode::Sub);
+  DiffImages KhaosImgs = Pipe.diffImages(W, ObfuscationMode::FuFiAll);
   ASSERT_TRUE(SubImgs.Ok && KhaosImgs.Ok);
-  double SubP = runDiffTool(*Tool, SubImgs).Precision;
-  double KhaosP = runDiffTool(*Tool, KhaosImgs).Precision;
+  double SubP = Pipe.runDiffTool(*Tool, SubImgs).Precision;
+  double KhaosP = Pipe.runDiffTool(*Tool, KhaosImgs).Precision;
   EXPECT_GT(SubP, KhaosP + 0.2)
       << "Sub=" << SubP << " FuFi.all=" << KhaosP;
 }
@@ -297,10 +302,11 @@ TEST(Workloads, VulnSuiteNamesMatchPaperTable3) {
 }
 
 TEST(Workloads, VulnFunctionsSurviveCompilation) {
+  EvalPipeline Pipe;
   for (const Workload &W : vulnerableSuite()) {
-    CompiledWorkload C = compileBaseline(W);
-    ASSERT_TRUE(C) << W.Name << ": " << C.Error;
-    BinaryImage Img = lowerToBinary(*C.M);
+    std::shared_ptr<const CompiledWorkload> C = Pipe.baseline(W);
+    ASSERT_TRUE(*C) << W.Name << ": " << C->Error;
+    BinaryImage Img = lowerToBinary(*C->M);
     for (const std::string &V : W.VulnFunctions)
       EXPECT_TRUE(Img.findFunction(V)) << W.Name << "/" << V;
   }
@@ -311,9 +317,10 @@ class SuiteRunnability : public ::testing::TestWithParam<int> {};
 TEST_P(SuiteRunnability, CompilesVerifiesAndRuns) {
   std::vector<Workload> Suite = specCpu2006Suite();
   const Workload &W = Suite[GetParam()];
-  CompiledWorkload C = compileBaseline(W);
-  ASSERT_TRUE(C) << W.Name << ": " << C.Error;
-  ExecResult R = runModule(*C.M);
+  EvalPipeline Pipe;
+  std::shared_ptr<const CompiledWorkload> C = Pipe.baseline(W);
+  ASSERT_TRUE(*C) << W.Name << ": " << C->Error;
+  ExecResult R = runModule(*C->M);
   EXPECT_TRUE(R.Ok) << W.Name << ": " << R.Error;
   EXPECT_FALSE(R.Stdout.empty()) << W.Name;
 }
@@ -328,7 +335,8 @@ INSTANTIATE_TEST_SUITE_P(Spec2006, SuiteRunnability,
 TEST(Harness, OverheadMeasurementSane) {
   Workload W = specCpu2006Suite()[3]; // 429.mcf
   double Ov = 0.0;
-  ASSERT_TRUE(measureOverheadPercent(W, ObfuscationMode::Fission, Ov));
+  EvalPipeline Pipe;
+  ASSERT_TRUE(Pipe.overheadPercent(W, ObfuscationMode::Fission, Ov));
   EXPECT_GT(Ov, -50.0);
   EXPECT_LT(Ov, 200.0);
 }
@@ -355,10 +363,11 @@ TEST(Harness, TableRendererAlignsColumns) {
 
 TEST(Harness, EscapeRatioBehavesAtExtremes) {
   Workload W = vulnerableSuite()[0]; // jerryscript
-  DiffImages None = buildDiffImages(W, ObfuscationMode::None);
+  EvalPipeline Pipe;
+  DiffImages None = Pipe.diffImages(W, ObfuscationMode::None);
   ASSERT_TRUE(None.Ok);
   auto Tool = createAsm2VecTool();
-  DiffOutcome O = runDiffTool(*Tool, None);
+  DiffOutcome O = Pipe.runDiffTool(*Tool, None);
   // Un-obfuscated: the vulnerable function must be near the top.
   double E50 = escapeRatioAtK(None.A, None.B, O.Raw, W.VulnFunctions, 50);
   EXPECT_EQ(E50, 0.0);
