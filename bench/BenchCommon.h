@@ -9,24 +9,31 @@
 /// the environment to run each figure on a reduced workload sample (for
 /// smoke-testing the harness). Benches that fan out over the EvalScheduler
 /// accept `--threads N`, `--seed S`, `--no-cache` (recompute every
-/// artifact; results are identical, only slower) and `--shards N
+/// artifact; results are identical, only slower), `--shards N
 /// --shard-index I` (cross-process split of the matrix by FlatIdx %
-/// Shards); their stdout is byte-identical at every thread count
-/// (scheduler diagnostics, including cache telemetry, go to stderr).
-/// `--print-cells` switches matrix benches that support it to a
-/// per-(cell × tool) line format whose shard outputs merge losslessly.
+/// Shards), `--store-max-bytes B` (LRU-bound the ArtifactStore; evicted
+/// stages recompute, output is unchanged) and `--tool-timeout-ms T` (the
+/// round-trip budget of out-of-process diffing backends); their stdout is
+/// byte-identical at every thread count (scheduler diagnostics, including
+/// cache telemetry, go to stderr). `--print-cells` switches matrix
+/// benches that support it to a per-(cell × tool) line format whose shard
+/// outputs merge losslessly. Diffing benches accept `--tools A,B,...`
+/// (registry names, case-insensitive), validated up front against
+/// registeredToolNames() before any thread spawns.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef KHAOS_BENCH_BENCHCOMMON_H
 #define KHAOS_BENCH_BENCHCOMMON_H
 
+#include "diffing/SubprocessDiffTool.h"
 #include "harness/BinTuner.h"
 #include "harness/EvalScheduler.h"
 #include "harness/Evaluator.h"
 #include "harness/TableRenderer.h"
 #include "support/Statistics.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -76,8 +83,78 @@ inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
       C.Shards = static_cast<unsigned>(std::strtoul(V3, nullptr, 10));
     else if (const char *V4 = Value(Arg, "--shard-index", I))
       C.ShardIdx = static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
+    else if (const char *V5 = Value(Arg, "--store-max-bytes", I))
+      C.StoreMaxBytes = std::strtoull(V5, nullptr, 0);
+    else if (const char *V6 = Value(Arg, "--tool-timeout-ms", I))
+      // Round-trip budget of subprocess diffing backends: a process-wide
+      // knob of the worker pool, not scheduler state.
+      setDiffWorkerTimeoutMs(
+          static_cast<unsigned>(std::strtoul(V6, nullptr, 10)));
   }
   return C;
+}
+
+/// Parses `--tools A,B,...` and validates every name against the DiffTool
+/// registry *before* the caller spawns scheduler threads (createDiffTool
+/// aborts on unknown names — mid-matrix that would kill a half-finished
+/// run). Matching is case-insensitive against the registered spelling
+/// (`--tools safe,safe-oop` resolves to SAFE + safe-oop); the canonical
+/// names are returned. On an unknown name, prints a usage message listing
+/// registeredToolNames() and exits 2. Returns \p Default when the flag is
+/// absent.
+inline std::vector<std::string>
+parseToolNames(int Argc, char **Argv, const char *Bench,
+               std::vector<std::string> Default = {}) {
+  std::string Spec;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--tools=", 0) == 0)
+      Spec = Arg.substr(8);
+    else if (Arg == "--tools" && I + 1 < Argc)
+      Spec = Argv[++I];
+  }
+  if (Spec.empty())
+    return Default;
+
+  auto Lower = [](std::string S) {
+    for (char &C : S)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return S;
+  };
+  std::vector<std::string> Known = registeredToolNames();
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Name = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    if (Name.empty())
+      continue;
+    const std::string *Match = nullptr;
+    for (const std::string &K : Known)
+      if (Lower(K) == Lower(Name)) {
+        Match = &K;
+        break;
+      }
+    if (!Match) {
+      std::fprintf(stderr,
+                   "%s: unknown diffing tool '%s' in --tools\n"
+                   "usage: --tools NAME[,NAME...] with registered tools:",
+                   Bench, Name.c_str());
+      for (const std::string &K : Known)
+        std::fprintf(stderr, " %s", K.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    Out.push_back(*Match);
+  }
+  if (Out.empty()) {
+    std::fprintf(stderr, "%s: --tools requires at least one tool name\n",
+                 Bench);
+    std::exit(2);
+  }
+  return Out;
 }
 
 /// True if the boolean flag \p Flag appears in the argument list.
@@ -131,16 +208,17 @@ printOverheadCellLines(const char *MatrixId,
 inline void reportScheduler(const EvalScheduler &S, const EvalRunStats &R) {
   std::fprintf(stderr,
                "[scheduler] threads=%u seed=0x%llx shard=%u/%u cells=%zu "
-               "failures=%zu\n",
+               "failures=%zu tool-failures=%zu\n",
                S.threadCount(),
                static_cast<unsigned long long>(S.baseSeed()), S.shardIndex(),
-               S.shardCount(), R.Cells, R.Failures);
+               S.shardCount(), R.Cells, R.Failures, R.ToolFailures);
   std::fprintf(stderr,
-               "[cache] %s hits=%llu misses=%llu recompile-bytes-saved="
-               "%llu\n",
+               "[cache] %s hits=%llu misses=%llu evictions=%llu "
+               "recompile-bytes-saved=%llu\n",
                S.pipeline().store().enabled() ? "on" : "off",
                static_cast<unsigned long long>(R.CacheHits),
                static_cast<unsigned long long>(R.CacheMisses),
+               static_cast<unsigned long long>(R.CacheEvictions),
                static_cast<unsigned long long>(R.CacheBytesSaved));
 }
 

@@ -73,6 +73,13 @@ void printCellLines(const char *MatrixId,
 } // namespace
 
 int main(int argc, char **argv) {
+  // Validate --tools against the registry before any scheduler thread
+  // exists (createDiffTool would abort mid-matrix otherwise). An explicit
+  // tool list replaces the default light-tool set and skips the
+  // DeepBinDiff reduced-suite matrix; `--tools SAFE` vs `--tools
+  // safe-oop` is the in-process/out-of-process A/B the CI diffs.
+  const std::vector<std::string> CustomTools =
+      parseToolNames(argc, argv, "fig8_precision");
   EvalScheduler Sched(parseSchedulerArgs(argc, argv));
   const bool CellMode =
       hasBenchFlag(argc, argv, "--print-cells") || Sched.shardCount() > 1;
@@ -103,27 +110,38 @@ int main(int argc, char **argv) {
 
   // Tool order matches the paper's figure legend. DeepBinDiff is the
   // "heavy" tool and diffs only the reduced suite.
-  const std::vector<std::string> LightTools = {"BinDiff", "VulSeeker",
-                                               "Asm2Vec", "SAFE"};
-  const std::vector<std::string> HeavyTools = {"DeepBinDiff"};
+  const std::vector<std::string> LightTools =
+      CustomTools.empty()
+          ? std::vector<std::string>{"BinDiff", "VulSeeker", "Asm2Vec",
+                                     "SAFE"}
+          : CustomTools;
+  const std::vector<std::string> HeavyTools =
+      CustomTools.empty() ? std::vector<std::string>{"DeepBinDiff"}
+                          : std::vector<std::string>{};
 
   EvalRunStats Run;
   std::vector<EvalScheduler::CellPrecision> MainCells =
       Sched.precisionMatrix(Main, Modes, LightTools, &Run);
   std::vector<EvalScheduler::CellPrecision> SmallCells =
-      Sched.precisionMatrix(Small, Modes, HeavyTools, &Run);
+      HeavyTools.empty()
+          ? std::vector<EvalScheduler::CellPrecision>{}
+          : Sched.precisionMatrix(Small, Modes, HeavyTools, &Run);
 
   if (CellMode) {
     printCellLines("M0", MainCells, Main, Modes, LightTools);
-    printCellLines("M1", SmallCells, Small, Modes, HeavyTools);
+    if (!HeavyTools.empty())
+      printCellLines("M1", SmallCells, Small, Modes, HeavyTools);
     reportScheduler(Sched, Run);
     return 0;
   }
 
   std::vector<std::vector<double>> LightMeans = meanPrecision(
       MainCells, Main.size(), Modes.size(), LightTools.size());
-  std::vector<std::vector<double>> HeavyMeans = meanPrecision(
-      SmallCells, Small.size(), Modes.size(), HeavyTools.size());
+  std::vector<std::vector<double>> HeavyMeans =
+      HeavyTools.empty()
+          ? std::vector<std::vector<double>>{}
+          : meanPrecision(SmallCells, Small.size(), Modes.size(),
+                          HeavyTools.size());
 
   TableRenderer Table({"tool", "Sub", "Bog", "Fla-10", "Fission", "Fusion",
                        "FuFi.sep", "FuFi.ori", "FuFi.all"});

@@ -37,8 +37,12 @@ int main(int argc, char **argv) {
   EvalPipeline Pipe;
   auto Tools = createAllDiffTools();
 
-  TableRenderer Table({"mode", "overhead", "BinDiff", "VulSeeker",
-                       "Asm2Vec", "SAFE", "DeepBinDiff"});
+  // Tool columns come from the registry, so new backends (including the
+  // subprocess-backed ones, e.g. safe-oop) show up automatically.
+  std::vector<std::string> Header{"mode", "overhead"};
+  for (const auto &Tool : Tools)
+    Header.push_back(Tool->getName());
+  TableRenderer Table(std::move(Header));
   for (ObfuscationMode Mode : allObfuscationModes()) {
     std::vector<std::string> Row{obfuscationModeName(Mode)};
     double Ov = 0.0;

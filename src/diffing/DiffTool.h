@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@ enum class ToolGranularity : uint8_t { Function, BasicBlock };
 
 /// Printable granularity, spelled as in the paper's Table 1.
 const char *toolGranularityName(ToolGranularity G);
+
+/// Runtime failure of a diffing backend — a subprocess worker timed out,
+/// crashed past its retry, or returned garbage. Matrix front-ends catch
+/// this per (cell × tool) task, report the task as failed and keep the
+/// run going; a misconfigured backend must never stall a shard.
+class DiffToolError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Static tool characteristics (paper Table 1).
 struct ToolTraits {

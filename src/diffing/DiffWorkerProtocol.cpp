@@ -1,0 +1,591 @@
+//===- diffing/DiffWorkerProtocol.cpp - Worker wire protocol --------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diffing/DiffWorkerProtocol.h"
+
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+using namespace khaos;
+
+namespace {
+
+/// Sanity cap on one frame: a desynced stream must not be able to request
+/// an absurd allocation from a bogus length prefix.
+constexpr uint32_t MaxFrameBytes = 1u << 30;
+
+//===----------------------------------------------------------------------===//
+// Little-endian buffer writer/reader. Fixed-width fields only, no padding:
+// identical values always encode to identical bytes.
+//===----------------------------------------------------------------------===//
+
+class WireWriter {
+public:
+  std::vector<uint8_t> Buf;
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) { raw(&V, 2); }
+  void u32(uint32_t V) { raw(&V, 4); }
+  void u64(uint64_t V) { raw(&V, 8); }
+  void i32(int32_t V) { raw(&V, 4); }
+  void i64(int64_t V) { raw(&V, 8); }
+  void f64(double V) {
+    // Raw bit pattern: the decoder reproduces the exact double, which is
+    // what makes subprocess results bit-identical to in-process ones.
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  template <typename T, typename WriteOne>
+  void vec(const std::vector<T> &V, WriteOne One) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (const T &E : V)
+      One(E);
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    // Host byte order is little-endian on every platform this project
+    // targets (x86-64, AArch64); a big-endian port would swap here.
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+};
+
+class WireReader {
+public:
+  WireReader(const uint8_t *Data, size_t Size)
+      : P(Data), End(Data + Size) {}
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return P == End; }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    raw(&V, 2);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, 4);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+  int32_t i32() {
+    int32_t V = 0;
+    raw(&V, 4);
+    return V;
+  }
+  int64_t i64() {
+    int64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || static_cast<size_t>(End - P) < N) {
+      Failed = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return S;
+  }
+  /// Reads a u32 element count, bounded by the bytes actually left (each
+  /// element encodes to >= 1 byte, so a count beyond that is malformed).
+  uint32_t count() {
+    uint32_t N = u32();
+    if (!Failed && N > static_cast<size_t>(End - P))
+      Failed = true;
+    return Failed ? 0 : N;
+  }
+
+private:
+  void raw(void *Out, size_t N) {
+    if (Failed || static_cast<size_t>(End - P) < N) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(Out, P, N);
+    P += N;
+  }
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Image / feature / result encoding.
+//===----------------------------------------------------------------------===//
+
+void writeImage(WireWriter &W, const BinaryImage &Img) {
+  W.str(Img.Name);
+  W.vec(Img.Functions, [&](const MFunction &F) {
+    W.str(F.Name);
+    W.u64(F.Address);
+    W.u8(F.Exported ? 1 : 0);
+    W.vec(F.Origins, [&](const std::string &O) { W.str(O); });
+    W.vec(F.Blocks, [&](const MBlock &B) {
+      W.str(B.Name);
+      W.vec(B.Insts, [&](const MInst &I) {
+        W.u8(static_cast<uint8_t>(I.Op));
+        W.u8(static_cast<uint8_t>((I.HasMemOperand ? 1 : 0) |
+                                  (I.HasImmediate ? 2 : 0)));
+        W.i32(I.SymId);
+        W.i64(I.Imm);
+      });
+      W.vec(B.Succs, [&](uint32_t S) { W.u32(S); });
+    });
+  });
+  W.vec(Img.Symbols, [&](const std::string &S) { W.str(S); });
+  W.vec(Img.DataRelocs, [&](const DataRelocation &R) {
+    W.str(R.GlobalName);
+    W.u64(R.Offset);
+    W.i32(R.SymId);
+    W.i64(R.Addend);
+  });
+  // The name->index map is serialized explicitly rather than rebuilt, so a
+  // decoded image is field-for-field identical to the encoded one even for
+  // degenerate inputs (duplicate names, stale entries).
+  W.u32(static_cast<uint32_t>(Img.FunctionIndex.size()));
+  for (const auto &Entry : Img.FunctionIndex) {
+    W.str(Entry.first);
+    W.u32(Entry.second);
+  }
+}
+
+bool readImage(WireReader &R, BinaryImage &Img) {
+  Img.Name = R.str();
+  uint32_t NF = R.count();
+  Img.Functions.resize(NF);
+  for (uint32_t FI = 0; FI != NF && R.ok(); ++FI) {
+    MFunction &F = Img.Functions[FI];
+    F.Name = R.str();
+    F.Address = R.u64();
+    F.Exported = R.u8() != 0;
+    uint32_t NO = R.count();
+    F.Origins.resize(NO);
+    for (uint32_t I = 0; I != NO && R.ok(); ++I)
+      F.Origins[I] = R.str();
+    uint32_t NB = R.count();
+    F.Blocks.resize(NB);
+    for (uint32_t BI = 0; BI != NB && R.ok(); ++BI) {
+      MBlock &B = F.Blocks[BI];
+      B.Name = R.str();
+      uint32_t NI = R.count();
+      B.Insts.resize(NI);
+      for (uint32_t I = 0; I != NI && R.ok(); ++I) {
+        MInst &In = B.Insts[I];
+        In.Op = static_cast<MOp>(R.u8());
+        uint8_t Flags = R.u8();
+        In.HasMemOperand = (Flags & 1) != 0;
+        In.HasImmediate = (Flags & 2) != 0;
+        In.SymId = R.i32();
+        In.Imm = R.i64();
+      }
+      uint32_t NS = R.count();
+      B.Succs.resize(NS);
+      for (uint32_t I = 0; I != NS && R.ok(); ++I)
+        B.Succs[I] = R.u32();
+    }
+  }
+  uint32_t NSym = R.count();
+  Img.Symbols.resize(NSym);
+  for (uint32_t I = 0; I != NSym && R.ok(); ++I)
+    Img.Symbols[I] = R.str();
+  uint32_t NRel = R.count();
+  Img.DataRelocs.resize(NRel);
+  for (uint32_t I = 0; I != NRel && R.ok(); ++I) {
+    DataRelocation &Rel = Img.DataRelocs[I];
+    Rel.GlobalName = R.str();
+    Rel.Offset = R.u64();
+    Rel.SymId = R.i32();
+    Rel.Addend = R.i64();
+  }
+  uint32_t NIdx = R.count();
+  Img.FunctionIndex.clear();
+  for (uint32_t I = 0; I != NIdx && R.ok(); ++I) {
+    std::string Name = R.str();
+    uint32_t Idx = R.u32();
+    Img.FunctionIndex.emplace(std::move(Name), Idx);
+  }
+  return R.ok();
+}
+
+void writeFeatures(WireWriter &W, const ImageFeatures &F) {
+  W.vec(F.Funcs, [&](const FunctionFeatures &FF) {
+    W.str(FF.Name);
+    W.u32(FF.NumBlocks);
+    W.u32(FF.NumEdges);
+    W.u32(FF.NumCalls);
+    W.u32(FF.NumIndirectCalls);
+    W.u32(FF.NumInsts);
+    W.u32(FF.CallGraphIn);
+    W.u32(FF.CallGraphOut);
+    W.vec(FF.Callees, [&](uint32_t C) { W.u32(C); });
+    W.vec(FF.OpcodeHist, [&](double D) { W.f64(D); });
+    W.vec(FF.SemanticVec, [&](double D) { W.f64(D); });
+    W.vec(FF.Immediates, [&](int64_t V) { W.i64(V); });
+    W.vec(FF.TokenSeq, [&](unsigned T) { W.u32(T); });
+    W.vec(FF.BlockHists, [&](const std::vector<double> &H) {
+      W.vec(H, [&](double D) { W.f64(D); });
+    });
+    W.vec(FF.BlockSuccs, [&](const std::vector<uint32_t> &S) {
+      W.vec(S, [&](uint32_t V) { W.u32(V); });
+    });
+  });
+}
+
+bool readFeatures(WireReader &R, ImageFeatures &F) {
+  uint32_t NF = R.count();
+  F.Funcs.resize(NF);
+  for (uint32_t I = 0; I != NF && R.ok(); ++I) {
+    FunctionFeatures &FF = F.Funcs[I];
+    FF.Name = R.str();
+    FF.NumBlocks = R.u32();
+    FF.NumEdges = R.u32();
+    FF.NumCalls = R.u32();
+    FF.NumIndirectCalls = R.u32();
+    FF.NumInsts = R.u32();
+    FF.CallGraphIn = R.u32();
+    FF.CallGraphOut = R.u32();
+    uint32_t N = R.count();
+    FF.Callees.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J)
+      FF.Callees[J] = R.u32();
+    N = R.count();
+    FF.OpcodeHist.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J)
+      FF.OpcodeHist[J] = R.f64();
+    N = R.count();
+    FF.SemanticVec.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J)
+      FF.SemanticVec[J] = R.f64();
+    N = R.count();
+    FF.Immediates.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J)
+      FF.Immediates[J] = R.i64();
+    N = R.count();
+    FF.TokenSeq.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J)
+      FF.TokenSeq[J] = R.u32();
+    N = R.count();
+    FF.BlockHists.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J) {
+      uint32_t M = R.count();
+      FF.BlockHists[J].resize(M);
+      for (uint32_t K = 0; K != M && R.ok(); ++K)
+        FF.BlockHists[J][K] = R.f64();
+    }
+    N = R.count();
+    FF.BlockSuccs.resize(N);
+    for (uint32_t J = 0; J != N && R.ok(); ++J) {
+      uint32_t M = R.count();
+      FF.BlockSuccs[J].resize(M);
+      for (uint32_t K = 0; K != M && R.ok(); ++K)
+        FF.BlockSuccs[J][K] = R.u32();
+    }
+  }
+  return R.ok();
+}
+
+void writeHeader(WireWriter &W, DiffWireType Type) {
+  W.u32(DiffWireMagic);
+  W.u16(DiffWireVersion);
+  W.u8(static_cast<uint8_t>(Type));
+}
+
+/// Checks magic + version and returns the message type (0 on failure).
+uint8_t readHeader(WireReader &R, std::string &Err) {
+  uint32_t Magic = R.u32();
+  uint16_t Version = R.u16();
+  uint8_t Type = R.u8();
+  if (!R.ok()) {
+    Err = "truncated frame header";
+    return 0;
+  }
+  if (Magic != DiffWireMagic) {
+    Err = "bad frame magic";
+    return 0;
+  }
+  if (Version != DiffWireVersion) {
+    Err = "unsupported protocol version " + std::to_string(Version);
+    return 0;
+  }
+  return Type;
+}
+
+} // namespace
+
+std::vector<uint8_t> khaos::encodeDiffRequest(const DiffWireRequest &Req) {
+  WireWriter W;
+  writeHeader(W, DiffWireType::Request);
+  W.str(Req.Tool);
+  writeImage(W, Req.A);
+  writeFeatures(W, Req.FA);
+  writeImage(W, Req.B);
+  writeFeatures(W, Req.FB);
+  return std::move(W.Buf);
+}
+
+std::vector<uint8_t> khaos::encodeDiffResponse(const DiffWireResponse &Resp) {
+  WireWriter W;
+  if (!Resp.Ok) {
+    writeHeader(W, DiffWireType::ResponseError);
+    W.str(Resp.Error);
+    return std::move(W.Buf);
+  }
+  writeHeader(W, DiffWireType::ResponseOk);
+  W.vec(Resp.Result.Rankings, [&](const std::vector<uint32_t> &Ranking) {
+    W.vec(Ranking, [&](uint32_t V) { W.u32(V); });
+  });
+  W.f64(Resp.Result.WholeBinarySimilarity);
+  return std::move(W.Buf);
+}
+
+bool khaos::decodeDiffRequest(const std::vector<uint8_t> &Payload,
+                              DiffWireRequest &Req, std::string &Err) {
+  WireReader R(Payload.data(), Payload.size());
+  uint8_t Type = readHeader(R, Err);
+  if (Type == 0)
+    return false;
+  if (Type != static_cast<uint8_t>(DiffWireType::Request)) {
+    Err = "expected a request frame";
+    return false;
+  }
+  Req.Tool = R.str();
+  if (!readImage(R, Req.A) || !readFeatures(R, Req.FA) ||
+      !readImage(R, Req.B) || !readFeatures(R, Req.FB)) {
+    Err = "truncated request body";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing bytes after request body";
+    return false;
+  }
+  return true;
+}
+
+bool khaos::decodeDiffResponse(const std::vector<uint8_t> &Payload,
+                               DiffWireResponse &Resp, std::string &Err) {
+  WireReader R(Payload.data(), Payload.size());
+  uint8_t Type = readHeader(R, Err);
+  if (Type == 0)
+    return false;
+  if (Type == static_cast<uint8_t>(DiffWireType::ResponseError)) {
+    Resp.Ok = false;
+    Resp.Error = R.str();
+    if (!R.ok() || !R.atEnd()) {
+      Err = "malformed error response";
+      return false;
+    }
+    return true;
+  }
+  if (Type != static_cast<uint8_t>(DiffWireType::ResponseOk)) {
+    Err = "expected a response frame";
+    return false;
+  }
+  Resp.Ok = true;
+  uint32_t N = R.count();
+  Resp.Result.Rankings.resize(N);
+  for (uint32_t I = 0; I != N && R.ok(); ++I) {
+    uint32_t M = R.count();
+    Resp.Result.Rankings[I].resize(M);
+    for (uint32_t J = 0; J != M && R.ok(); ++J)
+      Resp.Result.Rankings[I][J] = R.u32();
+  }
+  Resp.Result.WholeBinarySimilarity = R.f64();
+  if (!R.ok()) {
+    Err = "truncated response body";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing bytes after response body";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame transport.
+//===----------------------------------------------------------------------===//
+
+const char *khaos::frameIOResultName(FrameIOResult R) {
+  switch (R) {
+  case FrameIOResult::Ok:
+    return "ok";
+  case FrameIOResult::Timeout:
+    return "timeout";
+  case FrameIOResult::Eof:
+    return "eof";
+  case FrameIOResult::Error:
+    return "error";
+  case FrameIOResult::Malformed:
+    return "malformed";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until \p Deadline for poll(); -1 for "no deadline",
+/// 0 once the deadline has passed.
+int remainingMs(bool HasDeadline, Clock::time_point Deadline) {
+  if (!HasDeadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Deadline - Clock::now());
+  if (Left.count() <= 0)
+    return 0;
+  return static_cast<int>(Left.count());
+}
+
+/// Waits until \p Fd is ready for \p Events. Ok, Timeout or Error.
+FrameIOResult waitFd(int Fd, short Events, bool HasDeadline,
+                     Clock::time_point Deadline, std::string &Err) {
+  for (;;) {
+    int Left = remainingMs(HasDeadline, Deadline);
+    if (HasDeadline && Left == 0)
+      return FrameIOResult::Timeout;
+    struct pollfd P;
+    P.fd = Fd;
+    P.events = Events;
+    P.revents = 0;
+    int N = ::poll(&P, 1, Left);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("poll: ") + std::strerror(errno);
+      return FrameIOResult::Error;
+    }
+    if (N == 0)
+      return FrameIOResult::Timeout;
+    // Readable/writable — or HUP/ERR, which the read()/write() below will
+    // turn into a precise Eof/Error.
+    return FrameIOResult::Ok;
+  }
+}
+
+FrameIOResult readAll(int Fd, uint8_t *Out, size_t N, bool HasDeadline,
+                      Clock::time_point Deadline, bool &SawAnyByte,
+                      std::string &Err) {
+  size_t Done = 0;
+  while (Done != N) {
+    FrameIOResult W = waitFd(Fd, POLLIN, HasDeadline, Deadline, Err);
+    if (W != FrameIOResult::Ok)
+      return W;
+    ssize_t R = ::read(Fd, Out + Done, N - Done);
+    if (R < 0) {
+      // EAGAIN: O_NONBLOCK fd raced another consumer or poll woke us
+      // spuriously — re-poll against the deadline.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      Err = std::string("read: ") + std::strerror(errno);
+      return FrameIOResult::Error;
+    }
+    if (R == 0) {
+      if (Done != 0 || SawAnyByte)
+        Err = "stream ended mid-frame";
+      return FrameIOResult::Eof;
+    }
+    Done += static_cast<size_t>(R);
+    SawAnyByte = true;
+  }
+  return FrameIOResult::Ok;
+}
+
+} // namespace
+
+FrameIOResult khaos::writeDiffFrame(int Fd,
+                                    const std::vector<uint8_t> &Payload,
+                                    int TimeoutMs, std::string &Err) {
+  if (Payload.size() > MaxFrameBytes) {
+    Err = "frame exceeds the 1 GiB sanity cap";
+    return FrameIOResult::Malformed;
+  }
+  bool HasDeadline = TimeoutMs >= 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs < 0 ? 0 : TimeoutMs);
+
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  std::vector<uint8_t> Buf(4 + Payload.size());
+  std::memcpy(Buf.data(), &Len, 4);
+  std::memcpy(Buf.data() + 4, Payload.data(), Payload.size());
+
+  size_t Done = 0;
+  while (Done != Buf.size()) {
+    FrameIOResult W = waitFd(Fd, POLLOUT, HasDeadline, Deadline, Err);
+    if (W != FrameIOResult::Ok)
+      return W;
+    ssize_t R = ::write(Fd, Buf.data() + Done, Buf.size() - Done);
+    if (R < 0) {
+      // EAGAIN only occurs on O_NONBLOCK fds (the harness sets its pipe
+      // ends non-blocking precisely so a full pipe cannot swallow the
+      // deadline: a blocking pipe write of more than PIPE_BUF bytes
+      // blocks until ALL bytes are written, past any poll() timeout).
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      if (errno == EPIPE) {
+        // The reader is gone: report Eof so the pool respawns the worker.
+        Err = "peer closed the pipe";
+        return FrameIOResult::Eof;
+      }
+      Err = std::string("write: ") + std::strerror(errno);
+      return FrameIOResult::Error;
+    }
+    Done += static_cast<size_t>(R);
+  }
+  return FrameIOResult::Ok;
+}
+
+FrameIOResult khaos::readDiffFrame(int Fd, std::vector<uint8_t> &Payload,
+                                   int TimeoutMs, std::string &Err) {
+  bool HasDeadline = TimeoutMs >= 0;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs < 0 ? 0 : TimeoutMs);
+
+  bool SawAnyByte = false;
+  uint32_t Len = 0;
+  FrameIOResult R =
+      readAll(Fd, reinterpret_cast<uint8_t *>(&Len), 4, HasDeadline,
+              Deadline, SawAnyByte, Err);
+  if (R != FrameIOResult::Ok)
+    return R;
+  if (Len > MaxFrameBytes) {
+    Err = "frame length " + std::to_string(Len) +
+          " exceeds the 1 GiB sanity cap (desynced stream?)";
+    return FrameIOResult::Malformed;
+  }
+  Payload.resize(Len);
+  return readAll(Fd, Payload.data(), Len, HasDeadline, Deadline, SawAnyByte,
+                 Err);
+}

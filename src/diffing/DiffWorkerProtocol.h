@@ -1,0 +1,113 @@
+//===- diffing/DiffWorkerProtocol.h - Worker wire protocol ------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between the harness and an out-of-process diffing
+/// worker (jTrans-style learned models cannot run in-process; they speak
+/// this protocol instead — see README "Out-of-process diffing workers").
+///
+/// Transport: length-prefixed frames over a pipe pair (worker stdin /
+/// stdout). Each frame is a little-endian u32 payload length followed by
+/// the payload. Every payload begins with a fixed header:
+///
+///   u32 magic   0x4B445731 ("KDW1" read as bytes 31 57 44 4B)
+///   u16 version 1
+///   u8  type    1 = request, 2 = response (ok), 3 = response (error)
+///
+/// A request carries the registry name of the tool to run plus the full
+/// diff() signature — both BinaryImages and both ImageFeatures — encoded
+/// field-for-field (doubles as raw IEEE-754 bit patterns), so a worker
+/// that deserializes a request and runs the in-process tool produces a
+/// bit-identical DiffResult to an in-process run. An ok-response carries
+/// the DiffResult; an error-response carries a message string.
+///
+/// The encoding has no optional fields and no alignment padding: the same
+/// value always encodes to the same bytes (DiffWorkerTest pins a golden
+/// frame so the format cannot drift silently).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_DIFFING_DIFFWORKERPROTOCOL_H
+#define KHAOS_DIFFING_DIFFWORKERPROTOCOL_H
+
+#include "diffing/DiffTool.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// Protocol constants.
+constexpr uint32_t DiffWireMagic = 0x4B445731; // "KDW1"
+constexpr uint16_t DiffWireVersion = 1;
+
+enum class DiffWireType : uint8_t {
+  Request = 1,
+  ResponseOk = 2,
+  ResponseError = 3,
+};
+
+/// One diffing request: run tool \c Tool over the (A, B) pair.
+struct DiffWireRequest {
+  std::string Tool;
+  BinaryImage A, B;
+  ImageFeatures FA, FB;
+};
+
+/// One diffing response: \c Result when \c Ok, else \c Error.
+struct DiffWireResponse {
+  bool Ok = false;
+  std::string Error;
+  DiffResult Result;
+};
+
+/// Encodes \p Req into a frame payload (header included, length prefix
+/// excluded — the transport adds it).
+std::vector<uint8_t> encodeDiffRequest(const DiffWireRequest &Req);
+
+/// Encodes \p Resp into a frame payload.
+std::vector<uint8_t> encodeDiffResponse(const DiffWireResponse &Resp);
+
+/// Decodes a request payload. Returns false (with \p Err set) on a
+/// malformed frame: bad magic/version/type, truncated body, or trailing
+/// garbage.
+bool decodeDiffRequest(const std::vector<uint8_t> &Payload,
+                       DiffWireRequest &Req, std::string &Err);
+
+/// Decodes a response payload (either ok or error type).
+bool decodeDiffResponse(const std::vector<uint8_t> &Payload,
+                        DiffWireResponse &Resp, std::string &Err);
+
+//===----------------------------------------------------------------------===//
+// Frame transport over file descriptors.
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one frame read/write, so callers can tell a hung worker
+/// (Timeout — kill it, do not retry) from a dead one (Eof — respawn and
+/// retry once) from a desynced stream (Malformed — fail hard).
+enum class FrameIOResult : uint8_t { Ok, Timeout, Eof, Error, Malformed };
+
+/// Printable FrameIOResult for diagnostics.
+const char *frameIOResultName(FrameIOResult R);
+
+/// Writes the length prefix and \p Payload to \p Fd. \p TimeoutMs < 0
+/// blocks indefinitely. Partial writes are resumed; EPIPE (worker died)
+/// reports Eof.
+FrameIOResult writeDiffFrame(int Fd, const std::vector<uint8_t> &Payload,
+                             int TimeoutMs, std::string &Err);
+
+/// Reads one length-prefixed frame from \p Fd into \p Payload. A clean
+/// end-of-stream before the first prefix byte reports Eof with an empty
+/// \p Err; a mid-frame EOF reports Eof with a diagnostic. Frames above an
+/// internal sanity cap (1 GiB) report Malformed (a desynced stream would
+/// otherwise ask for an absurd allocation).
+FrameIOResult readDiffFrame(int Fd, std::vector<uint8_t> &Payload,
+                            int TimeoutMs, std::string &Err);
+
+} // namespace khaos
+
+#endif // KHAOS_DIFFING_DIFFWORKERPROTOCOL_H

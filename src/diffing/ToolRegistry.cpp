@@ -14,6 +14,8 @@
 
 #include "diffing/DiffTool.h"
 
+#include "diffing/SubprocessDiffTool.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -58,6 +60,11 @@ Registry &registry() {
     R.Tools.emplace_back("Asm2Vec", createAsm2VecTool);
     R.Tools.emplace_back("SAFE", createSafeTool);
     R.Tools.emplace_back("DeepBinDiff", createDeepBinDiffTool);
+    // Subprocess-backed builtins seed after the Table-1 block
+    // (registration order is the figure order). Appended directly — a
+    // registerDiffTool call from inside this initializer would re-enter
+    // the Seeded guard.
+    appendBuiltinSubprocessTools(R.Tools);
     return true;
   }();
   (void)Seeded;

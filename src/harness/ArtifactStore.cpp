@@ -23,6 +23,8 @@ const char *khaos::artifactStageName(ArtifactStage Stage) {
     return "fission-stage";
   case ArtifactStage::ObfuscatedImage:
     return "obfuscated-image";
+  case ArtifactStage::DiffOutcome:
+    return "diff-outcome";
   case ArtifactStage::NumStages:
     break;
   }
@@ -69,11 +71,49 @@ ArtifactStore::Snapshot::delta(const Snapshot &After,
     D.PerStage[S].Hits = After.PerStage[S].Hits - Before.PerStage[S].Hits;
     D.PerStage[S].Misses =
         After.PerStage[S].Misses - Before.PerStage[S].Misses;
+    D.PerStage[S].Evictions =
+        After.PerStage[S].Evictions - Before.PerStage[S].Evictions;
   }
   D.Hits = After.Hits - Before.Hits;
   D.Misses = After.Misses - Before.Misses;
+  D.Evictions = After.Evictions - Before.Evictions;
   D.BytesSaved = After.BytesSaved - Before.BytesSaved;
   return D;
+}
+
+void ArtifactStore::trimLocked() {
+  if (Cfg.MaxBytes == 0)
+    return;
+  while (TotalBytes > Cfg.MaxBytes) {
+    // Least-recently-used *ready* entry; in-flight entries are pinned
+    // (evicting one would break its single-flight waiters). Linear scan:
+    // stores hold hundreds of artifacts, and eviction is off the
+    // compute path.
+    auto Victim = Artifacts.end();
+    for (auto It = Artifacts.begin(); It != Artifacts.end(); ++It)
+      if (It->second.Ready &&
+          (Victim == Artifacts.end() ||
+           It->second.LastUse < Victim->second.LastUse))
+        Victim = It;
+    if (Victim == Artifacts.end())
+      return; // Everything left is pinned.
+    size_t StageIdx = static_cast<size_t>(Victim->first.Stage);
+    Counters.Evictions += 1;
+    Counters.PerStage[StageIdx].Evictions += 1;
+    TotalBytes -= Victim->second.CostBytes;
+    // Dropping the entry only stops retention: requesters holding the
+    // shared_ptr (or mid-wait on the shared_future) are unaffected.
+    Artifacts.erase(Victim);
+  }
+}
+
+void ArtifactStore::markReady(const ArtifactKey &K) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Artifacts.find(K);
+  if (It == Artifacts.end())
+    return; // A concurrent clear() dropped the whole map.
+  It->second.Ready = true;
+  trimLocked();
 }
 
 std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
@@ -83,7 +123,7 @@ std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
   assert(StageIdx < static_cast<size_t>(ArtifactStage::NumStages) &&
          "key has an invalid stage");
 
-  if (!Enabled) {
+  if (!Cfg.Enabled) {
     {
       std::lock_guard<std::mutex> Lock(M);
       Counters.Misses += 1;
@@ -104,13 +144,19 @@ std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
       Counters.Hits += 1;
       Counters.PerStage[StageIdx].Hits += 1;
       Counters.BytesSaved += It->second.CostBytes;
+      It->second.LastUse = ++UseTick;
       Existing = It->second.Value;
       Hit = true;
     } else {
       Counters.Misses += 1;
       Counters.PerStage[StageIdx].Misses += 1;
-      Artifacts.emplace(K, Entry{Promise.get_future().share(), Type,
-                                 CostBytes});
+      Entry E{Promise.get_future().share(), Type, CostBytes,
+              /*LastUse=*/++UseTick, /*Ready=*/false};
+      Artifacts.emplace(K, std::move(E));
+      TotalBytes += CostBytes;
+      // The new entry itself is in-flight (pinned); trimming here can
+      // only evict colder ready entries.
+      trimLocked();
     }
   }
 
@@ -128,9 +174,13 @@ std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
     Value = F();
   } catch (...) {
     Promise.set_exception(std::current_exception());
+    // Exceptional artifacts become ready (and thus evictable) like
+    // values: a hit rethrows, an eviction allows a retry.
+    markReady(K);
     throw;
   }
   Promise.set_value(Value);
+  markReady(K);
   return Value;
 }
 
@@ -144,7 +194,18 @@ size_t ArtifactStore::size() const {
   return Artifacts.size();
 }
 
+uint64_t ArtifactStore::totalBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return TotalBytes;
+}
+
+bool ArtifactStore::contains(const ArtifactKey &K) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Artifacts.count(K) != 0;
+}
+
 void ArtifactStore::clear() {
   std::lock_guard<std::mutex> Lock(M);
   Artifacts.clear();
+  TotalBytes = 0;
 }

@@ -22,6 +22,14 @@
 /// store disabled (--no-cache) every request computes, which keeps cached
 /// and uncached runs on the same code path and byte-identical output.
 ///
+/// Retention is bounded by an optional LRU byte cap (Config::MaxBytes,
+/// default unbounded): when the per-artifact cost accounting exceeds the
+/// cap, least-recently-used *completed* artifacts are dropped. In-flight
+/// computations are pinned — eviction never breaks a single-flight wait —
+/// and because every artifact is a pure function of its key, an evicted
+/// stage transparently recomputes on the next request, so a byte-capped
+/// run produces byte-identical results to an unbounded one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KHAOS_HARNESS_ARTIFACTSTORE_H
@@ -48,6 +56,9 @@ enum class ArtifactStage : uint8_t {
   BaselineImage,   ///< Lowered A-side BinaryImage + ImageFeatures.
   FissionStage,    ///< Post-fission module shared by Fission/FuFi modes.
   ObfuscatedImage, ///< Lowered B-side BinaryImage + ImageFeatures.
+  DiffOutcome,     ///< One tool's result over a cell's image pair — the
+                   ///< key subprocess backends cache under, so a warm
+                   ///< re-run performs zero worker round trips.
   NumStages,
 };
 
@@ -78,9 +89,18 @@ struct ArtifactKey {
 
 class ArtifactStore {
 public:
+  struct Config {
+    /// false = --no-cache: every request recomputes (counted as a miss).
+    bool Enabled = true;
+    /// LRU byte cap over the per-artifact CostBytes accounting;
+    /// 0 = unbounded (--store-max-bytes).
+    uint64_t MaxBytes = 0;
+  };
+
   struct StageCounters {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Evictions = 0;
   };
 
   /// Monotonic counter snapshot. Matrix runs diff two snapshots to report
@@ -89,6 +109,7 @@ public:
     StageCounters PerStage[static_cast<size_t>(ArtifactStage::NumStages)];
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Evictions = 0;
     /// Bytes of MiniC source whose recompilation hits avoided.
     uint64_t BytesSaved = 0;
 
@@ -101,9 +122,11 @@ public:
 
   /// A disabled store never retains anything: every request recomputes
   /// (counted as a miss), which is what --no-cache runs use.
-  explicit ArtifactStore(bool Enabled = true) : Enabled(Enabled) {}
+  explicit ArtifactStore(bool Enabled = true) : Cfg{Enabled, 0} {}
+  explicit ArtifactStore(Config C) : Cfg(C) {}
 
-  bool enabled() const { return Enabled; }
+  bool enabled() const { return Cfg.Enabled; }
+  uint64_t maxBytes() const { return Cfg.MaxBytes; }
 
   /// Returns the artifact for \p K, computing it with \p Compute on first
   /// request. \p CostBytes is the recompilation cost a future hit on this
@@ -128,6 +151,14 @@ public:
   /// Number of retained artifacts.
   size_t size() const;
 
+  /// Sum of the retained (and in-flight) artifacts' CostBytes — the value
+  /// the MaxBytes cap bounds.
+  uint64_t totalBytes() const;
+
+  /// True while \p K is retained (ready or in-flight). Test hook for the
+  /// eviction-order assertions; racy by nature under concurrent use.
+  bool contains(const ArtifactKey &K) const;
+
   /// Drops every artifact (counters are kept: they are monotonic).
   void clear();
 
@@ -141,12 +172,29 @@ private:
     std::shared_future<std::shared_ptr<const void>> Value;
     std::type_index Type;
     uint64_t CostBytes = 0;
+    /// LRU clock: monotonically increasing use tick, updated on every
+    /// hit. Eviction drops the ready entry with the smallest tick.
+    uint64_t LastUse = 0;
+    /// Set once the computing thread fulfilled the future. An entry that
+    /// is not ready is pinned: evicting it would break the single-flight
+    /// wait of every concurrent requester.
+    bool Ready = false;
   };
 
-  const bool Enabled;
+  /// Evicts LRU ready entries until TotalBytes fits MaxBytes (requires M
+  /// held). Pinned (in-flight) entries are skipped.
+  void trimLocked();
+
+  /// Marks K ready after its compute fulfilled the future (no-op if a
+  /// concurrent clear() dropped the entry), then trims.
+  void markReady(const ArtifactKey &K);
+
+  const Config Cfg;
   mutable std::mutex M;
   std::map<ArtifactKey, Entry> Artifacts;
   Snapshot Counters;
+  uint64_t UseTick = 0;
+  uint64_t TotalBytes = 0;
 };
 
 } // namespace khaos

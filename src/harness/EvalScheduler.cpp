@@ -53,10 +53,16 @@ void EvalRunStats::countCell(bool Failed) {
   Failures += Failed ? 1 : 0;
 }
 
+void EvalRunStats::countToolFailure() {
+  std::lock_guard<std::mutex> Lock(M);
+  ToolFailures += 1;
+}
+
 void EvalRunStats::mergeCache(const ArtifactStore::Snapshot &Delta) {
   std::lock_guard<std::mutex> Lock(M);
   CacheHits += Delta.Hits;
   CacheMisses += Delta.Misses;
+  CacheEvictions += Delta.Evictions;
   CacheBytesSaved += Delta.BytesSaved;
 }
 
@@ -78,6 +84,7 @@ EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
   }
   EvalPipeline::Config PC;
   PC.CacheEnabled = Cfg.CacheEnabled;
+  PC.StoreMaxBytes = Cfg.StoreMaxBytes;
   Pipe = std::make_shared<EvalPipeline>(PC);
 }
 
@@ -204,7 +211,8 @@ std::vector<uint8_t> EvalScheduler::runCellToolPlane(
     const std::vector<std::string> &ToolNames,
     const std::function<void(const EvalTask &,
                              const EvalPipeline::ImageArtifact &,
-                             const EvalPipeline::ImageArtifact &)> &Fn,
+                             const EvalPipeline::ImageArtifact &,
+                             const DiffOutcome &)> &Fn,
     EvalRunStats *RunStats) const {
   // A misspelled tool name would silently yield an all-zero figure row;
   // fail fast against the registry instead.
@@ -224,7 +232,10 @@ std::vector<uint8_t> EvalScheduler::runCellToolPlane(
   // task gets there first (single-flight in the ArtifactStore) and
   // shared. The task with ToolIdx 0 records the cell's image-build
   // outcome — cells are owned whole, so it always runs in this shard, and
-  // it is the cell's only writer.
+  // it is the cell's only writer. Each task then pulls its cached
+  // DiffOutcome stage: a warm re-run (or a sibling shard on a shared
+  // store) reuses results without re-running the tool — for subprocess
+  // backends that means zero worker round trips.
   forEachCellTask(
       Workloads, Modes, ToolNames.empty() ? 1 : ToolNames.size(),
       [&](const EvalTask &T) {
@@ -235,7 +246,20 @@ std::vector<uint8_t> EvalScheduler::runCellToolPlane(
           CellOk[T.Cell.FlatIdx] = ImagesOk ? 1 : 0;
         if (!ImagesOk || T.ToolIdx >= ToolNames.size())
           return;
-        Fn(T, *A, *B);
+        auto D = Pipe->diffOutcome(*T.Cell.W, T.Cell.Mode, T.Cell.Seed,
+                                   ToolNames[T.ToolIdx], A, B);
+        if (!D->Ok) {
+          // Loud per-task failure (timeout, crashed worker): the task
+          // renders as "n/a", siblings and the shard keep going.
+          std::fprintf(stderr,
+                       "[scheduler] tool '%s' failed on %s/%s: %s\n",
+                       ToolNames[T.ToolIdx].c_str(), T.Cell.W->Name.c_str(),
+                       obfuscationModeName(T.Cell.Mode), D->Error.c_str());
+          if (RunStats)
+            RunStats->countToolFailure();
+          return;
+        }
+        Fn(T, *A, *B, D->Outcome);
       });
 
   // Deterministic post-pass: count owned cells in row-major order.
@@ -262,18 +286,11 @@ EvalScheduler::precisionMatrix(const std::vector<Workload> &Workloads,
     Out[Flat].PerTool.assign(ToolNames.size(), -1.0);
   }
 
-  // Each task instantiates its own tool from the registry, so workers
-  // stay fully independent even if a future tool grows caches.
   std::vector<uint8_t> CellOk = runCellToolPlane(
       Workloads, Modes, ToolNames,
-      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &A,
-          const EvalPipeline::ImageArtifact &B) {
-        std::unique_ptr<DiffTool> Tool =
-            createDiffTool(ToolNames[T.ToolIdx]);
-        Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] =
-            Pipe->runDiffTool(*Tool, A.Image, A.Features, B.Image,
-                              B.Features)
-                .Precision;
+      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &,
+          const EvalPipeline::ImageArtifact &, const DiffOutcome &O) {
+        Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] = O.Precision;
       },
       RunStats);
 
@@ -299,11 +316,7 @@ EvalScheduler::vulnRankMatrix(const std::vector<Workload> &Workloads,
   std::vector<uint8_t> CellOk = runCellToolPlane(
       Workloads, Modes, ToolNames,
       [&](const EvalTask &T, const EvalPipeline::ImageArtifact &A,
-          const EvalPipeline::ImageArtifact &B) {
-        std::unique_ptr<DiffTool> Tool =
-            createDiffTool(ToolNames[T.ToolIdx]);
-        DiffOutcome O = Pipe->runDiffTool(*Tool, A.Image, A.Features,
-                                          B.Image, B.Features);
+          const EvalPipeline::ImageArtifact &B, const DiffOutcome &O) {
         std::vector<uint32_t> &Ranks =
             Out[T.Cell.FlatIdx].PerTool[T.ToolIdx];
         Ranks.reserve(T.Cell.W->VulnFunctions.size());

@@ -72,6 +72,10 @@ uint64_t deriveCellSeed(uint64_t BaseSeed, const std::string &WorkloadName,
 struct EvalRunStats {
   size_t Cells = 0;    ///< Cells executed (owned by this shard).
   size_t Failures = 0; ///< Cells whose compile/measure step failed.
+  /// (cell × tool) tasks whose tool failed at runtime (subprocess worker
+  /// timeout/crash). The cell's other tools still report; the failed
+  /// task renders as "n/a".
+  size_t ToolFailures = 0;
   FissionStats Fission;
   FusionStats Fusion;
 
@@ -79,6 +83,7 @@ struct EvalRunStats {
   // run (reportScheduler prints it on stderr; stdout stays byte-identical).
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0; ///< LRU evictions under --store-max-bytes.
   uint64_t CacheBytesSaved = 0; ///< Bytes of recompilation avoided.
 
   /// Thread-safe: folds one cell's transformation stats into the totals.
@@ -87,6 +92,9 @@ struct EvalRunStats {
   /// Thread-safe: counts a cell that produced no transformation stats
   /// (e.g. an overhead measurement).
   void countCell(bool Failed);
+
+  /// Thread-safe: counts one failed (cell × tool) task.
+  void countToolFailure();
 
   /// Thread-safe: folds an ArtifactStore counter delta into the totals.
   void mergeCache(const ArtifactStore::Snapshot &Delta);
@@ -103,6 +111,7 @@ public:
     bool CacheEnabled = true; ///< false = --no-cache (recompute per use).
     unsigned Shards = 1;      ///< Total shard count (cross-process split).
     unsigned ShardIdx = 0;    ///< This process's shard in [0, Shards).
+    uint64_t StoreMaxBytes = 0; ///< ArtifactStore LRU cap (0 = unbounded).
   };
 
   explicit EvalScheduler(Config C);
@@ -209,19 +218,24 @@ public:
 
 private:
   /// Shared precisionMatrix/vulnRankMatrix plumbing: validates \p
-  /// ToolNames against the registry (abort on unknown), fans \p Fn over
-  /// the (owned cell × tool) task plane with the cell's shared cached
-  /// images (Fn runs only when both images built), counts owned cells
-  /// into RunStats and folds in the store's counter delta. Returns
-  /// per-cell image-build success, indexed by FlatIdx (foreign-shard
-  /// cells stay 0).
+  /// ToolNames against the registry (abort on unknown), fans the (owned
+  /// cell × tool) task plane over the pool, fetches each task's cached
+  /// DiffOutcome (the cell's image pair is built once and shared;
+  /// subprocess backends round-trip at most once per key) and hands it
+  /// to \p Fn together with the images. A task whose tool failed at
+  /// runtime (DiffArtifact::Ok == false: worker timeout or crash past
+  /// retry) is reported loudly on stderr and counted into
+  /// RunStats.ToolFailures instead of running Fn — one hung backend
+  /// never stalls the shard. Returns per-cell image-build success,
+  /// indexed by FlatIdx (foreign-shard cells stay 0).
   std::vector<uint8_t> runCellToolPlane(
       const std::vector<Workload> &Workloads,
       const std::vector<ObfuscationMode> &Modes,
       const std::vector<std::string> &ToolNames,
       const std::function<void(const EvalTask &,
                                const EvalPipeline::ImageArtifact &,
-                               const EvalPipeline::ImageArtifact &)> &Fn,
+                               const EvalPipeline::ImageArtifact &,
+                               const DiffOutcome &)> &Fn,
       EvalRunStats *RunStats) const;
   /// Runs Fn(0..N-1) on the worker pool (atomic-ticket work stealing).
   void runPool(size_t N, const std::function<void(size_t)> &Fn) const;

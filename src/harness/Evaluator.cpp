@@ -38,6 +38,17 @@ uint64_t fingerprintCodegen(OptLevel Level, const CodegenOptions &CG) {
   return F;
 }
 
+/// FNV-1a of a tool name, the DiffOutcome stage's Extra: two tools over
+/// the same cell must not alias.
+uint64_t fingerprintToolName(const std::string &Name) {
+  uint64_t F = 0xcbf29ce484222325ull;
+  for (char C : Name) {
+    F ^= static_cast<unsigned char>(C);
+    F *= 0x100000001b3ull;
+  }
+  return F;
+}
+
 /// Stage-key fingerprint of the fission options (fission has no seed; its
 /// output is a pure function of the module and these knobs).
 uint64_t fingerprintFission(const FissionOptions &Opts) {
@@ -190,6 +201,44 @@ EvalPipeline::obfuscatedImage(const Workload &W, ObfuscationMode Mode,
         Out->Image = lowerToBinary(*Obf.M);
         Out->Features = extractFeatures(Out->Image);
         Out->Ok = true;
+        return Out;
+      });
+}
+
+std::shared_ptr<const EvalPipeline::DiffArtifact>
+EvalPipeline::diffOutcome(const Workload &W, ObfuscationMode Mode,
+                          uint64_t Seed, const std::string &ToolName) {
+  return diffOutcome(W, Mode, Seed, ToolName, baselineImage(W),
+                     obfuscatedImage(W, Mode, Seed));
+}
+
+std::shared_ptr<const EvalPipeline::DiffArtifact>
+EvalPipeline::diffOutcome(const Workload &W, ObfuscationMode Mode,
+                          uint64_t Seed, const std::string &ToolName,
+                          const std::shared_ptr<const ImageArtifact> &A,
+                          const std::shared_ptr<const ImageArtifact> &B) {
+  ArtifactKey K{W.Name, Mode, Seed, ArtifactStage::DiffOutcome,
+                fingerprintToolName(ToolName), fingerprintSource(W)};
+  return Store.getOrCompute<DiffArtifact>(
+      K, W.Source.size(), [&]() -> std::shared_ptr<const DiffArtifact> {
+        auto Out = std::make_shared<DiffArtifact>();
+        if (!A->Ok || !B->Ok) {
+          Out->Error = "image pair could not be built";
+          return Out;
+        }
+        // Every compute instantiates its own tool, so concurrent tasks
+        // stay independent even if a future backend grows mutable state.
+        std::unique_ptr<DiffTool> Tool = createDiffTool(ToolName);
+        try {
+          Out->Outcome = runDiffTool(*Tool, A->Image, A->Features,
+                                     B->Image, B->Features);
+          Out->Ok = true;
+        } catch (const DiffToolError &E) {
+          // A hung/crashed worker is an artifact-shaped failure: cached
+          // like a success, reported per task by the scheduler, and never
+          // allowed to take down the run.
+          Out->Error = E.what();
+        }
         return Out;
       });
 }

@@ -81,9 +81,14 @@ public:
     /// false = --no-cache: every request recomputes (same code path, same
     /// results; the store only stops retaining).
     bool CacheEnabled = true;
+    /// LRU byte cap on the ArtifactStore (0 = unbounded,
+    /// --store-max-bytes): full-suite sharded runs bound their memory,
+    /// evicted stages transparently recompute.
+    uint64_t StoreMaxBytes = 0;
   };
 
-  explicit EvalPipeline(Config C) : Store(C.CacheEnabled) {}
+  explicit EvalPipeline(Config C)
+      : Store(ArtifactStore::Config{C.CacheEnabled, C.StoreMaxBytes}) {}
   EvalPipeline() : EvalPipeline(Config{}) {}
 
   //===--------------------------------------------------------------------===//
@@ -135,6 +140,31 @@ public:
   std::shared_ptr<const ImageArtifact>
   obfuscatedImage(const Workload &W, ObfuscationMode Mode,
                   uint64_t Seed = 0xc906);
+
+  /// Stage DiffOutcome: one registry tool's DiffOutcome over the cell's
+  /// cached image pair, keyed on (workload, mode, seed, tool name). This
+  /// is the stage that makes out-of-process backends cheap to re-run: a
+  /// warm re-run hits here and performs zero worker round trips. A tool
+  /// that throws DiffToolError (worker timeout/crash) yields Ok = false
+  /// with the message — failures are artifacts too, computed once.
+  struct DiffArtifact {
+    bool Ok = false;      ///< Tool ran to completion.
+    std::string Error;    ///< DiffToolError message when !Ok.
+    DiffOutcome Outcome;
+  };
+  std::shared_ptr<const DiffArtifact>
+  diffOutcome(const Workload &W, ObfuscationMode Mode, uint64_t Seed,
+              const std::string &ToolName);
+
+  /// Variant for callers that already hold the cell's image artifacts
+  /// (the scheduler's task plane): skips the stage re-fetch, which with
+  /// the store disabled (--no-cache) would recompile the pair a second
+  /// time. \p A and \p B must be the stages of (W) and (W, Mode, Seed).
+  std::shared_ptr<const DiffArtifact>
+  diffOutcome(const Workload &W, ObfuscationMode Mode, uint64_t Seed,
+              const std::string &ToolName,
+              const std::shared_ptr<const ImageArtifact> &A,
+              const std::shared_ptr<const ImageArtifact> &B);
 
   //===--------------------------------------------------------------------===//
   // Uncached products built from the stages.

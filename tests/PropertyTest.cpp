@@ -19,6 +19,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "obfuscation/KhaosDriver.h"
+#include "transform/Cloning.h"
 #include "vm/Interpreter.h"
 #include "workloads/SyntheticProgram.h"
 
@@ -165,6 +166,47 @@ TEST(GeneratedProgramProperties, ProvenanceRefersToOriginalFunctions) {
     for (const std::string &O : F->getOrigins())
       EXPECT_TRUE(Originals.count(O))
           << F->getName() << " has foreign origin " << O;
+  }
+}
+
+/// cloneModule is the pipeline's cache-sharing primitive (every FuFi cell
+/// clones the shared fission-stage artifact), so its contract gets a
+/// randomized regression net: over ~100 generated program shapes, the
+/// clone prints byte-identical IR to the source, cloning leaves the
+/// source bit-identical, and obfuscating the clone never perturbs the
+/// source. The PR-2 use-list/CloneMutex segfault only reproduced on
+/// specific shapes — a seed sweep is the durable way to keep it dead.
+/// Labeled slow (SlowStress) so the default ctest wall-clock stays lean.
+TEST(GeneratedProgramProperties, CloneModuleRoundTripSweepSlowStress) {
+  const ObfuscationMode MutateModes[] = {
+      ObfuscationMode::Sub, ObfuscationMode::Fission,
+      ObfuscationMode::Fusion, ObfuscationMode::FuFiAll};
+  for (uint64_t I = 0; I != 100; ++I) {
+    uint64_t Seed = 1000 + I;
+    ProgramSpec S = specForSeed(Seed);
+    Context Ctx;
+    std::string Error;
+    auto M = compileMiniC(generateMiniCProgram(S), Ctx, S.Name, Error);
+    ASSERT_TRUE(M) << "seed " << Seed << ": " << Error;
+    // Half the sweep clones post-O2 shapes — what fissionStage caches.
+    if (I % 2 == 0)
+      optimizeModule(*M, OptLevel::O2);
+    const std::string Before = printModule(*M);
+
+    std::unique_ptr<Module> Clone = cloneModule(*M);
+    ASSERT_EQ(printModule(*M), Before)
+        << "seed " << Seed << ": cloning perturbed the source module";
+    ASSERT_EQ(printModule(*Clone), Before)
+        << "seed " << Seed << ": clone is not byte-identical";
+
+    // Mutating the clone (the FuFi pattern) must leave the source alone.
+    KhaosOptions Opts;
+    Opts.Seed = Seed * 13 + 5;
+    obfuscateModule(*Clone, MutateModes[I % 4], Opts);
+    ASSERT_TRUE(verifyModule(*Clone).empty())
+        << "seed " << Seed << ": obfuscated clone fails the verifier";
+    ASSERT_EQ(printModule(*M), Before)
+        << "seed " << Seed << ": mutating the clone perturbed the source";
   }
 }
 

@@ -1,0 +1,147 @@
+//===- tools/khaos_diff_worker.cpp - Out-of-process diff worker -----------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `khaos-diff-worker`: serves the in-process diffing tools over the
+/// DiffWorkerProtocol (stdin = requests, stdout = responses). This is the
+/// reference implementation of the worker side — an external model binary
+/// (a jTrans-style transformer) implements the same loop — and it is what
+/// the pre-registered `safe-oop` backend runs, proving the subprocess
+/// adapter end-to-end with bit-identical results to in-process "SAFE".
+///
+///   khaos-diff-worker [--tool NAME] [--test-hang] [--test-crash-flag F]
+///
+///   --tool NAME          Serve only NAME; other requests get an error
+///                        response (the harness pins one tool per pool).
+///   --test-hang          Test hook: read a request, then sleep instead
+///                        of answering (exercises the harness timeout).
+///   --test-crash-flag F  Test hook: on the first request, if file F does
+///                        not exist, create it and _exit(3) without
+///                        answering (exercises respawn + retry — the
+///                        respawned worker sees F and serves normally).
+///
+/// Exit status: 0 on clean EOF (the harness closed our stdin), 1 on a
+/// transport/protocol failure (desynced stream).
+///
+//===----------------------------------------------------------------------===//
+
+#include "diffing/DiffWorkerProtocol.h"
+#include "diffing/SubprocessDiffTool.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace khaos;
+
+namespace {
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+void touch(const std::string &Path) {
+  if (FILE *F = std::fopen(Path.c_str(), "w"))
+    std::fclose(F);
+}
+
+DiffWireResponse serve(const DiffWireRequest &Req,
+                       const std::string &Restrict) {
+  DiffWireResponse Resp;
+  if (!Restrict.empty() && Req.Tool != Restrict) {
+    Resp.Error = "this worker serves only '" + Restrict + "', not '" +
+                 Req.Tool + "'";
+    return Resp;
+  }
+  // A subprocess-backed name would spawn another worker from inside this
+  // one — refuse instead of recursing.
+  if (isSubprocessDiffTool(Req.Tool)) {
+    Resp.Error = "refusing to serve subprocess-backed tool '" + Req.Tool +
+                 "' (would recurse)";
+    return Resp;
+  }
+  std::unique_ptr<DiffTool> Tool = tryCreateDiffTool(Req.Tool);
+  if (!Tool) {
+    Resp.Error = "unknown tool '" + Req.Tool + "'";
+    return Resp;
+  }
+  try {
+    Resp.Result = Tool->diff(Req.A, Req.FA, Req.B, Req.FB);
+    Resp.Ok = true;
+  } catch (const std::exception &E) {
+    Resp.Error = std::string("tool threw: ") + E.what();
+  }
+  return Resp;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Restrict;
+  std::string CrashFlag;
+  bool Hang = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--tool" && I + 1 < argc)
+      Restrict = argv[++I];
+    else if (Arg == "--test-hang")
+      Hang = true;
+    else if (Arg == "--test-crash-flag" && I + 1 < argc)
+      CrashFlag = argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: khaos-diff-worker [--tool NAME] [--test-hang] "
+                   "[--test-crash-flag FILE]\n");
+      return 2;
+    }
+  }
+
+  for (;;) {
+    std::vector<uint8_t> Payload;
+    std::string Err;
+    FrameIOResult R = readDiffFrame(0, Payload, /*TimeoutMs=*/-1, Err);
+    if (R == FrameIOResult::Eof && Err.empty())
+      return 0; // Harness closed the pipe: clean shutdown.
+    if (R != FrameIOResult::Ok) {
+      std::fprintf(stderr, "khaos-diff-worker: read failed (%s): %s\n",
+                   frameIOResultName(R), Err.c_str());
+      return 1;
+    }
+
+    if (!CrashFlag.empty() && !fileExists(CrashFlag)) {
+      // First request ever for this flag file: die without answering. The
+      // respawned worker finds the file and serves normally.
+      touch(CrashFlag);
+      _exit(3);
+    }
+    if (Hang) {
+      // Never answer; the harness must SIGKILL us on its timeout.
+      for (;;)
+        ::sleep(3600);
+    }
+
+    DiffWireRequest Req;
+    DiffWireResponse Resp;
+    if (!decodeDiffRequest(Payload, Req, Err)) {
+      Resp.Ok = false;
+      Resp.Error = "malformed request: " + Err;
+    } else {
+      Resp = serve(Req, Restrict);
+    }
+
+    std::vector<uint8_t> Out = encodeDiffResponse(Resp);
+    R = writeDiffFrame(1, Out, /*TimeoutMs=*/-1, Err);
+    if (R != FrameIOResult::Ok) {
+      std::fprintf(stderr, "khaos-diff-worker: write failed (%s): %s\n",
+                   frameIOResultName(R), Err.c_str());
+      return 1;
+    }
+  }
+}
