@@ -98,10 +98,13 @@ inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
 /// registry *before* the caller spawns scheduler threads (createDiffTool
 /// aborts on unknown names — mid-matrix that would kill a half-finished
 /// run). Matching is case-insensitive against the registered spelling
-/// (`--tools safe,safe-oop` resolves to SAFE + safe-oop); the canonical
-/// names are returned. On an unknown name, prints a usage message listing
-/// registeredToolNames() and exits 2. Returns \p Default when the flag is
-/// absent.
+/// (`--tools safe,safe-oop` resolves to SAFE + safe-oop); every name the
+/// caller sees — the returned list, and the names echoed in diagnostics —
+/// is the canonical registry spelling, never the user's casing. Repeated
+/// names (`--tools safe,SAFE`) are deduplicated to the first occurrence
+/// (with a stderr note) instead of running the tool twice. On an unknown
+/// name, prints a usage message listing registeredToolNames() and exits 2.
+/// Returns \p Default when the flag is absent.
 inline std::vector<std::string>
 parseToolNames(int Argc, char **Argv, const char *Bench,
                std::vector<std::string> Default = {}) {
@@ -146,6 +149,20 @@ parseToolNames(int Argc, char **Argv, const char *Bench,
         std::fprintf(stderr, " %s", K.c_str());
       std::fprintf(stderr, "\n");
       std::exit(2);
+    }
+    // Dedupe against the canonical spelling: `--tools safe,SAFE` must run
+    // SAFE once, not twice (a duplicate would double its matrix rows and
+    // its (cell x tool) tasks).
+    bool Seen = false;
+    for (const std::string &Existing : Out)
+      if (Existing == *Match) {
+        Seen = true;
+        break;
+      }
+    if (Seen) {
+      std::fprintf(stderr, "%s: duplicate tool '%s' in --tools ignored\n",
+                   Bench, Match->c_str());
+      continue;
     }
     Out.push_back(*Match);
   }

@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Table 1: characteristics of the five diffing tools (granularity, symbol
-/// reliance, time/memory cost, call-graph use), printed from the tools'
-/// trait declarations and verified against a measured probe.
+/// Table 1: characteristics of the registered diffing tools (granularity,
+/// symbol reliance, time/memory cost, call-graph use), printed from the
+/// tools' trait declarations and verified against a measured probe. The
+/// paper's five rows come first; post-paper backends (jtrans, orcas, the
+/// -oop twins) append in registration order.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -16,6 +16,17 @@
 ///   | SAFE        | function    | no      | no         | no           |
 ///   | DeepBinDiff | basic block | no      | yes        | time+memory  |
 ///
+/// Two post-paper backends extend the roster beyond Table 1 — the
+/// obfuscation-resilient families the arms race should be measured
+/// against (ROADMAP "more diffing backends"):
+///
+///   | jtrans      | function    | no      | no         | time         |
+///   | orcas       | function    | no      | yes        | time         |
+///
+/// Each in-process tool also has a subprocess-served twin (`safe-oop`,
+/// `jtrans-oop`, `orcas-oop`) registered by the SubprocessDiffTool
+/// adapter, bit-identical to its in-process counterpart.
+///
 /// Each tool ranks, for every function of binary A (the un-obfuscated
 /// reference), the functions of binary B (the obfuscated build) by
 /// similarity. The harness computes Precision@1 / escape@k from the
@@ -85,6 +96,8 @@ std::unique_ptr<DiffTool> createVulSeekerTool();
 std::unique_ptr<DiffTool> createAsm2VecTool();
 std::unique_ptr<DiffTool> createSafeTool();
 std::unique_ptr<DiffTool> createDeepBinDiffTool();
+std::unique_ptr<DiffTool> createJTransTool();
+std::unique_ptr<DiffTool> createOrcasTool();
 
 //===----------------------------------------------------------------------===//
 // Tool registry: a string-keyed factory table. The five paper tools are

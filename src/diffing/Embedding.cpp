@@ -72,3 +72,38 @@ double khaos::sizeAffinity(double SizeA, double SizeB) {
     return 0.0;
   return 2.0 * std::min(SizeA, SizeB) / (SizeA + SizeB);
 }
+
+unsigned khaos::positionBucket(size_t Index, size_t Total) {
+  if (Total <= 1)
+    return 0;
+  size_t Bucket = Index * NumPositionBuckets / Total;
+  return static_cast<unsigned>(
+      std::min<size_t>(Bucket, NumPositionBuckets - 1));
+}
+
+double khaos::dotProduct(const std::vector<double> &A,
+                         const std::vector<double> &B) {
+  double Dot = 0.0;
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I)
+    Dot += A[I] * B[I];
+  return Dot;
+}
+
+std::vector<double> khaos::softmaxWeights(const std::vector<double> &Scores,
+                                          double Temperature) {
+  std::vector<double> W(Scores.size(), 0.0);
+  if (Scores.empty())
+    return W;
+  double Max = Scores.front();
+  for (double S : Scores)
+    Max = std::max(Max, S);
+  double Sum = 0.0;
+  for (size_t I = 0; I != Scores.size(); ++I) {
+    W[I] = std::exp((Scores[I] - Max) / Temperature);
+    Sum += W[I];
+  }
+  for (double &X : W)
+    X /= Sum;
+  return W;
+}

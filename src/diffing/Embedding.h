@@ -17,6 +17,7 @@
 #ifndef KHAOS_DIFFING_EMBEDDING_H
 #define KHAOS_DIFFING_EMBEDDING_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,33 @@ void appendSegment(std::vector<double> &Out, std::vector<double> Segment,
 /// the remFunc and fusion doubles the fusFunc, which is precisely the
 /// signal the published models lose accuracy to.
 double sizeAffinity(double SizeA, double SizeB);
+
+//===----------------------------------------------------------------------===//
+// Position-aware attention helpers (the jTrans-style analogue). A
+// transformer's two levers — positional encodings and attention pooling —
+// reduce, in this deterministic stand-in, to coarse position buckets
+// folded into the token vocabulary and a softmax over token/summary dot
+// products. Everything is a pure function of its inputs.
+//===----------------------------------------------------------------------===//
+
+/// Number of coarse relative-position buckets in the position-aware
+/// vocabularies (jump-target tokens, positional bigrams).
+constexpr unsigned NumPositionBuckets = 16;
+
+/// Coarse relative position of element \p Index in a sequence of
+/// \p Total, in [0, NumPositionBuckets). Relative (not absolute) so that
+/// uniformly inserted instructions — substitution, bogus blocks — shift
+/// buckets only near bucket boundaries.
+unsigned positionBucket(size_t Index, size_t Total);
+
+/// Dot product of two equally-sized vectors (raw attention score).
+double dotProduct(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Numerically stable softmax of \p Scores at temperature \p Temperature
+/// (> 0; lower = sharper). Returns weights summing to 1; empty input
+/// yields an empty vector.
+std::vector<double> softmaxWeights(const std::vector<double> &Scores,
+                                   double Temperature);
 
 } // namespace khaos
 

@@ -364,11 +364,21 @@ void khaos::shutdownDiffWorkers() { WorkerPool::instance().shutdownIdle(); }
 
 void khaos::appendBuiltinSubprocessTools(
     std::vector<std::pair<std::string, DiffToolFactory>> &Tools) {
-  // The out-of-process SAFE: same algorithm, served by khaos-diff-worker
-  // over the wire protocol. Traits mirror the in-process tool (SAFE has
-  // all-default Table-1 traits).
-  SubprocessToolSpec Safe;
-  Safe.Name = "safe-oop";
-  Safe.RemoteTool = "SAFE";
-  Tools.emplace_back(Safe.Name, makeFactory(Safe));
+  // Out-of-process twins of the in-process tools, served by
+  // khaos-diff-worker over the wire protocol and bit-identical to their
+  // in-process counterparts (CI diffs each pair through fig8). Traits are
+  // copied from a throwaway in-process instance — direct factory calls,
+  // no registry re-entry, no process spawn — so a twin can never drift
+  // from its tool's declarations.
+  auto Twin = [&Tools](const char *Name, const char *Remote,
+                       std::unique_ptr<DiffTool> InProcess) {
+    SubprocessToolSpec Spec;
+    Spec.Name = Name;
+    Spec.RemoteTool = Remote;
+    Spec.Traits = InProcess->getTraits();
+    Tools.emplace_back(Spec.Name, makeFactory(Spec));
+  };
+  Twin("safe-oop", "SAFE", createSafeTool());
+  Twin("jtrans-oop", "jtrans", createJTransTool());
+  Twin("orcas-oop", "orcas", createOrcasTool());
 }

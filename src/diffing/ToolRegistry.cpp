@@ -60,6 +60,11 @@ Registry &registry() {
     R.Tools.emplace_back("Asm2Vec", createAsm2VecTool);
     R.Tools.emplace_back("SAFE", createSafeTool);
     R.Tools.emplace_back("DeepBinDiff", createDeepBinDiffTool);
+    // Post-paper backends follow the Table-1 five: the jTrans-style
+    // transformer analogue and the ORCAS-style dominance-enhanced
+    // semantic-graph matcher.
+    R.Tools.emplace_back("jtrans", createJTransTool);
+    R.Tools.emplace_back("orcas", createOrcasTool);
     // Subprocess-backed builtins seed after the Table-1 block
     // (registration order is the figure order). Appended directly — a
     // registerDiffTool call from inside this initializer would re-enter

@@ -12,10 +12,14 @@
 /// the pre-registered `safe-oop` backend runs, proving the subprocess
 /// adapter end-to-end with bit-identical results to in-process "SAFE".
 ///
-///   khaos-diff-worker [--tool NAME] [--test-hang] [--test-crash-flag F]
+///   khaos-diff-worker [--tool NAME] [--list-tools] [--test-hang]
+///                     [--test-crash-flag F]
 ///
 ///   --tool NAME          Serve only NAME; other requests get an error
 ///                        response (the harness pins one tool per pool).
+///   --list-tools         Print the servable tool names (the in-process
+///                        registry minus the subprocess-backed entries,
+///                        which would recurse) and exit 0.
 ///   --test-hang          Test hook: read a request, then sleep instead
 ///                        of answering (exercises the harness timeout).
 ///   --test-crash-flag F  Test hook: on the first request, if file F does
@@ -91,14 +95,19 @@ int main(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg == "--tool" && I + 1 < argc)
       Restrict = argv[++I];
-    else if (Arg == "--test-hang")
+    else if (Arg == "--list-tools") {
+      for (const std::string &Name : registeredToolNames())
+        if (!isSubprocessDiffTool(Name))
+          std::printf("%s\n", Name.c_str());
+      return 0;
+    } else if (Arg == "--test-hang")
       Hang = true;
     else if (Arg == "--test-crash-flag" && I + 1 < argc)
       CrashFlag = argv[++I];
     else {
       std::fprintf(stderr,
-                   "usage: khaos-diff-worker [--tool NAME] [--test-hang] "
-                   "[--test-crash-flag FILE]\n");
+                   "usage: khaos-diff-worker [--tool NAME] [--list-tools] "
+                   "[--test-hang] [--test-crash-flag FILE]\n");
       return 2;
     }
   }
