@@ -57,19 +57,28 @@ inline std::vector<Workload> maybeThin(std::vector<Workload> W,
   return Out;
 }
 
+/// `--flag V` / `--flag=V` accessor shared by parseSchedulerArgs and the
+/// tool front-ends (khaos-fuzz): returns the value of \p Flag when Argv[I]
+/// spells it, advancing \p I past a separate value token; null otherwise.
+inline const char *flagValue(int Argc, char **Argv, int &I,
+                             const char *Flag) {
+  std::string Arg = Argv[I];
+  std::string Eq = std::string(Flag) + "=";
+  if (Arg.rfind(Eq, 0) == 0)
+    return Argv[I] + Eq.size();
+  if (Arg == Flag && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
+}
+
 /// Parses `--threads N`, `--seed S`, `--no-cache`, `--shards N` and
 /// `--shard-index I` (both `--flag V` and `--flag=V` spellings).
 /// Unrecognized arguments are ignored so benches stay forgiving in scripts.
 inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
   EvalScheduler::Config C;
-  auto Value = [&](const std::string &Arg, const char *Flag,
+  auto Value = [&](const std::string &, const char *Flag,
                    int &I) -> const char * {
-    std::string Eq = std::string(Flag) + "=";
-    if (Arg.rfind(Eq, 0) == 0)
-      return Argv[I] + Eq.size();
-    if (Arg == Flag && I + 1 < Argc)
-      return Argv[++I];
-    return nullptr;
+    return flagValue(Argc, Argv, I, Flag);
   };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];

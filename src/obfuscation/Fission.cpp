@@ -6,6 +6,8 @@
 
 #include "obfuscation/Fission.h"
 
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "support/StringUtils.h"
@@ -20,9 +22,25 @@ namespace {
 
 /// Moves allocas that are used exclusively inside the region into the
 /// region head (the paper's data-flow reduction / lazy allocation).
+///
+/// Sinking is only sound when the region is entered at most once per
+/// invocation of F: once extracted, the region head is a fresh call frame,
+/// so a sunk alloca is re-created (and re-zeroed) on every entry. If the
+/// head sits in a loop whose body is not fully inside the region, the
+/// caller re-enters the extracted function each iteration and the alloca's
+/// contents must persist across those entries — found by the differential
+/// fuzzer as a checksum divergence; such allocas stay in the caller and
+/// are passed by pointer like any other input.
 unsigned sinkRegionLocalAllocas(Function &F,
                                 const std::set<BasicBlock *> &InRegion,
                                 BasicBlock *Head) {
+  DominatorTree DT(F);
+  LoopInfo LI(DT);
+  for (const Loop *L = LI.getLoopFor(Head); L; L = L->Parent)
+    for (const BasicBlock *BB : L->Blocks)
+      if (!InRegion.count(const_cast<BasicBlock *>(BB)))
+        return 0;
+
   unsigned Sunk = 0;
   for (const auto &BB : F.blocks()) {
     if (InRegion.count(BB.get()))

@@ -9,8 +9,12 @@
 #include "ir/Module.h"
 #include "obfuscation/OLLVM.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 
 using namespace khaos;
@@ -82,102 +86,219 @@ FissionPhase khaos::runFissionPhase(Module &M, const FissionOptions &Opts) {
   return Phase;
 }
 
+//===----------------------------------------------------------------------===//
+// Step lists. Every public entry point — obfuscateModule, finishFissionMode
+// and the obfuscateModulePrefix bisection hook — executes the same flat
+// sequence of named steps, so a bisection prefix is a true prefix of the
+// production pipeline.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One named step of a mode's pipeline. Run mutates the module and folds
+/// its statistics into the shared StepState.
+struct ObfStep {
+  std::string Name;
+  std::function<void(Module &)> Run;
+};
+
+/// State threaded through a step list: the accumulated result plus the
+/// fission phase output the fusion step keys its candidate set on.
+struct StepState {
+  ObfuscationResult R;
+  FissionPhase Phase;
+  bool HavePhase = false;
+};
+
+std::mutex ExtraPassMutex;
+std::vector<std::pair<std::string, std::function<std::unique_ptr<Pass>()>>>
+    &extraPasses() {
+  static std::vector<
+      std::pair<std::string, std::function<std::unique_ptr<Pass>()>>>
+      Passes;
+  return Passes;
+}
+
+/// Fusion candidate names for the FuFi modes: eligible functions fission
+/// did not touch, in module order (fusion's candidate ordering is part of
+/// the reproducible-output contract).
+std::vector<std::string> namesOfUnprocessed(const Module &M,
+                                            const FissionPhase &Phase) {
+  std::set<std::string> SepSet(Phase.SepFuncs.begin(), Phase.SepFuncs.end());
+  std::vector<std::string> Out;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || F->isIntrinsic() || F->isNoObfuscate())
+      continue;
+    if (Phase.ProcessedFuncs.count(F->getName()) ||
+        SepSet.count(F->getName()))
+      continue;
+    Out.push_back(F->getName());
+  }
+  return Out;
+}
+
+/// Builds the step list of (Mode, Opts). When \p IncludeFission is false
+/// the caller has already run the fission prefix (finishFissionMode over a
+/// cached fission-stage artifact) and \p State->Phase is preset.
+std::vector<ObfStep> buildSteps(ObfuscationMode Mode,
+                                const KhaosOptions &Opts,
+                                std::shared_ptr<StepState> State,
+                                bool IncludeFission) {
+  std::vector<ObfStep> Steps;
+
+  if (modeUsesFission(Mode)) {
+    if (IncludeFission)
+      Steps.push_back({"fission", [State, Opts](Module &M) {
+                         State->Phase = runFissionPhase(M, Opts.Fission);
+                         State->HavePhase = true;
+                         State->R.Fission = State->Phase.Stats;
+                       }});
+    if (Mode != ObfuscationMode::Fission)
+      Steps.push_back({"fusion", [State, Opts, Mode](Module &M) {
+                         assert(State->HavePhase &&
+                                "fusion step needs the fission phase");
+                         FusionOptions FuOpt = Opts.Fusion;
+                         FuOpt.Seed = Opts.Seed;
+                         const FissionPhase &Phase = State->Phase;
+                         switch (Mode) {
+                         case ObfuscationMode::FuFiSep:
+                           FuOpt.RestrictTo = Phase.SepFuncs;
+                           break;
+                         case ObfuscationMode::FuFiOri:
+                           FuOpt.RestrictTo = namesOfUnprocessed(M, Phase);
+                           break;
+                         case ObfuscationMode::FuFiAll:
+                           FuOpt.RestrictTo = namesOfUnprocessed(M, Phase);
+                           for (const std::string &S : Phase.SepFuncs)
+                             FuOpt.RestrictTo.push_back(S);
+                           break;
+                         default:
+                           break;
+                         }
+                         runFusion(M, State->R.Fusion, FuOpt);
+                       }});
+  } else {
+    switch (Mode) {
+    case ObfuscationMode::None:
+      break;
+    case ObfuscationMode::Sub:
+      Steps.push_back({"substitution", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites = runSubstitution(M, Base);
+                       }});
+      break;
+    case ObfuscationMode::Bog:
+      Steps.push_back({"bogus-cfg", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites =
+                             runBogusControlFlow(M, Base);
+                       }});
+      break;
+    case ObfuscationMode::Fla:
+    case ObfuscationMode::Fla10:
+      Steps.push_back({"flattening", [State, Opts, Mode](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio =
+                             Mode == ObfuscationMode::Fla ? 1.0 : 0.1;
+                         State->R.BaselineSites = runFlattening(M, Base);
+                       }});
+      break;
+    case ObfuscationMode::Fusion:
+      Steps.push_back({"fusion", [State, Opts](Module &M) {
+                         FusionOptions FuOpt = Opts.Fusion;
+                         FuOpt.Seed = Opts.Seed;
+                         runFusion(M, State->R.Fusion, FuOpt);
+                       }});
+      break;
+    // These four take the modeUsesFission() branch above.
+    case ObfuscationMode::Fission:
+    case ObfuscationMode::FuFiSep:
+    case ObfuscationMode::FuFiOri:
+    case ObfuscationMode::FuFiAll:
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(ExtraPassMutex);
+    for (const auto &Extra : extraPasses()) {
+      std::function<std::unique_ptr<Pass>()> Factory = Extra.second;
+      Steps.push_back({"extra:" + Extra.first, [Factory](Module &M) {
+                         Factory()->run(M);
+                       }});
+    }
+  }
+
+  if (Opts.RunPostOpt) {
+    std::map<std::string, unsigned> Occurrence;
+    for (auto &P : buildOptPassList(Opts.PostOptLevel)) {
+      unsigned K = ++Occurrence[P->getName()];
+      std::shared_ptr<Pass> SP = std::move(P);
+      Steps.push_back({"post-opt:" + std::string(SP->getName()) + "#" +
+                           std::to_string(K),
+                       [SP](Module &M) { SP->run(M); }});
+    }
+  }
+  return Steps;
+}
+
+} // namespace
+
 ObfuscationResult khaos::finishFissionMode(Module &M, ObfuscationMode Mode,
                                            const KhaosOptions &Opts,
                                            const FissionPhase &Phase) {
   assert(modeUsesFission(Mode) && "mode has no fission prefix");
-  ObfuscationResult R;
-  R.Fission = Phase.Stats;
+  auto State = std::make_shared<StepState>();
+  State->Phase = Phase;
+  State->HavePhase = true;
+  State->R.Fission = Phase.Stats;
+  for (const ObfStep &S :
+       buildSteps(Mode, Opts, State, /*IncludeFission=*/false))
+    S.Run(M);
+  return State->R;
+}
 
-  // Eligible functions fission did not touch, in module order (fusion's
-  // candidate ordering is part of the reproducible-output contract).
-  auto NamesOfUnprocessed = [&]() {
-    std::set<std::string> SepSet(Phase.SepFuncs.begin(),
-                                 Phase.SepFuncs.end());
-    std::vector<std::string> Out;
-    for (const auto &F : M.functions()) {
-      if (F->isDeclaration() || F->isIntrinsic() || F->isNoObfuscate())
-        continue;
-      if (Phase.ProcessedFuncs.count(F->getName()) ||
-          SepSet.count(F->getName()))
-        continue;
-      Out.push_back(F->getName());
-    }
-    return Out;
-  };
+std::vector<std::string>
+khaos::obfuscationStepNames(ObfuscationMode Mode, const KhaosOptions &Opts) {
+  auto State = std::make_shared<StepState>();
+  std::vector<std::string> Names;
+  for (const ObfStep &S :
+       buildSteps(Mode, Opts, State, /*IncludeFission=*/true))
+    Names.push_back(S.Name);
+  return Names;
+}
 
-  if (Mode != ObfuscationMode::Fission) {
-    FusionOptions FuOpt = Opts.Fusion;
-    FuOpt.Seed = Opts.Seed;
-    switch (Mode) {
-    case ObfuscationMode::FuFiSep:
-      FuOpt.RestrictTo = Phase.SepFuncs;
-      break;
-    case ObfuscationMode::FuFiOri:
-      FuOpt.RestrictTo = NamesOfUnprocessed();
-      break;
-    case ObfuscationMode::FuFiAll:
-      FuOpt.RestrictTo = NamesOfUnprocessed();
-      for (const std::string &S : Phase.SepFuncs)
-        FuOpt.RestrictTo.push_back(S);
-      break;
-    default:
-      break;
-    }
-    runFusion(M, R.Fusion, FuOpt);
-  }
-
-  if (Opts.RunPostOpt)
-    optimizeModule(M, Opts.PostOptLevel);
-  return R;
+ObfuscationResult khaos::obfuscateModulePrefix(Module &M,
+                                               ObfuscationMode Mode,
+                                               const KhaosOptions &Opts,
+                                               size_t NumSteps) {
+  auto State = std::make_shared<StepState>();
+  std::vector<ObfStep> Steps =
+      buildSteps(Mode, Opts, State, /*IncludeFission=*/true);
+  for (size_t I = 0, E = std::min(NumSteps, Steps.size()); I != E; ++I)
+    Steps[I].Run(M);
+  return State->R;
 }
 
 ObfuscationResult khaos::obfuscateModule(Module &M, ObfuscationMode Mode,
                                          const KhaosOptions &Opts) {
-  if (modeUsesFission(Mode)) {
-    FissionPhase Phase = runFissionPhase(M, Opts.Fission);
-    return finishFissionMode(M, Mode, Opts, Phase);
-  }
+  return obfuscateModulePrefix(M, Mode, Opts,
+                               std::numeric_limits<size_t>::max());
+}
 
-  ObfuscationResult R;
-  OLLVMOptions Base;
-  Base.Seed = Opts.Seed;
+void khaos::registerExtraObfuscationPass(
+    const std::string &Name,
+    std::function<std::unique_ptr<Pass>()> Factory) {
+  std::lock_guard<std::mutex> Lock(ExtraPassMutex);
+  extraPasses().emplace_back(Name, std::move(Factory));
+}
 
-  switch (Mode) {
-  case ObfuscationMode::None:
-    break;
-  case ObfuscationMode::Sub:
-    Base.Ratio = 1.0;
-    R.BaselineSites = runSubstitution(M, Base);
-    break;
-  case ObfuscationMode::Bog:
-    Base.Ratio = 1.0;
-    R.BaselineSites = runBogusControlFlow(M, Base);
-    break;
-  case ObfuscationMode::Fla:
-    Base.Ratio = 1.0;
-    R.BaselineSites = runFlattening(M, Base);
-    break;
-  case ObfuscationMode::Fla10:
-    Base.Ratio = 0.1;
-    R.BaselineSites = runFlattening(M, Base);
-    break;
-  case ObfuscationMode::Fusion: {
-    FusionOptions FuOpt = Opts.Fusion;
-    FuOpt.Seed = Opts.Seed;
-    runFusion(M, R.Fusion, FuOpt);
-    break;
-  }
-  // Listed (not defaulted) so -Wswitch flags any future mode that falls
-  // through here untransformed; these four took the early fission path.
-  case ObfuscationMode::Fission:
-  case ObfuscationMode::FuFiSep:
-  case ObfuscationMode::FuFiOri:
-  case ObfuscationMode::FuFiAll:
-    break;
-  }
-
-  if (Opts.RunPostOpt)
-    optimizeModule(M, Opts.PostOptLevel);
-  return R;
+void khaos::clearExtraObfuscationPasses() {
+  std::lock_guard<std::mutex> Lock(ExtraPassMutex);
+  extraPasses().clear();
 }

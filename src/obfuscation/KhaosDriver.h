@@ -19,6 +19,7 @@
 #include "obfuscation/Fusion.h"
 #include "transform/Pass.h"
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -95,6 +96,44 @@ ObfuscationResult finishFissionMode(Module &M, ObfuscationMode Mode,
 /// modes this is exactly runFissionPhase() + finishFissionMode().
 ObfuscationResult obfuscateModule(Module &M, ObfuscationMode Mode,
                                   const KhaosOptions &Opts = {});
+
+//===----------------------------------------------------------------------===//
+// Pass-bisection hooks. The full pipeline of a mode is a flat, named step
+// sequence: the mode's obfuscation primitive(s), any registered extra
+// passes, then the post-optimization passes one by one. obfuscateModule()
+// is exactly the full-prefix run, so a prefix run reproduces the true
+// pipeline up to a step boundary — which is what lets the differential
+// fuzzer bisect a behavioural divergence down to the guilty step.
+//===----------------------------------------------------------------------===//
+
+/// Names of the steps obfuscateModule(M, Mode, Opts) executes, in order.
+/// Primitive steps are named after the transformation ("fission",
+/// "fusion", "substitution", ...), registered extra passes appear as
+/// "extra:<name>", and post-optimization passes as "post-opt:<pass>#<k>"
+/// (k disambiguates repeated pipeline passes, first occurrence = 1).
+std::vector<std::string> obfuscationStepNames(ObfuscationMode Mode,
+                                              const KhaosOptions &Opts = {});
+
+/// Applies only the first \p NumSteps steps of the mode's pipeline to
+/// \p M. With NumSteps >= obfuscationStepNames(...).size() this is
+/// obfuscateModule() exactly — one shared code path, so bisection prefixes
+/// are true prefixes of the production pipeline.
+ObfuscationResult obfuscateModulePrefix(Module &M, ObfuscationMode Mode,
+                                        const KhaosOptions &Opts,
+                                        size_t NumSteps);
+
+/// Registers an extra obfuscation pass: \p Factory's pass runs for every
+/// mode after the primitive step(s) and before post-optimization, as step
+/// "extra:<Name>". Process-wide; register before any pipeline or fuzzer
+/// use (ArtifactStore keys do not include this state, so registering
+/// mid-run would desynchronize cached artifacts). This is the test hook
+/// the differential-fuzzer suite uses to plant known divergences.
+void registerExtraObfuscationPass(
+    const std::string &Name,
+    std::function<std::unique_ptr<Pass>()> Factory);
+
+/// Drops every registered extra pass (test teardown).
+void clearExtraObfuscationPasses();
 
 } // namespace khaos
 

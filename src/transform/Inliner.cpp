@@ -102,17 +102,41 @@ void InlinerPass::inlineCall(Module &M, Function &Caller, CallInst *Call) {
   BasicBlock *InlineEntry = Cloned.front();
 
   // Hoist cloned allocas into the caller's entry so stack space is reused
-  // across loop iterations.
+  // across loop iterations — then re-zero them at the inline entry. A KIR
+  // alloca zeroes its slot on every execution (the semantic oracle's
+  // deterministic-memory contract), so a callee invoked in a loop gets
+  // fresh zeroed locals on each call; the hoisted alloca executes once
+  // per *caller* invocation, and without the explicit stores the second
+  // trip through the inlined body would read the first trip's data (found
+  // by the differential fuzzer as a checksum divergence).
   BasicBlock *CallerEntry = Caller.getEntryBlock();
   std::vector<Instruction *> ToHoist;
   for (const auto &I : InlineEntry->insts())
     if (isa<AllocaInst>(I.get()))
       ToHoist.push_back(I.get());
+  std::vector<Instruction *> ZeroInit;
   for (Instruction *AI : ToHoist) {
+    Type *Ty = cast<AllocaInst>(AI)->getAllocatedType();
+    if (auto *ATy = dyn_cast<ArrayType>(Ty)) {
+      if (ATy->getElementType()->isArray())
+        continue; // Nested arrays stay in the inline entry (re-executed
+                  // per trip, which zeroes them — correct, just unhoisted).
+      for (uint64_t E = 0; E != ATy->getNumElements(); ++E) {
+        // GEP on a pointer-to-array addresses its elements directly.
+        auto *Ptr = new GEPInst(AI, M.getInt64(static_cast<int64_t>(E)));
+        ZeroInit.push_back(Ptr);
+        ZeroInit.push_back(
+            new StoreInst(M.getZeroValue(ATy->getElementType()), Ptr));
+      }
+    } else {
+      ZeroInit.push_back(new StoreInst(M.getZeroValue(Ty), AI));
+    }
     std::unique_ptr<Instruction> Owned = InlineEntry->take(AI);
     AI->setParent(CallerEntry);
     CallerEntry->insertAt(0, Owned.release());
   }
+  for (size_t I = 0; I != ZeroInit.size(); ++I)
+    InlineEntry->insertAt(I, ZeroInit[I]);
 
   // Return slot for non-void callees.
   Type *RetTy = Callee->getReturnType();

@@ -66,6 +66,12 @@ std::unique_ptr<Pass> createLocalValueNumberingPass();
 std::unique_ptr<Pass> createInlinerPass(unsigned InstructionThreshold);
 std::unique_ptr<Pass> createLICMPass();
 
+/// The standard pipeline for \p Level as an ordered pass list. The
+/// obfuscation driver's pass-bisection hooks (obfuscationStepNames /
+/// obfuscateModulePrefix) enumerate this list to name and prefix-run the
+/// post-optimization steps individually.
+std::vector<std::unique_ptr<Pass>> buildOptPassList(OptLevel Level);
+
 /// Populates \p PM with the standard pipeline for \p Level.
 void buildOptPipeline(PassManager &PM, OptLevel Level);
 

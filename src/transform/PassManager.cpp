@@ -29,32 +29,39 @@ bool PassManager::run(Module &M) {
   return Changed;
 }
 
-void khaos::buildOptPipeline(PassManager &PM, OptLevel Level) {
+std::vector<std::unique_ptr<Pass>> khaos::buildOptPassList(OptLevel Level) {
+  std::vector<std::unique_ptr<Pass>> Passes;
   if (Level == OptLevel::O0)
-    return;
-  PM.add(createSimplifyCFGPass());
-  PM.add(createConstantFoldPass());
-  PM.add(createDCEPass());
+    return Passes;
+  Passes.push_back(createSimplifyCFGPass());
+  Passes.push_back(createConstantFoldPass());
+  Passes.push_back(createDCEPass());
   if (Level == OptLevel::O1)
-    return;
-  PM.add(createLocalValueNumberingPass());
-  PM.add(createLoadForwardingPass());
-  PM.add(createDCEPass());
-  PM.add(createInlinerPass(Level == OptLevel::O3 ? 120 : 48));
-  PM.add(createSimplifyCFGPass());
-  PM.add(createConstantFoldPass());
-  PM.add(createLocalValueNumberingPass());
-  PM.add(createLoadForwardingPass());
-  PM.add(createDCEPass());
+    return Passes;
+  Passes.push_back(createLocalValueNumberingPass());
+  Passes.push_back(createLoadForwardingPass());
+  Passes.push_back(createDCEPass());
+  Passes.push_back(createInlinerPass(Level == OptLevel::O3 ? 120 : 48));
+  Passes.push_back(createSimplifyCFGPass());
+  Passes.push_back(createConstantFoldPass());
+  Passes.push_back(createLocalValueNumberingPass());
+  Passes.push_back(createLoadForwardingPass());
+  Passes.push_back(createDCEPass());
   if (Level == OptLevel::O3) {
     // A second late round approximates the extra aggressiveness of -O3.
-    PM.add(createInlinerPass(160));
-    PM.add(createLICMPass());
-    PM.add(createSimplifyCFGPass());
-    PM.add(createConstantFoldPass());
-    PM.add(createLocalValueNumberingPass());
-    PM.add(createDCEPass());
+    Passes.push_back(createInlinerPass(160));
+    Passes.push_back(createLICMPass());
+    Passes.push_back(createSimplifyCFGPass());
+    Passes.push_back(createConstantFoldPass());
+    Passes.push_back(createLocalValueNumberingPass());
+    Passes.push_back(createDCEPass());
   }
+  return Passes;
+}
+
+void khaos::buildOptPipeline(PassManager &PM, OptLevel Level) {
+  for (auto &P : buildOptPassList(Level))
+    PM.add(std::move(P));
 }
 
 void khaos::optimizeModule(Module &M, OptLevel Level) {

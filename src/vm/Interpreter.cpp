@@ -74,6 +74,15 @@ private:
     if (!Trapped) {
       Trapped = true;
       TrapMessage = Msg;
+      // Stamp the faulting location so divergence repros are actionable:
+      // traps outside function execution (global layout) carry none.
+      if (CurFunc) {
+        TrapFunction = CurFunc->getName();
+        if (CurBlock)
+          TrapBlock = CurBlock->getName();
+        TrapMessage += " (in " + TrapFunction + ":" +
+                       (TrapBlock.empty() ? "?" : TrapBlock) + ")";
+      }
     }
     return false;
   }
@@ -129,6 +138,11 @@ private:
   uint64_t NextJmpToken = 1;
   bool Trapped = false;
   std::string TrapMessage;
+  /// Execution cursor for trap attribution (updated by execFunction).
+  const Function *CurFunc = nullptr;
+  const BasicBlock *CurBlock = nullptr;
+  std::string TrapFunction;
+  std::string TrapBlock;
 };
 
 } // namespace
@@ -142,14 +156,14 @@ bool VM::loadTyped(uint64_t Addr, const Type *Ty, Slot &Out) {
   switch (Ty->getKind()) {
   case TypeKind::Int1:
   case TypeKind::Int8: {
-    int8_t V;
+    int8_t V = 0;
     if (!loadBytes(Addr, &V, 1))
       return false;
     Out.I = V;
     return true;
   }
   case TypeKind::Int32: {
-    int32_t V;
+    int32_t V = 0;
     if (!loadBytes(Addr, &V, 4))
       return false;
     Out.I = V;
@@ -157,21 +171,21 @@ bool VM::loadTyped(uint64_t Addr, const Type *Ty, Slot &Out) {
   }
   case TypeKind::Int64:
   case TypeKind::Pointer: {
-    int64_t V;
+    int64_t V = 0;
     if (!loadBytes(Addr, &V, 8))
       return false;
     Out.I = V;
     return true;
   }
   case TypeKind::Float: {
-    float V;
+    float V = 0;
     if (!loadBytes(Addr, &V, 4))
       return false;
     Out.F = V;
     return true;
   }
   case TypeKind::Double: {
-    double V;
+    double V = 0;
     if (!loadBytes(Addr, &V, 8))
       return false;
     Out.F = V;
@@ -529,13 +543,25 @@ Flow VM::execFunction(const Function *F, const std::vector<Slot> &Args) {
   size_t Idx = 0;
   int64_t CurrentException = 0;
 
+  // Trap-attribution cursor: point at this frame while it executes and
+  // restore the caller's position on the way out (calls recurse here).
+  const Function *PrevFunc = CurFunc;
+  const BasicBlock *PrevBlock = CurBlock;
+  CurFunc = F;
+
   auto Leave = [&](Flow R) {
     StackPtr = FR.StackMark;
     --CallDepth;
+    CurFunc = PrevFunc;
+    CurBlock = PrevBlock;
     return R;
   };
 
   while (true) {
+    // Keep the trap-attribution cursor current. CurFunc needs no store
+    // here: it is set before the loop and restored by every nested
+    // execFunction's Leave.
+    CurBlock = BB;
     if (Trapped)
       return Leave(Bad);
     if (Idx >= BB->size()) {
@@ -1016,6 +1042,8 @@ ExecResult VM::run() {
     break;
   default:
     Res.Error = TrapMessage.empty() ? "abnormal termination" : TrapMessage;
+    Res.FaultFunction = TrapFunction;
+    Res.FaultBlock = TrapBlock;
     break;
   }
   return Res;

@@ -41,7 +41,13 @@ struct ExecOptions {
 /// Result of one program execution.
 struct ExecResult {
   bool Ok = false;
-  std::string Error;     ///< Trap description when !Ok.
+  /// Trap description when !Ok. Traps raised while executing a function
+  /// carry their location as a "(in <function>:<block>)" suffix — the
+  /// differential fuzzer's trap-divergence repros need to be actionable
+  /// without re-running under a debugger.
+  std::string Error;
+  std::string FaultFunction; ///< Function executing at the trap ("" = none).
+  std::string FaultBlock;    ///< Basic block executing at the trap.
   int64_t ExitValue = 0; ///< main's return value.
   std::string Stdout;    ///< Captured printf/puts/putchar output.
   uint64_t Steps = 0;    ///< Dynamic instruction count.

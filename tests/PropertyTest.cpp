@@ -99,6 +99,48 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(std::get<0>(Info.param)) + "_" + Mode;
     });
 
+/// VM-equivalence sweep: 25 seeds × every ObfuscationMode must preserve
+/// ExitValue and Stdout against the O2 baseline. This is the fuzzer-
+/// independent regression net for the semantic oracle — a fixed grid the
+/// default CTest run always covers, regardless of what the fuzz tier's
+/// budget happens to reach. The baseline compiles and runs once per seed
+/// and is shared by all modes (the sweep's cost is dominated by the
+/// obfuscated builds).
+TEST(GeneratedProgramProperties, VMEquivalenceSweep) {
+  for (uint64_t Seed = 900; Seed != 925; ++Seed) {
+    ProgramSpec S = specForSeed(Seed);
+    std::string Source = generateMiniCProgram(S);
+
+    Context RefCtx;
+    std::string Error;
+    auto Ref = compileMiniC(Source, RefCtx, S.Name, Error);
+    ASSERT_TRUE(Ref) << "seed " << Seed << ": " << Error;
+    optimizeModule(*Ref, OptLevel::O2);
+    ExecResult RefRun = runModule(*Ref);
+    ASSERT_TRUE(RefRun.Ok) << "seed " << Seed << ": " << RefRun.Error;
+
+    for (ObfuscationMode Mode : allObfuscationModes()) {
+      Context Ctx;
+      auto Obf = compileMiniC(Source, Ctx, S.Name, Error);
+      ASSERT_TRUE(Obf) << Error;
+      KhaosOptions Opts;
+      Opts.Seed = Seed * 131 + 7;
+      obfuscateModule(*Obf, Mode, Opts);
+      std::vector<std::string> Problems = verifyModule(*Obf);
+      ASSERT_TRUE(Problems.empty())
+          << "seed " << Seed << " mode " << obfuscationModeName(Mode)
+          << ": " << Problems.front();
+      ExecResult Got = runModule(*Obf);
+      ASSERT_TRUE(Got.Ok) << "seed " << Seed << " mode "
+                          << obfuscationModeName(Mode) << ": " << Got.Error;
+      ASSERT_EQ(Got.ExitValue, RefRun.ExitValue)
+          << "seed " << Seed << " mode " << obfuscationModeName(Mode);
+      ASSERT_EQ(Got.Stdout, RefRun.Stdout)
+          << "seed " << Seed << " mode " << obfuscationModeName(Mode);
+    }
+  }
+}
+
 /// Obfuscation at two different seeds must produce *different* module
 /// shapes (fusion pairing is randomized) but identical behaviour.
 TEST(GeneratedProgramProperties, ObfuscationSeedChangesShapeNotMeaning) {

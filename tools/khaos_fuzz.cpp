@@ -1,0 +1,148 @@
+//===- tools/khaos_fuzz.cpp - Differential obfuscation fuzzer CLI -----------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front-end of the DifferentialFuzzer. Verdict lines and
+/// repro files are byte-identical for a given (--seed, --budget, --modes)
+/// at any --threads and across reruns; telemetry goes to stderr.
+///
+///   khaos-fuzz [--seed S] [--budget N] [--threads N] [--modes A,B,...]
+///              [--no-shrink] [--repro-dir DIR] [--store-max-bytes B]
+///              [--quiet] [--list-steps MODE] [--replay FILE]
+///
+/// Exit status: 0 = no divergence, 1 = divergences found (or a replayed
+/// repro still reproduces), 2 = usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "harness/DifferentialFuzzer.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace khaos;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: khaos-fuzz [--seed S] [--budget N] [--threads N]\n"
+      "                  [--modes A,B,...] [--no-shrink] [--repro-dir DIR]\n"
+      "                  [--store-max-bytes B] [--quiet]\n"
+      "                  [--list-steps MODE] [--replay FILE]\n");
+  return 2;
+}
+
+int listSteps(const std::string &ModeName) {
+  ObfuscationMode Mode;
+  if (!parseObfuscationModeName(ModeName, Mode)) {
+    std::fprintf(stderr, "khaos-fuzz: unknown mode '%s'\n",
+                 ModeName.c_str());
+    return 2;
+  }
+  std::vector<std::string> Steps = obfuscationStepNames(Mode);
+  std::printf("mode %s: %zu steps\n", obfuscationModeName(Mode),
+              Steps.size());
+  for (size_t I = 0; I != Steps.size(); ++I)
+    std::printf("  %2zu %s\n", I + 1, Steps[I].c_str());
+  return 0;
+}
+
+int replay(const std::string &Path) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File) {
+    std::fprintf(stderr, "khaos-fuzz: cannot read '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << File.rdbuf();
+  std::string Error;
+  DivergenceKind Kind =
+      DifferentialFuzzer::replayRepro(Buf.str(), Error);
+  if (Kind == DivergenceKind::None && !Error.empty() &&
+      Error.find("repro") != std::string::npos) {
+    std::fprintf(stderr, "khaos-fuzz: %s\n", Error.c_str());
+    return 2;
+  }
+  if (Kind == DivergenceKind::None) {
+    std::printf("replay %s: no divergence (bug no longer reproduces)\n",
+                Path.c_str());
+    return 0;
+  }
+  std::printf("replay %s: kind=%s : %s\n", Path.c_str(),
+              divergenceKindName(Kind), Error.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // --threads/--seed/--store-max-bytes share the bench flag grammar.
+  EvalScheduler::Config Sched = parseSchedulerArgs(argc, argv);
+  DifferentialFuzzer::Config Cfg;
+  Cfg.Seed = Sched.Seed;
+  Cfg.Threads = Sched.Threads;
+  Cfg.StoreMaxBytes = Sched.StoreMaxBytes ? Sched.StoreMaxBytes
+                                          : Cfg.StoreMaxBytes;
+
+  std::string ModesSpec, ListStepsMode, ReplayPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (const char *V = flagValue(argc, argv, I, "--budget"))
+      Cfg.Budget = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V2 = flagValue(argc, argv, I, "--modes"))
+      ModesSpec = V2;
+    else if (const char *V3 = flagValue(argc, argv, I, "--repro-dir"))
+      Cfg.ReproDir = V3;
+    else if (const char *V4 = flagValue(argc, argv, I, "--list-steps"))
+      ListStepsMode = V4;
+    else if (const char *V5 = flagValue(argc, argv, I, "--replay"))
+      ReplayPath = V5;
+    else if (Arg == "--no-shrink")
+      Cfg.Shrink = false;
+    else if (Arg == "--quiet")
+      Cfg.Verbose = false;
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+  }
+
+  if (!ListStepsMode.empty())
+    return listSteps(ListStepsMode);
+  if (!ReplayPath.empty())
+    return replay(ReplayPath);
+
+  if (!ModesSpec.empty()) {
+    for (const std::string &Name : split(ModesSpec, ',')) {
+      if (Name.empty())
+        continue;
+      ObfuscationMode Mode;
+      if (!parseObfuscationModeName(Name, Mode)) {
+        std::fprintf(stderr, "khaos-fuzz: unknown mode '%s' in --modes\n",
+                     Name.c_str());
+        return usage();
+      }
+      Cfg.Modes.push_back(Mode);
+    }
+    if (Cfg.Modes.empty())
+      return usage();
+  }
+  if (Cfg.Budget == 0)
+    return usage();
+
+  DifferentialFuzzer Fuzzer(Cfg);
+  FuzzReport Report = Fuzzer.run();
+  std::fprintf(stderr,
+               "[khaos-fuzz] cases=%u cells=%u divergences=%zu "
+               "baseline-errors=%u\n",
+               Report.Cases, Report.Cells, Report.Divergences.size(),
+               Report.BaselineErrors);
+  return Report.Divergences.empty() ? 0 : 1;
+}
