@@ -12,8 +12,12 @@
 /// artifact; results are identical, only slower), `--shards N
 /// --shard-index I` (cross-process split of the matrix by FlatIdx %
 /// Shards), `--store-max-bytes B` (LRU-bound the ArtifactStore; evicted
-/// stages recompute, output is unchanged) and `--tool-timeout-ms T` (the
-/// round-trip budget of out-of-process diffing backends); their stdout is
+/// stages recompute, output is unchanged), `--tool-timeout-ms T` (the
+/// round-trip budget of out-of-process diffing backends) and `--vm
+/// reference|precompiled` (which execution engine runs programs; both
+/// produce byte-identical stdout). `--json PATH` makes supporting benches
+/// additionally write a machine-readable BENCH_*.json result file (the
+/// committed perf trajectory — see bench/vm_engines.cpp); their stdout is
 /// byte-identical at every thread count (scheduler diagnostics, including
 /// cache telemetry, go to stderr). `--print-cells` switches matrix
 /// benches that support it to a per-(cell × tool) line format whose shard
@@ -32,6 +36,7 @@
 #include "harness/Evaluator.h"
 #include "harness/TableRenderer.h"
 #include "support/Statistics.h"
+#include "support/StringUtils.h"
 
 #include <cctype>
 #include <cstdio>
@@ -99,9 +104,124 @@ inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
       // knob of the worker pool, not scheduler state.
       setDiffWorkerTimeoutMs(
           static_cast<unsigned>(std::strtoul(V6, nullptr, 10)));
+    else if (const char *V7 = Value(Arg, "--vm", I)) {
+      if (!parseVMEngineName(V7, C.Engine)) {
+        std::fprintf(stderr,
+                     "unknown --vm engine '%s' (expected 'reference' or "
+                     "'precompiled')\n",
+                     V7);
+        std::exit(2);
+      }
+    }
   }
   return C;
 }
+
+/// Value of `--json PATH` / `--json=PATH`, or empty when absent. Benches
+/// that support it write their machine-readable results (the committed
+/// BENCH_*.json perf trajectory) there in addition to the human table.
+inline std::string parseJsonPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (const char *V = flagValue(Argc, Argv, I, "--json"))
+      return V;
+  return {};
+}
+
+/// Minimal JSON writer for the BENCH_*.json artifacts: flat objects and
+/// arrays of flat objects, written with stable key order so committed
+/// trajectories diff cleanly run-over-run.
+class BenchJsonWriter {
+public:
+  void set(const std::string &Key, const std::string &V) {
+    Scalars.emplace_back(Key, quoted(V));
+  }
+  void set(const std::string &Key, double V) {
+    Scalars.emplace_back(Key, formatStr("%.6g", V));
+  }
+  void set(const std::string &Key, uint64_t V) {
+    Scalars.emplace_back(Key,
+                         std::to_string(static_cast<unsigned long long>(V)));
+  }
+  void set(const std::string &Key, int V) {
+    Scalars.emplace_back(Key, std::to_string(V));
+  }
+  void set(const std::string &Key, bool V) {
+    Scalars.emplace_back(Key, V ? "true" : "false");
+  }
+
+  /// Appends one row to the array field \p Key (rows print after scalars).
+  void addRow(const std::string &Key, const BenchJsonWriter &Row) {
+    Rows.emplace_back(Key, Row.object());
+  }
+
+  /// Renders the object: scalars first, then array fields grouped by key
+  /// in first-appearance order.
+  std::string object() const {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &KV : Scalars) {
+      Out += (First ? "" : ", ");
+      Out += quoted(KV.first);
+      Out += ": ";
+      Out += KV.second;
+      First = false;
+    }
+    std::vector<std::string> SeenKeys;
+    for (const auto &KV : Rows) {
+      bool Seen = false;
+      for (const std::string &S : SeenKeys)
+        Seen = Seen || S == KV.first;
+      if (Seen)
+        continue;
+      SeenKeys.push_back(KV.first);
+      Out += (First ? "" : ", ");
+      Out += quoted(KV.first);
+      Out += ": [";
+      bool FirstRow = true;
+      for (const auto &RV : Rows)
+        if (RV.first == KV.first) {
+          Out += (FirstRow ? "" : ", ") + RV.second;
+          FirstRow = false;
+        }
+      Out += "]";
+      First = false;
+    }
+    Out += "}";
+    return Out;
+  }
+
+  /// Writes the object (newline-terminated) to \p Path; loud on failure —
+  /// a CI artifact that silently vanished would read as a perf regression.
+  bool writeFile(const std::string &Path, const char *Bench) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "%s: cannot write --json file '%s'\n", Bench,
+                   Path.c_str());
+      return false;
+    }
+    std::string Body = object();
+    Body += "\n";
+    std::fwrite(Body.data(), 1, Body.size(), F);
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  static std::string quoted(const std::string &S) {
+    std::string Out;
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+    return Out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> Scalars;
+  std::vector<std::pair<std::string, std::string>> Rows;
+};
 
 /// Parses `--tools A,B,...` and validates every name against the DiffTool
 /// registry *before* the caller spawns scheduler threads (createDiffTool

@@ -25,6 +25,8 @@ const char *khaos::artifactStageName(ArtifactStage Stage) {
     return "obfuscated-image";
   case ArtifactStage::DiffOutcome:
     return "diff-outcome";
+  case ArtifactStage::PrecompiledModule:
+    return "precompiled-module";
   case ArtifactStage::NumStages:
     break;
   }

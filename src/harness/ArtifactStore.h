@@ -59,6 +59,9 @@ enum class ArtifactStage : uint8_t {
   DiffOutcome,     ///< One tool's result over a cell's image pair — the
                    ///< key subprocess backends cache under, so a warm
                    ///< re-run performs zero worker round trips.
+  PrecompiledModule, ///< Bytecode lowering of the O2 baseline: decoded
+                     ///< once, shared by every precompiled-engine run of
+                     ///< the workload.
   NumStages,
 };
 

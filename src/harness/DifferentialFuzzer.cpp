@@ -38,6 +38,8 @@ const char *khaos::divergenceKindName(DivergenceKind K) {
     return "exit-value";
   case DivergenceKind::StdoutBytes:
     return "stdout";
+  case DivergenceKind::EngineMismatch:
+    return "engine-mismatch";
   }
   return "?";
 }
@@ -109,6 +111,67 @@ uint64_t obfStepBudget(const ExecResult &Ref) {
                   DifferentialFuzzer::MinObfSteps);
 }
 
+/// Cross-VM oracle: full observational comparison of the two engines'
+/// runs of the same module. Empty string = identical; otherwise a
+/// one-liner naming the first differing ExecResult field with both
+/// values (\p A ran under \p AEngine, \p B under the other engine).
+std::string engineMismatchDetail(const ExecResult &A, const ExecResult &B,
+                                 VMEngine AEngine) {
+  const char *AN = vmEngineName(AEngine);
+  const char *BN = vmEngineName(AEngine == VMEngine::Precompiled
+                                    ? VMEngine::Reference
+                                    : VMEngine::Precompiled);
+  if (A.Ok != B.Ok)
+    return formatStr("engines disagree: %s %s but %s %s (%s)", AN,
+                     A.Ok ? "ok" : "trapped", BN, B.Ok ? "ok" : "trapped",
+                     (A.Ok ? B.Error : A.Error).c_str());
+  if (A.Error != B.Error)
+    return formatStr("engines disagree on trap: %s '%s' != %s '%s'", AN,
+                     A.Error.c_str(), BN, B.Error.c_str());
+  if (A.FaultFunction != B.FaultFunction || A.FaultBlock != B.FaultBlock)
+    return formatStr("engines disagree on fault context: %s %s:%s != %s "
+                     "%s:%s",
+                     AN, A.FaultFunction.c_str(), A.FaultBlock.c_str(), BN,
+                     B.FaultFunction.c_str(), B.FaultBlock.c_str());
+  if (A.ExitValue != B.ExitValue)
+    return formatStr("engines disagree on exit: %s %lld != %s %lld", AN,
+                     (long long)A.ExitValue, BN, (long long)B.ExitValue);
+  if (A.Stdout != B.Stdout)
+    return formatStr("engines disagree on stdout: %s %zu bytes != %s %zu "
+                     "bytes",
+                     AN, A.Stdout.size(), BN, B.Stdout.size());
+  if (A.Steps != B.Steps)
+    return formatStr("engines disagree on steps: %s %llu != %s %llu", AN,
+                     (unsigned long long)A.Steps, BN,
+                     (unsigned long long)B.Steps);
+  if (A.Cost != B.Cost)
+    return formatStr("engines disagree on cost: %s %llu != %s %llu", AN,
+                     (unsigned long long)A.Cost, BN,
+                     (unsigned long long)B.Cost);
+  return {};
+}
+
+/// Runs \p M under \p Opts' engine; with \p CrossVM also under the other
+/// engine, setting \p MismatchOut to the disagreement detail (empty =
+/// engines agree). Returns the primary engine's result either way.
+ExecResult runChecked(const Module &M, ExecOptions Opts, bool CrossVM,
+                      std::string *MismatchOut) {
+  if (MismatchOut)
+    MismatchOut->clear();
+  ExecResult Primary = runModule(M, Opts);
+  if (CrossVM) {
+    ExecOptions Other = Opts;
+    Other.Engine = Opts.Engine == VMEngine::Precompiled
+                       ? VMEngine::Reference
+                       : VMEngine::Precompiled;
+    std::string Detail =
+        engineMismatchDetail(Primary, runModule(M, Other), Opts.Engine);
+    if (!Detail.empty() && MismatchOut)
+      *MismatchOut = std::move(Detail);
+  }
+  return Primary;
+}
+
 /// Classifies an obfuscated run against the baseline's reference run.
 /// \p ObfMaxSteps is the budget Got ran under (to tell a timeout apart
 /// from a genuine trap).
@@ -154,7 +217,8 @@ bool DifferentialFuzzer::probeSource(const std::string &Source,
                                      ObfuscationMode Mode, uint64_t ObfSeed,
                                      size_t PrefixSteps,
                                      DivergenceKind &KindOut,
-                                     std::string *DetailOut) {
+                                     std::string *DetailOut, VMEngine Engine,
+                                     bool CrossVM) {
   KindOut = DivergenceKind::None;
 
   Context RefCtx;
@@ -165,7 +229,18 @@ bool DifferentialFuzzer::probeSource(const std::string &Source,
   optimizeModule(*Ref, OptLevel::O2);
   ExecOptions RefOpts;
   RefOpts.MaxSteps = BaselineMaxSteps;
-  ExecResult RefRun = runModule(*Ref, RefOpts);
+  RefOpts.Engine = Engine;
+  std::string Mismatch;
+  ExecResult RefRun = runChecked(*Ref, RefOpts, CrossVM, &Mismatch);
+  if (!Mismatch.empty()) {
+    // An engine disagreement on the baseline is the strongest possible
+    // finding for the A/B oracle — report it even though the probe never
+    // reaches the obfuscated twin.
+    KindOut = DivergenceKind::EngineMismatch;
+    if (DetailOut)
+      *DetailOut = "baseline: " + Mismatch;
+    return true;
+  }
   if (!RefRun.Ok)
     return false;
 
@@ -185,7 +260,14 @@ bool DifferentialFuzzer::probeSource(const std::string &Source,
   }
   ExecOptions ObfOpts;
   ObfOpts.MaxSteps = obfStepBudget(RefRun);
-  ExecResult Got = runModule(*Obf, ObfOpts);
+  ObfOpts.Engine = Engine;
+  ExecResult Got = runChecked(*Obf, ObfOpts, CrossVM, &Mismatch);
+  if (!Mismatch.empty()) {
+    KindOut = DivergenceKind::EngineMismatch;
+    if (DetailOut)
+      *DetailOut = "obfuscated: " + Mismatch;
+    return true;
+  }
   KindOut = classifyRuns(RefRun, Got, ObfOpts.MaxSteps, DetailOut);
   return true;
 }
@@ -263,13 +345,14 @@ bool divergesWithin(const std::string &Source, const std::string &Name,
                     ObfuscationMode Mode, uint64_t ObfSeed,
                     size_t PrefixSteps, unsigned MaxProbes,
                     unsigned &Probes, DivergenceKind &KindOut,
-                    std::string *DetailOut) {
+                    std::string *DetailOut, VMEngine Engine, bool CrossVM) {
   if (Probes >= MaxProbes)
     return false;
   ++Probes;
   DivergenceKind K = DivergenceKind::None;
   if (!DifferentialFuzzer::probeSource(Source, Name, Mode, ObfSeed,
-                                       PrefixSteps, K, DetailOut))
+                                       PrefixSteps, K, DetailOut, Engine,
+                                       CrossVM))
     return false;
   if (K == DivergenceKind::None)
     return false;
@@ -281,8 +364,8 @@ bool divergesWithin(const std::string &Source, const std::string &Name,
 
 ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
                                         ObfuscationMode Mode,
-                                        uint64_t ObfSeed,
-                                        unsigned MaxProbes) {
+                                        uint64_t ObfSeed, unsigned MaxProbes,
+                                        VMEngine Engine, bool CrossVM) {
   ShrinkResult Res;
   Res.Spec = Spec;
   const size_t Full = std::numeric_limits<size_t>::max();
@@ -290,7 +373,8 @@ ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
   auto SpecDiverges = [&](const ProgramSpec &S, DivergenceKind &K,
                           std::string *Detail) {
     return divergesWithin(generateMiniCProgram(S), S.Name, Mode, ObfSeed,
-                          Full, MaxProbes, Res.Probes, K, Detail);
+                          Full, MaxProbes, Res.Probes, K, Detail, Engine,
+                          CrossVM);
   };
 
   // Establish the starting state (and its kind/detail).
@@ -409,8 +493,8 @@ ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
         DivergenceKind K = DivergenceKind::None;
         std::string Detail;
         if (divergesWithin(joinChunks(Chunks, Dropped), Res.Spec.Name, Mode,
-                           ObfSeed, Full, MaxProbes, Res.Probes, K,
-                           &Detail)) {
+                           ObfSeed, Full, MaxProbes, Res.Probes, K, &Detail,
+                           Engine, CrossVM)) {
           Res.Kind = K;
           Res.Detail = std::move(Detail);
           ++Res.DroppedFunctions;
@@ -439,7 +523,7 @@ ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
       // and a repro without a guilty step is not actionable.
       ++Res.Probes;
       if (!probeSource(Res.Source, Res.Spec.Name, Mode, ObfSeed, K, Kind,
-                       &Detail))
+                       &Detail, Engine, CrossVM))
         return false;
       return Kind != DivergenceKind::None;
     };
@@ -478,6 +562,10 @@ std::string DifferentialFuzzer::formatRepro(const FuzzDivergence &D) {
   Out += formatStr("# name: %s\n", S.Spec.Name.c_str());
   Out += formatStr("# mode: %s\n", obfuscationModeName(D.Mode));
   Out += formatStr("# obf-seed: 0x%llx\n", (unsigned long long)D.ObfSeed);
+  // Which engine produced the verdict (informational: --replay takes the
+  // engine from its own --vm flag, so old repros replay on either).
+  Out += formatStr("# engine: %s%s\n", vmEngineName(D.Engine),
+                   D.CrossVM ? " (cross-vm)" : "");
   Out += formatStr("# kind: %s\n", divergenceKindName(S.Kind));
   if (!S.GuiltyStep.empty())
     Out += formatStr("# guilty-step: %s (step %zu of %zu)\n",
@@ -503,7 +591,9 @@ std::string DifferentialFuzzer::formatRepro(const FuzzDivergence &D) {
 }
 
 DivergenceKind DifferentialFuzzer::replayRepro(const std::string &ReproText,
-                                               std::string &Error) {
+                                               std::string &Error,
+                                               VMEngine Engine,
+                                               bool CrossVM) {
   Error.clear();
   std::string Name, Source;
   ObfuscationMode Mode = ObfuscationMode::None;
@@ -553,7 +643,8 @@ DivergenceKind DifferentialFuzzer::replayRepro(const std::string &ReproText,
   DivergenceKind Kind = DivergenceKind::None;
   std::string Detail;
   if (!probeSource(Source, Name, Mode, ObfSeed,
-                   std::numeric_limits<size_t>::max(), Kind, &Detail)) {
+                   std::numeric_limits<size_t>::max(), Kind, &Detail, Engine,
+                   CrossVM)) {
     Error = "repro baseline failed to compile or run";
     return DivergenceKind::None;
   }
@@ -620,6 +711,7 @@ FuzzReport DifferentialFuzzer::run() {
     SchedCfg.Threads = Cfg.Threads;
     SchedCfg.Seed = Cfg.Seed;
     SchedCfg.StoreMaxBytes = Cfg.StoreMaxBytes;
+    SchedCfg.Engine = Cfg.Engine;
     EvalScheduler Sched(SchedCfg);
     EvalPipeline &Pipe = Sched.pipeline();
 
@@ -630,6 +722,7 @@ FuzzReport DifferentialFuzzer::run() {
     struct BaselineInfo {
       bool Ok = false;
       std::string Error;
+      std::string EngineMismatch; ///< Non-empty = engines disagreed.
       ExecResult Run;
     };
     std::vector<BaselineInfo> Baselines(Workloads.size());
@@ -643,7 +736,10 @@ FuzzReport DifferentialFuzzer::run() {
       }
       ExecOptions RefOpts;
       RefOpts.MaxSteps = BaselineMaxSteps;
-      B.Run = runModule(*Base->M, RefOpts);
+      RefOpts.Engine = Cfg.Engine;
+      B.Run = runChecked(*Base->M, RefOpts, Cfg.CrossVM, &B.EngineMismatch);
+      if (!B.EngineMismatch.empty())
+        return; // Reported as an engine-mismatch divergence per cell.
       if (!B.Run.Ok) {
         B.Error = "baseline failed: " + B.Run.Error;
         return;
@@ -656,6 +752,11 @@ FuzzReport DifferentialFuzzer::run() {
       CellOutcome &Out = Cells[Cell.FlatIdx];
       Out.ObfSeed = Cell.Seed;
       const BaselineInfo &Base = Baselines[Cell.WorkloadIdx];
+      if (!Base.EngineMismatch.empty()) {
+        Out.Kind = DivergenceKind::EngineMismatch;
+        Out.Detail = "baseline: " + Base.EngineMismatch;
+        return;
+      }
       if (!Base.Ok) {
         Out.BaselineOk = false;
         Out.Detail = Base.Error;
@@ -670,7 +771,14 @@ FuzzReport DifferentialFuzzer::run() {
       }
       ExecOptions ObfOpts;
       ObfOpts.MaxSteps = obfStepBudget(Base.Run);
-      ExecResult Got = runModule(*Obf.M, ObfOpts);
+      ObfOpts.Engine = Cfg.Engine;
+      std::string Mismatch;
+      ExecResult Got = runChecked(*Obf.M, ObfOpts, Cfg.CrossVM, &Mismatch);
+      if (!Mismatch.empty()) {
+        Out.Kind = DivergenceKind::EngineMismatch;
+        Out.Detail = "obfuscated: " + Mismatch;
+        return;
+      }
       Out.Kind = classifyRuns(Base.Run, Got, ObfOpts.MaxSteps, &Out.Detail);
     });
 
@@ -720,6 +828,8 @@ FuzzReport DifferentialFuzzer::run() {
         D.Spec = Spec;
         D.Mode = Modes[MI];
         D.ObfSeed = Cell.ObfSeed;
+        D.Engine = Cfg.Engine;
+        D.CrossVM = Cfg.CrossVM;
         D.Kind = Cell.Kind;
         D.Detail = Cell.Detail;
         OS << formatStr("divergence %06u %s mode=%s obf-seed=0x%llx "
@@ -730,7 +840,8 @@ FuzzReport DifferentialFuzzer::run() {
                         divergenceKindName(D.Kind), D.Detail.c_str());
 
         if (Cfg.Shrink) {
-          D.Shrunk = shrink(Spec, D.Mode, D.ObfSeed, Cfg.MaxShrinkProbes);
+          D.Shrunk = shrink(Spec, D.Mode, D.ObfSeed, Cfg.MaxShrinkProbes,
+                            Cfg.Engine, Cfg.CrossVM);
           if (D.Shrunk.Kind == DivergenceKind::None) {
             // The divergence did not reproduce in the shrinker's
             // standalone probe; keep the matrix verdict on the repro
@@ -779,9 +890,10 @@ FuzzReport DifferentialFuzzer::run() {
   }
 
   OS << formatStr("summary seed=0x%llx budget=%u modes=%zu cells=%u "
-                  "pass=%u divergences=%zu baseline-errors=%u\n",
+                  "pass=%u divergences=%zu baseline-errors=%u engine=%s%s\n",
                   (unsigned long long)Cfg.Seed, Cfg.Budget, Modes.size(),
                   Report.Cells, Report.Passes, Report.Divergences.size(),
-                  Report.BaselineErrors);
+                  Report.BaselineErrors, vmEngineName(Cfg.Engine),
+                  Cfg.CrossVM ? " cross-vm" : "");
   return Report;
 }

@@ -33,6 +33,7 @@
 #define KHAOS_HARNESS_DIFFERENTIALFUZZER_H
 
 #include "obfuscation/KhaosDriver.h"
+#include "vm/Interpreter.h"
 #include "workloads/SyntheticProgram.h"
 
 #include <cstdint>
@@ -51,10 +52,15 @@ enum class DivergenceKind : uint8_t {
                 ///< or a catastrophic, far-beyond-paper overhead).
   ExitValue,    ///< main() returned a different value.
   StdoutBytes,  ///< Captured stdout differs.
+  /// Cross-VM mode only: the two execution engines disagreed with each
+  /// other (on the baseline or the obfuscated run) — a VM bug, not an
+  /// obfuscation bug, and the A/B oracle the precompiled engine is
+  /// continuously validated against.
+  EngineMismatch,
 };
 
 /// Printable kind name ("none", "compile", "trap", "timeout",
-/// "exit-value", "stdout").
+/// "exit-value", "stdout", "engine-mismatch").
 const char *divergenceKindName(DivergenceKind K);
 
 /// Result of minimizing one divergence.
@@ -77,6 +83,8 @@ struct FuzzDivergence {
   ProgramSpec Spec; ///< Spec as sampled (pre-shrink).
   ObfuscationMode Mode = ObfuscationMode::None;
   uint64_t ObfSeed = 0; ///< deriveCellSeed(seed, name, mode) of the cell.
+  VMEngine Engine = VMEngine::Precompiled; ///< Engine that found it.
+  bool CrossVM = false;                    ///< Found under --cross-vm.
   DivergenceKind Kind = DivergenceKind::None; ///< Kind as found.
   std::string Detail;    ///< Expected-vs-got one-liner as found.
   ShrinkResult Shrunk;   ///< Minimized state (== original when !Shrink).
@@ -113,6 +121,13 @@ public:
     /// and thus output — is independent of this and of Threads).
     unsigned CasesPerBatch = 32;
     bool Verbose = true; ///< false = only divergence + summary lines.
+    /// VM engine executing every baseline and obfuscated run (--vm).
+    VMEngine Engine = VMEngine::Precompiled;
+    /// --cross-vm: run every check on BOTH engines and report engine
+    /// disagreement (on any ExecResult field, Steps and trap context
+    /// included) as DivergenceKind::EngineMismatch — the fuzzer doubles
+    /// as an adversarial A/B search over the precompiled engine.
+    bool CrossVM = false;
     /// Verdict stream (defaults to std::cout). Stderr-style telemetry is
     /// never written here, so the stream is byte-stable across runs.
     std::ostream *Out = nullptr;
@@ -150,25 +165,41 @@ public:
   /// failed (compile error or trap) — such probes say nothing about the
   /// obfuscator. \p PrefixSteps limits the obfuscation pipeline to its
   /// first N steps (SIZE_MAX = full pipeline; the bisection's probe).
+  /// Runs execute under \p Engine; with \p CrossVM both engines run and
+  /// any disagreement is reported as EngineMismatch (checked before the
+  /// baseline-vs-obfuscated classification, on baseline and obfuscated
+  /// runs alike).
   static bool probeSource(const std::string &Source, const std::string &Name,
                           ObfuscationMode Mode, uint64_t ObfSeed,
                           size_t PrefixSteps, DivergenceKind &KindOut,
-                          std::string *DetailOut = nullptr);
+                          std::string *DetailOut = nullptr,
+                          VMEngine Engine = VMEngine::Precompiled,
+                          bool CrossVM = false);
 
   /// Minimizes a diverging (spec, mode, seed): greedy spec reduction,
   /// greedy function dropping, then pass bisection. Deterministic.
+  /// \p Engine / \p CrossVM must match the configuration that found the
+  /// divergence, or the shrinker probes a different predicate.
   static ShrinkResult shrink(const ProgramSpec &Spec, ObfuscationMode Mode,
-                             uint64_t ObfSeed, unsigned MaxProbes);
+                             uint64_t ObfSeed, unsigned MaxProbes,
+                             VMEngine Engine = VMEngine::Precompiled,
+                             bool CrossVM = false);
 
   /// Formats \p D as a self-contained repro file (header + MiniC source).
   static std::string formatRepro(const FuzzDivergence &D);
 
-  /// Replays a repro file: parses the header + source and re-probes.
+  /// Replays a repro file: parses the header + source and re-probes
+  /// under \p Engine (with \p CrossVM, on both engines). Repro files
+  /// record the engine that produced them, but replay deliberately takes
+  /// the engine from the caller — old repros are replayable against
+  /// either engine via khaos-fuzz --replay --vm=....
   /// Returns the observed kind (None = the bug no longer reproduces);
   /// on a malformed repro or failing baseline sets \p Error and returns
-  /// None with \p ParsedOut untouched.
+  /// None.
   static DivergenceKind replayRepro(const std::string &ReproText,
-                                    std::string &Error);
+                                    std::string &Error,
+                                    VMEngine Engine = VMEngine::Precompiled,
+                                    bool CrossVM = false);
 
 private:
   Config Cfg;

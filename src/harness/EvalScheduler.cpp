@@ -85,6 +85,7 @@ EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
   EvalPipeline::Config PC;
   PC.CacheEnabled = Cfg.CacheEnabled;
   PC.StoreMaxBytes = Cfg.StoreMaxBytes;
+  PC.Engine = Cfg.Engine;
   Pipe = std::make_shared<EvalPipeline>(PC);
 }
 

@@ -112,6 +112,10 @@ public:
     unsigned Shards = 1;      ///< Total shard count (cross-process split).
     unsigned ShardIdx = 0;    ///< This process's shard in [0, Shards).
     uint64_t StoreMaxBytes = 0; ///< ArtifactStore LRU cap (0 = unbounded).
+    /// VM engine for every execution this scheduler's pipeline performs
+    /// (--vm reference|precompiled). Both engines produce byte-identical
+    /// stdout, so shard merging is engine-agnostic.
+    VMEngine Engine = VMEngine::Precompiled;
   };
 
   explicit EvalScheduler(Config C);

@@ -8,6 +8,7 @@
 
 #include "diffing/Metrics.h"
 #include "frontend/IRGen.h"
+#include "vm/PrecompiledInterpreter.h"
 #include "ir/Verifier.h"
 #include "transform/Cloning.h"
 
@@ -82,18 +83,53 @@ EvalPipeline::baseline(const Workload &W, OptLevel Level) {
       });
 }
 
+std::shared_ptr<const EvalPipeline::PrecompiledArtifact>
+EvalPipeline::precompiledBaseline(const Workload &W) {
+  ArtifactKey K{W.Name, ObfuscationMode::None, 0,
+                ArtifactStage::PrecompiledModule,
+                static_cast<uint64_t>(OptLevel::O2), fingerprintSource(W)};
+  return Store.getOrCompute<PrecompiledArtifact>(
+      K, W.Source.size(),
+      [&]() -> std::shared_ptr<const PrecompiledArtifact> {
+        auto Out = std::make_shared<PrecompiledArtifact>();
+        Out->Base = baseline(W);
+        if (!*Out->Base)
+          return Out;
+        precompileModule(*Out->Base->M, Out->BM);
+        Out->Ok = true;
+        return Out;
+      });
+}
+
 std::shared_ptr<const EvalPipeline::BaselineRunArtifact>
 EvalPipeline::baselineRun(const Workload &W) {
+  // The engine is part of the key: both engines produce identical results
+  // on verified IR (the cross-VM oracle pins that), but an A/B pipeline
+  // must never let one engine's run satisfy the other's request.
   ArtifactKey K{W.Name, ObfuscationMode::None, 0, ArtifactStage::BaselineRun,
-                static_cast<uint64_t>(OptLevel::O2), fingerprintSource(W)};
+                static_cast<uint64_t>(OptLevel::O2) |
+                    (static_cast<uint64_t>(Cfg.Engine) << 8),
+                fingerprintSource(W)};
   return Store.getOrCompute<BaselineRunArtifact>(
       K, W.Source.size(),
       [&]() -> std::shared_ptr<const BaselineRunArtifact> {
         auto Out = std::make_shared<BaselineRunArtifact>();
-        std::shared_ptr<const CompiledWorkload> Base = baseline(W);
-        if (!*Base)
-          return Out;
-        Out->Run = runModule(*Base->M);
+        if (Cfg.Engine == VMEngine::Precompiled) {
+          // Run from the shared bytecode artifact: the decode cost is paid
+          // once per workload, not per execution.
+          std::shared_ptr<const PrecompiledArtifact> PB =
+              precompiledBaseline(W);
+          if (!PB->Ok)
+            return Out;
+          Out->Run = runPrecompiled(PB->BM);
+        } else {
+          std::shared_ptr<const CompiledWorkload> Base = baseline(W);
+          if (!*Base)
+            return Out;
+          ExecOptions EO;
+          EO.Engine = Cfg.Engine;
+          Out->Run = runModule(*Base->M, EO);
+        }
         Out->Ok = Out->Run.Ok && Out->Run.Cost != 0;
         return Out;
       });
@@ -267,7 +303,9 @@ bool EvalPipeline::overheadPercent(const Workload &W, ObfuscationMode Mode,
   CompiledWorkload Obf = obfuscate(W, Mode, nullptr, Seed);
   if (!Obf)
     return false;
-  ExecResult ObfRun = runModule(*Obf.M);
+  ExecOptions EO;
+  EO.Engine = Cfg.Engine;
+  ExecResult ObfRun = runModule(*Obf.M, EO);
   if (!ObfRun.Ok)
     return false;
   // Behavioural equality is part of the experiment's validity.

@@ -34,6 +34,7 @@
 #include "harness/ArtifactStore.h"
 #include "ir/Module.h"
 #include "obfuscation/KhaosDriver.h"
+#include "vm/Bytecode.h"
 #include "vm/Interpreter.h"
 #include "workloads/Suites.h"
 
@@ -85,11 +86,16 @@ public:
     /// --store-max-bytes): full-suite sharded runs bound their memory,
     /// evicted stages transparently recompute.
     uint64_t StoreMaxBytes = 0;
+    /// Which VM engine executes programs (--vm). Part of the BaselineRun
+    /// artifact key, so one pipeline can serve A/B comparisons.
+    VMEngine Engine = VMEngine::Precompiled;
   };
 
   explicit EvalPipeline(Config C)
-      : Store(ArtifactStore::Config{C.CacheEnabled, C.StoreMaxBytes}) {}
+      : Cfg(C), Store(ArtifactStore::Config{C.CacheEnabled, C.StoreMaxBytes}) {}
   EvalPipeline() : EvalPipeline(Config{}) {}
+
+  const Config &config() const { return Cfg; }
 
   //===--------------------------------------------------------------------===//
   // Cached stages. Artifacts are shared and immutable.
@@ -106,6 +112,18 @@ public:
     ExecResult Run;
   };
   std::shared_ptr<const BaselineRunArtifact> baselineRun(const Workload &W);
+
+  /// Stage PrecompiledModule: the O2 baseline lowered to bytecode. Decoding
+  /// happens once per workload; every precompiled-engine run (BaselineRun,
+  /// repeated bench iterations) then starts from the cached BytecodeModule.
+  /// The artifact pins the Baseline artifact it points into.
+  struct PrecompiledArtifact {
+    bool Ok = false;
+    std::shared_ptr<const CompiledWorkload> Base; ///< Keeps BM's module alive.
+    BytecodeModule BM;
+  };
+  std::shared_ptr<const PrecompiledArtifact>
+  precompiledBaseline(const Workload &W);
 
   /// Stage BaselineImage: the A-side binary + features at \p Level under
   /// \p CG codegen (fig9 diffs reference builds at O0..O3).
@@ -205,6 +223,7 @@ public:
   const ArtifactStore &store() const { return Store; }
 
 private:
+  Config Cfg;
   ArtifactStore Store;
 };
 

@@ -1,0 +1,207 @@
+//===- vm/Bytecode.h - KIR-to-bytecode precompiler --------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers each Function once into a dense instruction array the precompiled
+/// interpreter can execute without ever touching a Value*, use-list, or
+/// std::map:
+///
+///  - operands are resolved at decode time to virtual-register slot indices
+///    (arguments first, then every value-producing instruction in layout
+///    order) or constant-pool slots appended after the registers;
+///  - block targets become instruction indices;
+///  - direct callees become function indices; indirect callees resolve at
+///    run time with a range/alignment check against the function address
+///    space (VMFuncBase + i * VMFuncStride);
+///  - types are reduced to the TypeKind needed for memory access and
+///    integer narrowing.
+///
+/// The decoder optionally fuses superinstructions for the hot patterns the
+/// workloads execute (cmp+br, load+arith+store, direct call with <= 4
+/// args). Fused instructions charge their constituents' steps and costs one
+/// by one, so Steps/Cost — and the step at which a step-limit trap fires —
+/// are identical with fusion on or off, and identical to the reference
+/// interpreter.
+///
+/// Soundness note: slot-indexed reads assume every use is dominated by its
+/// def, which the Verifier enforces. On unverified IR the reference
+/// interpreter traps "use of undefined value" where the precompiled engine
+/// reads a zero-initialized slot; every module the pipeline runs is
+/// verified first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_VM_BYTECODE_H
+#define KHAOS_VM_BYTECODE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+class Function;
+class Module;
+class Type;
+
+/// Bytecode opcodes. Dispatch is direct-threaded (one jump-table entry per
+/// opcode), so keep this enum dense and in sync with the handler table in
+/// PrecompiledInterpreter.cpp.
+enum class BC : uint8_t {
+  // A = dest, Imm = 8-byte-aligned size.
+  AllocaOp,
+  // A = dest, B = pointer, Sub = TypeKind.
+  LoadOp,
+  // A = value, B = pointer, Sub = TypeKind of the stored value.
+  StoreOp,
+  // Integer binops: A = dest, B = lhs, C = rhs, Sub = result TypeKind
+  // (narrowing).
+  AddI,
+  SubI,
+  MulI,
+  DivI,
+  RemI,
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  AShrI,
+  LShrI,
+  // FP binops: A = dest, B = lhs, C = rhs, Sub = result TypeKind.
+  AddF,
+  SubF,
+  MulF,
+  DivF,
+  // A = dest, B = lhs, C = rhs, Sub = CmpPred.
+  CmpIOp,
+  CmpFOp,
+  // A = dest, B = src, Sub = CastKind, N = (src TypeKind << 8) | dst kind.
+  CastOp,
+  // A = dest, B = pointer, C = index, Imm = element size.
+  GEPOp,
+  // A = dest, B = cond, C = true value, Aux = false value.
+  SelectOp,
+  // A = dest (reads the frame's current exception).
+  LandingPadOp,
+  // A = target pc.
+  Jmp,
+  // A = cond, B = true pc, C = false pc.
+  BrCond,
+  // A = cond, B = default pc, N = case count, Aux = first case index.
+  SwitchOp,
+  RetVoid,
+  // A = value.
+  RetVal,
+  // A = payload.
+  ThrowOp,
+  UnreachableOp,
+  // Decode-time materialization of the reference interpreter's "fell off
+  // the end of block" trap (emitted where a block lacks a terminator).
+  // A = block index.
+  FellOff,
+  // Sub bit0 = invoke (then C = normal pc, Imm = unwind pc), bit1 =
+  // indirect (then B = callee slot; else B = callee function index).
+  // A = dest (BCNoReg = none), N = arg count, Aux = first BCArg index.
+  CallOp,
+  // Superinstructions --------------------------------------------------
+  // cmp fused with the conditional branch consuming it. Sub = CmpPred,
+  // A = lhs, B = rhs, C = true pc, Aux = false pc.
+  CmpBrI,
+  CmpBrF,
+  // load; int binop; store over consecutive single-use values. Sub =
+  // BinOp kind, A = load pointer, B = the other operand, C = store
+  // pointer, N = (load TypeKind << 8) | result TypeKind, Imm bit0 = the
+  // loaded value is the rhs.
+  LoadBinStoreI,
+  // Direct non-invoke call to a defined function with <= 4 args held
+  // inline: B = callee function index, A = dest (BCNoReg = none), N =
+  // argc, args in C, Aux, Imm low, Imm high.
+  CallDirect4,
+  NumOpcodes,
+};
+
+/// "No destination register" marker for call results.
+constexpr uint32_t BCNoReg = 0xFFFFFFFFu;
+
+/// One decoded instruction. 32 bytes; field meaning per opcode above.
+struct BCInst {
+  BC Op = BC::UnreachableOp;
+  uint8_t Sub = 0;
+  uint16_t N = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  uint32_t Aux = 0;
+  uint64_t Imm = 0;
+};
+
+/// Call argument: source slot plus the static type (intrinsics like printf
+/// need it to pick int vs FP formatting).
+struct BCArg {
+  uint32_t Slot = 0;
+  const Type *Ty = nullptr;
+};
+
+/// One switch case (value -> target pc after fixup).
+struct BCCase {
+  int64_t Val = 0;
+  uint32_t Target = 0;
+};
+
+/// How a call into a function behaves; mirrors the reference interpreter's
+/// dispatch order (setjmp/longjmp by name first, then intrinsic or
+/// declaration, then a normal KIR body).
+enum class BCCallKind : uint8_t { Normal, Intrinsic, Setjmp, Longjmp };
+
+/// One lowered function.
+struct BCFunction {
+  const Function *F = nullptr;
+  BCCallKind Kind = BCCallKind::Normal;
+  uint32_t NumArgs = 0;
+  /// Register slots: arguments first, then instruction results.
+  uint32_t NumRegs = 0;
+  /// NumRegs register slots + the constant pool (copied in at entry).
+  uint32_t FrameSlots = 0;
+  std::vector<BCInst> Code;
+  /// Deduplicated 64-bit constant bit patterns; constant k lives in frame
+  /// slot NumRegs + k.
+  std::vector<int64_t> ConstPool;
+  std::vector<BCArg> ArgPool;
+  std::vector<BCCase> Cases;
+  /// First pc of each block (ascending) and its name, for trap attribution.
+  std::vector<uint32_t> BlockStartPc;
+  std::vector<std::string> BlockNames;
+};
+
+/// Decoder knobs. Superinstructions default on; the A/B step-parity tests
+/// turn them off to pin that fusion never changes Steps.
+struct PrecompileOptions {
+  bool Superinstructions = true;
+};
+
+/// A whole module lowered for execution. Holds pointers into \p M (types,
+/// functions); the Module must outlive it.
+struct BytecodeModule {
+  const Module *M = nullptr;
+  std::vector<BCFunction> Funcs;
+  uint32_t MainIndex = BCNoReg; ///< Index of a defined main(), or BCNoReg.
+  uint64_t CodeBytes = 0;       ///< Decoded footprint, for cache accounting.
+
+  /// Resolves a runtime address to a function index; false for anything
+  /// outside the function address space or with tag bits set.
+  bool funcForAddr(uint64_t Addr, uint32_t &Idx) const;
+};
+
+/// Lowers every function of \p M. Total: decode itself cannot fail (the
+/// reference interpreter's dynamic traps are materialized as trap
+/// instructions).
+void precompileModule(const Module &M, BytecodeModule &Out,
+                      const PrecompileOptions &PO = {});
+
+} // namespace khaos
+
+#endif // KHAOS_VM_BYTECODE_H

@@ -1,6 +1,14 @@
-//===- vm/Interpreter.cpp - KIR interpreter -------------------------------------===//
+//===- vm/Interpreter.cpp - Reference KIR interpreter ---------------------===//
 //
 // Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reference execution engine: a direct walk over the IR, one std::map
+// register file per frame. It is deliberately simple — it is the semantic
+// oracle the precompiled engine (PrecompiledInterpreter.cpp) is checked
+// against, so clarity beats speed here. All machine state and intrinsic
+// behavior live in VMRuntime, shared with the other engine.
 //
 //===----------------------------------------------------------------------===//
 
@@ -8,6 +16,9 @@
 
 #include "ir/Module.h"
 #include "support/StringUtils.h"
+#include "vm/Bytecode.h"
+#include "vm/PrecompiledInterpreter.h"
+#include "vm/VMRuntime.h"
 
 #include <cassert>
 #include <cstring>
@@ -18,79 +29,13 @@ using namespace khaos;
 
 namespace {
 
-/// One 64-bit machine slot; typed access is chosen by the IR type.
-union Slot {
-  int64_t I;
-  double F;
-};
-
-/// How a nested execution finished.
-enum class FlowKind : uint8_t { Normal, Return, Exception, LongJmp, Trap };
-
-struct Flow {
-  FlowKind Kind = FlowKind::Normal;
-  Slot RetVal{0};
-  int64_t ExcPayload = 0;
-  uint64_t JmpToken = 0;
-  int64_t JmpValue = 0;
-};
-
-/// Address-space layout.
-constexpr uint64_t GlobalBase = 0x1000;
-constexpr uint64_t FuncBase = 0x70000000;
-constexpr uint64_t FuncStride = 16;
-
-class VM {
+class ReferenceVM final : public VMRuntime {
 public:
-  VM(const Module &M, const ExecOptions &Opts) : M(M), Opts(Opts) {}
+  ReferenceVM(const Module &M, const ExecOptions &Opts) : VMRuntime(M, Opts) {}
 
   ExecResult run();
 
 private:
-  // -- Memory ------------------------------------------------------------
-  bool validRange(uint64_t Addr, uint64_t Size) const {
-    return Addr >= GlobalBase && Addr + Size <= Mem.size();
-  }
-  bool loadBytes(uint64_t Addr, void *Out, uint64_t Size) {
-    if (!validRange(Addr, Size))
-      return trap(formatStr("invalid load of %llu bytes at 0x%llx",
-                            (unsigned long long)Size,
-                            (unsigned long long)Addr));
-    std::memcpy(Out, Mem.data() + Addr, Size);
-    return true;
-  }
-  bool storeBytes(uint64_t Addr, const void *In, uint64_t Size) {
-    if (!validRange(Addr, Size))
-      return trap(formatStr("invalid store of %llu bytes at 0x%llx",
-                            (unsigned long long)Size,
-                            (unsigned long long)Addr));
-    std::memcpy(Mem.data() + Addr, In, Size);
-    return true;
-  }
-  bool loadTyped(uint64_t Addr, const Type *Ty, Slot &Out);
-  bool storeTyped(uint64_t Addr, const Type *Ty, Slot V);
-
-  bool trap(const std::string &Msg) {
-    if (!Trapped) {
-      Trapped = true;
-      TrapMessage = Msg;
-      // Stamp the faulting location so divergence repros are actionable:
-      // traps outside function execution (global layout) carry none.
-      if (CurFunc) {
-        TrapFunction = CurFunc->getName();
-        if (CurBlock)
-          TrapBlock = CurBlock->getName();
-        TrapMessage += " (in " + TrapFunction + ":" +
-                       (TrapBlock.empty() ? "?" : TrapBlock) + ")";
-      }
-    }
-    return false;
-  }
-
-  // -- Setup ---------------------------------------------------------------
-  bool layoutGlobals();
-  int64_t constantValue(const Constant *C);
-
   // -- Execution -----------------------------------------------------------
   struct Frame {
     std::map<const Value *, Slot> Regs;
@@ -102,198 +47,28 @@ private:
   Flow execFunction(const Function *F, const std::vector<Slot> &Args);
   bool evalOperand(Frame &FR, const Value *V, Slot &Out);
   Flow callTarget(const Function *Callee, const std::vector<Slot> &Args,
-                  const std::vector<const Type *> &ArgTys,
-                  Frame &CallerFrame);
-  Flow runIntrinsic(const Function *F, const std::vector<Slot> &Args,
-                    const std::vector<const Type *> &ArgTys,
-                    Frame &CallerFrame);
-  std::string readCString(uint64_t Addr);
-  bool formatPrintf(const std::string &Fmt, const std::vector<Slot> &Args,
-                    const std::vector<const Type *> &ArgTys,
-                    std::string &Out);
+                  const std::vector<const Type *> &ArgTys);
 
-  bool charge(uint64_t C) {
-    Cost += C;
-    ++Steps;
-    if (Steps > Opts.MaxSteps)
-      return trap("step limit exceeded");
-    return true;
+  void currentLocation(std::string &Fn, std::string &Blk) const override {
+    if (!CurFunc)
+      return;
+    Fn = CurFunc->getName();
+    if (CurBlock)
+      Blk = CurBlock->getName();
   }
 
-  const Module &M;
-  const ExecOptions &Opts;
-  std::vector<uint8_t> Mem;
-  uint64_t StackPtr = 0;
-  uint64_t HeapPtr = 0;
-  uint64_t HeapEnd = 0;
-
-  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
-  std::map<const Function *, uint64_t> FuncAddrs;
-  std::map<uint64_t, const Function *> AddrFuncs;
-
-  std::string StdoutBuf;
-  uint64_t Steps = 0;
-  uint64_t Cost = 0;
-  unsigned CallDepth = 0;
-  uint64_t NextJmpToken = 1;
-  bool Trapped = false;
-  std::string TrapMessage;
   /// Execution cursor for trap attribution (updated by execFunction).
   const Function *CurFunc = nullptr;
   const BasicBlock *CurBlock = nullptr;
-  std::string TrapFunction;
-  std::string TrapBlock;
 };
 
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// Memory access
-//===----------------------------------------------------------------------===//
-
-bool VM::loadTyped(uint64_t Addr, const Type *Ty, Slot &Out) {
-  Out.I = 0;
-  switch (Ty->getKind()) {
-  case TypeKind::Int1:
-  case TypeKind::Int8: {
-    int8_t V = 0;
-    if (!loadBytes(Addr, &V, 1))
-      return false;
-    Out.I = V;
-    return true;
-  }
-  case TypeKind::Int32: {
-    int32_t V = 0;
-    if (!loadBytes(Addr, &V, 4))
-      return false;
-    Out.I = V;
-    return true;
-  }
-  case TypeKind::Int64:
-  case TypeKind::Pointer: {
-    int64_t V = 0;
-    if (!loadBytes(Addr, &V, 8))
-      return false;
-    Out.I = V;
-    return true;
-  }
-  case TypeKind::Float: {
-    float V = 0;
-    if (!loadBytes(Addr, &V, 4))
-      return false;
-    Out.F = V;
-    return true;
-  }
-  case TypeKind::Double: {
-    double V = 0;
-    if (!loadBytes(Addr, &V, 8))
-      return false;
-    Out.F = V;
-    return true;
-  }
-  default:
-    return trap("load of unsupported type");
-  }
-}
-
-bool VM::storeTyped(uint64_t Addr, const Type *Ty, Slot V) {
-  switch (Ty->getKind()) {
-  case TypeKind::Int1:
-  case TypeKind::Int8: {
-    int8_t B = static_cast<int8_t>(V.I);
-    return storeBytes(Addr, &B, 1);
-  }
-  case TypeKind::Int32: {
-    int32_t W = static_cast<int32_t>(V.I);
-    return storeBytes(Addr, &W, 4);
-  }
-  case TypeKind::Int64:
-  case TypeKind::Pointer:
-    return storeBytes(Addr, &V.I, 8);
-  case TypeKind::Float: {
-    float F = static_cast<float>(V.F);
-    return storeBytes(Addr, &F, 4);
-  }
-  case TypeKind::Double:
-    return storeBytes(Addr, &V.F, 8);
-  default:
-    return trap("store of unsupported type");
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Setup
-//===----------------------------------------------------------------------===//
-
-int64_t VM::constantValue(const Constant *C) {
-  if (const auto *CI = dyn_cast<ConstantInt>(C))
-    return CI->getValue();
-  if (isa<ConstantNull>(C))
-    return 0;
-  if (const auto *TF = dyn_cast<ConstantTaggedFunc>(C))
-    return static_cast<int64_t>(FuncAddrs[TF->getFunction()] |
-                                TF->getTag());
-  return 0; // FP handled by caller.
-}
-
-bool VM::layoutGlobals() {
-  Mem.assign(Opts.MemoryBytes, 0);
-
-  // Function address space first (tagged constants in initializers need
-  // addresses).
-  uint64_t NextFunc = FuncBase;
-  for (const auto &F : M.functions()) {
-    FuncAddrs[F.get()] = NextFunc;
-    AddrFuncs[NextFunc] = F.get();
-    NextFunc += FuncStride;
-  }
-
-  uint64_t Next = GlobalBase;
-  for (const auto &G : M.globals()) {
-    Type *VT = G->getValueType();
-    uint64_t Size = VT->getStoreSize();
-    // 8-byte align every global.
-    Next = (Next + 7) & ~7ull;
-    GlobalAddrs[G.get()] = Next;
-    if (Next + Size > Mem.size() / 4)
-      return trap("global segment overflow");
-
-    // Write the initializer.
-    const std::vector<Constant *> &Init = G->getInitializer();
-    if (!Init.empty()) {
-      Type *ElemTy = VT;
-      uint64_t Stride = VT->getStoreSize();
-      if (auto *AT = dyn_cast<ArrayType>(VT)) {
-        ElemTy = AT->getElementType();
-        Stride = ElemTy->getStoreSize();
-      }
-      uint64_t Addr = Next;
-      for (const Constant *C : Init) {
-        Slot V;
-        if (const auto *CF = dyn_cast<ConstantFP>(C))
-          V.F = CF->getValue();
-        else
-          V.I = constantValue(C);
-        if (!storeTyped(Addr, ElemTy, V))
-          return false;
-        Addr += Stride;
-      }
-    }
-    Next += Size;
-  }
-
-  // Stack after globals, heap in the upper half.
-  StackPtr = (Next + 63) & ~63ull;
-  HeapPtr = Mem.size() / 2;
-  HeapEnd = Mem.size();
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
 // Operand evaluation
 //===----------------------------------------------------------------------===//
 
-bool VM::evalOperand(Frame &FR, const Value *V, Slot &Out) {
+bool ReferenceVM::evalOperand(Frame &FR, const Value *V, Slot &Out) {
   switch (V->getValueKind()) {
   case ValueKind::ConstantInt:
     Out.I = cast<ConstantInt>(V)->getValue();
@@ -329,203 +104,22 @@ bool VM::evalOperand(Frame &FR, const Value *V, Slot &Out) {
 }
 
 //===----------------------------------------------------------------------===//
-// Intrinsics
-//===----------------------------------------------------------------------===//
-
-std::string VM::readCString(uint64_t Addr) {
-  std::string Out;
-  while (validRange(Addr, 1)) {
-    char C = static_cast<char>(Mem[Addr]);
-    if (!C)
-      return Out;
-    Out += C;
-    ++Addr;
-    if (Out.size() > 1u << 16)
-      break;
-  }
-  trap("unterminated or invalid C string");
-  return Out;
-}
-
-bool VM::formatPrintf(const std::string &Fmt, const std::vector<Slot> &Args,
-                      const std::vector<const Type *> &ArgTys,
-                      std::string &Out) {
-  size_t ArgIdx = 0;
-  for (size_t I = 0; I < Fmt.size(); ++I) {
-    char C = Fmt[I];
-    if (C != '%') {
-      Out += C;
-      continue;
-    }
-    ++I;
-    if (I >= Fmt.size())
-      break;
-    // Skip width/precision digits and 'l' length modifiers.
-    std::string Spec;
-    while (I < Fmt.size() && (std::isdigit((unsigned char)Fmt[I]) ||
-                              Fmt[I] == '.' || Fmt[I] == '-'))
-      Spec += Fmt[I++];
-    bool LongMod = false;
-    while (I < Fmt.size() && Fmt[I] == 'l') {
-      LongMod = true;
-      ++I;
-    }
-    if (I >= Fmt.size())
-      break;
-    char Conv = Fmt[I];
-    if (Conv == '%') {
-      Out += '%';
-      continue;
-    }
-    if (ArgIdx >= Args.size())
-      return trap("printf: too few arguments");
-    Slot A = Args[ArgIdx];
-    const Type *ATy =
-        ArgIdx < ArgTys.size() ? ArgTys[ArgIdx] : nullptr;
-    ++ArgIdx;
-    switch (Conv) {
-    case 'd':
-    case 'i':
-      if (LongMod)
-        Out += formatStr(("%" + Spec + "lld").c_str(), (long long)A.I);
-      else
-        Out += formatStr(("%" + Spec + "d").c_str(), (int)A.I);
-      break;
-    case 'u':
-      Out += formatStr(("%" + Spec + "llu").c_str(),
-                       (unsigned long long)A.I);
-      break;
-    case 'x':
-      Out += formatStr(("%" + Spec + "llx").c_str(),
-                       (unsigned long long)A.I);
-      break;
-    case 'c':
-      Out += static_cast<char>(A.I);
-      break;
-    case 'f':
-    case 'g':
-    case 'e': {
-      double D = (ATy && ATy->isFloatingPoint()) ? A.F : (double)A.I;
-      std::string F(1, Conv);
-      Out += formatStr(("%" + Spec + F).c_str(), D);
-      break;
-    }
-    case 's':
-      Out += readCString(static_cast<uint64_t>(A.I));
-      if (Trapped)
-        return false;
-      break;
-    case 'p':
-      Out += formatStr("0x%llx", (unsigned long long)A.I);
-      break;
-    default:
-      return trap(formatStr("printf: unsupported conversion '%%%c'", Conv));
-    }
-  }
-  return true;
-}
-
-Flow VM::runIntrinsic(const Function *F, const std::vector<Slot> &Args,
-                      const std::vector<const Type *> &ArgTys,
-                      Frame &CallerFrame) {
-  (void)CallerFrame;
-  Flow R;
-  R.Kind = FlowKind::Return;
-  const std::string &Name = F->getName();
-
-  if (Name == "printf") {
-    Cost += 20 + 2 * Args.size();
-    std::string Fmt = readCString(static_cast<uint64_t>(Args[0].I));
-    if (Trapped) {
-      R.Kind = FlowKind::Trap;
-      return R;
-    }
-    std::vector<Slot> Rest(Args.begin() + 1, Args.end());
-    std::vector<const Type *> RestTys(
-        ArgTys.size() > 1 ? std::vector<const Type *>(ArgTys.begin() + 1,
-                                                      ArgTys.end())
-                          : std::vector<const Type *>());
-    std::string Out;
-    if (!formatPrintf(Fmt, Rest, RestTys, Out)) {
-      R.Kind = FlowKind::Trap;
-      return R;
-    }
-    StdoutBuf += Out;
-    R.RetVal.I = static_cast<int64_t>(Out.size());
-    return R;
-  }
-  if (Name == "putchar") {
-    Cost += 3;
-    StdoutBuf += static_cast<char>(Args[0].I);
-    R.RetVal.I = Args[0].I;
-    return R;
-  }
-  if (Name == "puts") {
-    Cost += 10;
-    StdoutBuf += readCString(static_cast<uint64_t>(Args[0].I));
-    StdoutBuf += '\n';
-    R.RetVal.I = 0;
-    if (Trapped)
-      R.Kind = FlowKind::Trap;
-    return R;
-  }
-  if (Name == "strlen") {
-    std::string S = readCString(static_cast<uint64_t>(Args[0].I));
-    Cost += 2 + S.size() / 4;
-    R.RetVal.I = static_cast<int64_t>(S.size());
-    if (Trapped)
-      R.Kind = FlowKind::Trap;
-    return R;
-  }
-  if (Name == "malloc") {
-    Cost += 10;
-    uint64_t Size = (static_cast<uint64_t>(Args[0].I) + 15) & ~15ull;
-    if (HeapPtr + Size > HeapEnd) {
-      trap("out of heap memory");
-      R.Kind = FlowKind::Trap;
-      return R;
-    }
-    R.RetVal.I = static_cast<int64_t>(HeapPtr);
-    HeapPtr += Size;
-    return R;
-  }
-  if (Name == "free") {
-    Cost += 2; // Bump allocator: no-op.
-    return R;
-  }
-  if (Name == "abs") {
-    Cost += 2;
-    int32_t V = static_cast<int32_t>(Args[0].I);
-    R.RetVal.I = V < 0 ? -V : V;
-    return R;
-  }
-  if (Name == "__khaos_throw") {
-    Cost += Opts.Costs.Throw;
-    R.Kind = FlowKind::Exception;
-    R.ExcPayload = Args[0].I;
-    return R;
-  }
-  trap("unknown intrinsic '" + Name + "'");
-  R.Kind = FlowKind::Trap;
-  return R;
-}
-
-//===----------------------------------------------------------------------===//
 // Function execution
 //===----------------------------------------------------------------------===//
 
-Flow VM::callTarget(const Function *Callee, const std::vector<Slot> &Args,
-                    const std::vector<const Type *> &ArgTys,
-                    Frame &CallerFrame) {
+VMRuntime::Flow ReferenceVM::callTarget(const Function *Callee,
+                                        const std::vector<Slot> &Args,
+                                        const std::vector<const Type *> &ArgTys) {
   if (Callee->isIntrinsic() || Callee->isDeclaration()) {
     // setjmp/longjmp are handled by the caller's instruction loop (they
     // need frame context); everything else is a plain intrinsic.
-    return runIntrinsic(Callee, Args, ArgTys, CallerFrame);
+    return runIntrinsic(Callee, Args, ArgTys);
   }
   return execFunction(Callee, Args);
 }
 
-Flow VM::execFunction(const Function *F, const std::vector<Slot> &Args) {
+VMRuntime::Flow ReferenceVM::execFunction(const Function *F,
+                                          const std::vector<Slot> &Args) {
   Flow Bad;
   Bad.Kind = FlowKind::Trap;
   if (++CallDepth > Opts.MaxCallDepth) {
@@ -910,7 +504,7 @@ Flow VM::execFunction(const Function *F, const std::vector<Slot> &Args) {
         Sub.JmpToken = static_cast<uint64_t>(TokenSlot.I);
         Sub.JmpValue = CallArgs[1].I ? CallArgs[1].I : 1;
       } else {
-        Sub = callTarget(Callee, CallArgs, CallArgTys, FR);
+        Sub = callTarget(Callee, CallArgs, CallArgTys);
       }
 
       switch (Sub.Kind) {
@@ -1013,7 +607,7 @@ Flow VM::execFunction(const Function *F, const std::vector<Slot> &Args) {
   }
 }
 
-ExecResult VM::run() {
+ExecResult ReferenceVM::run() {
   ExecResult Res;
   if (!layoutGlobals()) {
     Res.Error = TrapMessage;
@@ -1024,31 +618,40 @@ ExecResult VM::run() {
     Res.Error = "no main() in module";
     return Res;
   }
-  Flow R = execFunction(Main, {});
-  Res.Steps = Steps;
-  Res.Cost = Cost;
-  Res.Stdout = std::move(StdoutBuf);
-  switch (R.Kind) {
-  case FlowKind::Return:
-    Res.Ok = true;
-    Res.ExitValue = R.RetVal.I;
-    break;
-  case FlowKind::Exception:
-    Res.Error = formatStr("uncaught exception (payload %lld)",
-                          (long long)R.ExcPayload);
-    break;
-  case FlowKind::LongJmp:
-    Res.Error = "longjmp without matching setjmp";
-    break;
-  default:
-    Res.Error = TrapMessage.empty() ? "abnormal termination" : TrapMessage;
-    Res.FaultFunction = TrapFunction;
-    Res.FaultBlock = TrapBlock;
-    break;
+  return finishRun(execFunction(Main, {}));
+}
+
+//===----------------------------------------------------------------------===//
+// Engine seam
+//===----------------------------------------------------------------------===//
+
+const char *khaos::vmEngineName(VMEngine E) {
+  switch (E) {
+  case VMEngine::Reference:
+    return "reference";
+  case VMEngine::Precompiled:
+    return "precompiled";
   }
-  return Res;
+  return "unknown";
+}
+
+bool khaos::parseVMEngineName(const std::string &Name, VMEngine &Out) {
+  if (Name == "reference") {
+    Out = VMEngine::Reference;
+    return true;
+  }
+  if (Name == "precompiled") {
+    Out = VMEngine::Precompiled;
+    return true;
+  }
+  return false;
 }
 
 ExecResult khaos::runModule(const Module &M, const ExecOptions &Opts) {
-  return VM(M, Opts).run();
+  if (Opts.Engine == VMEngine::Precompiled) {
+    BytecodeModule BM;
+    precompileModule(M, BM);
+    return runPrecompiled(BM, Opts);
+  }
+  return ReferenceVM(M, Opts).run();
 }

@@ -30,12 +30,28 @@ namespace khaos {
 
 class Module;
 
+/// Which execution engine runs the program. Both engines produce identical
+/// ExecResults (ExitValue, Stdout, Steps, Cost, trap message and fault
+/// context) for any verified module; the precompiled engine is the fast
+/// default, the reference engine is the semantic oracle the cross-VM checks
+/// compare against.
+enum class VMEngine : uint8_t {
+  Reference,   ///< Direct IR walker (Interpreter.cpp).
+  Precompiled, ///< Bytecode + direct-threaded dispatch (Bytecode.h).
+};
+
+/// "reference" / "precompiled".
+const char *vmEngineName(VMEngine E);
+/// Parses a --vm flag value; false if \p Name is not an engine name.
+bool parseVMEngineName(const std::string &Name, VMEngine &Out);
+
 /// Interpreter knobs.
 struct ExecOptions {
   uint64_t MaxSteps = 200'000'000; ///< Abort runaway programs.
   uint64_t MemoryBytes = 16u << 20;
   unsigned MaxCallDepth = 4000;
   CostModel Costs;
+  VMEngine Engine = VMEngine::Precompiled;
 };
 
 /// Result of one program execution.
@@ -54,7 +70,10 @@ struct ExecResult {
   uint64_t Cost = 0;     ///< Dynamic cost under the cost model.
 };
 
-/// Executes @main() of \p M (which must take no parameters).
+/// Executes @main() of \p M (which must take no parameters) under
+/// Opts.Engine. With VMEngine::Precompiled the module is lowered to
+/// bytecode first (use precompileModule + runPrecompiled from Bytecode.h /
+/// PrecompiledInterpreter.h to amortize that over repeated runs).
 ExecResult runModule(const Module &M, const ExecOptions &Opts = {});
 
 } // namespace khaos

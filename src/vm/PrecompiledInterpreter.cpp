@@ -1,0 +1,784 @@
+//===- vm/PrecompiledInterpreter.cpp - Direct-threaded engine ---------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dispatch strategy: on GCC/Clang each opcode handler is a label and
+// dispatch is one indirect `goto *table[op]` (direct threading — the
+// branch predictor sees one indirect jump per handler instead of a single
+// shared switch branch). Defining KHAOS_VM_PORTABLE_DISPATCH selects a
+// plain switch loop with identical handler bodies (the OP/NEXT/JUMP macros
+// expand differently, the code between them is shared).
+//
+// Parity discipline: every handler charges exactly the steps/costs the
+// reference interpreter charges, in the same order relative to its memory
+// effects and trap checks. Superinstructions charge per constituent
+// (charge, effect, charge, effect, ...), so a step-limit trap fires at the
+// same Steps value with the same partial state under both engines and with
+// fusion on or off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/PrecompiledInterpreter.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+#include "vm/VMRuntime.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace khaos;
+
+#if defined(__GNUC__) && !defined(KHAOS_VM_PORTABLE_DISPATCH)
+#define KHAOS_DIRECT_THREADED 1
+#else
+#define KHAOS_DIRECT_THREADED 0
+#endif
+
+namespace {
+
+inline int64_t narrowInt(int64_t V, TypeKind K) {
+  switch (K) {
+  case TypeKind::Int1:
+    return V & 1;
+  case TypeKind::Int8:
+    return static_cast<int8_t>(V);
+  case TypeKind::Int32:
+    return static_cast<int32_t>(V);
+  default:
+    return V;
+  }
+}
+
+inline bool cmpInt(CmpPred P, int64_t L, int64_t R) {
+  switch (P) {
+  case CmpPred::EQ:
+    return L == R;
+  case CmpPred::NE:
+    return L != R;
+  case CmpPred::SLT:
+    return L < R;
+  case CmpPred::SLE:
+    return L <= R;
+  case CmpPred::SGT:
+    return L > R;
+  case CmpPred::SGE:
+    return L >= R;
+  }
+  return false;
+}
+
+inline bool cmpFP(CmpPred P, double L, double R) {
+  switch (P) {
+  case CmpPred::EQ:
+    return L == R;
+  case CmpPred::NE:
+    return L != R;
+  case CmpPred::SLT:
+    return L < R;
+  case CmpPred::SLE:
+    return L <= R;
+  case CmpPred::SGT:
+    return L > R;
+  case CmpPred::SGE:
+    return L >= R;
+  }
+  return false;
+}
+
+/// Name of the block containing \p PC (BlockStartPc is ascending).
+const std::string &blockNameAt(const BCFunction &BF, uint32_t PC) {
+  auto It = std::upper_bound(BF.BlockStartPc.begin(), BF.BlockStartPc.end(),
+                             PC);
+  size_t Idx = static_cast<size_t>(It - BF.BlockStartPc.begin()) - 1;
+  return BF.BlockNames[Idx];
+}
+
+class PrecompiledVM final : public VMRuntime {
+public:
+  PrecompiledVM(const BytecodeModule &BM, const ExecOptions &Opts)
+      : VMRuntime(*BM.M, Opts), BM(BM) {}
+
+  ExecResult run();
+
+private:
+  Flow execFunction(uint32_t FnIdx, const Slot *Args, uint32_t NArgs);
+
+  void currentLocation(std::string &Fn, std::string &Blk) const override {
+    if (!CurBF)
+      return;
+    Fn = CurBF->F->getName();
+    if (!CurBF->BlockStartPc.empty())
+      Blk = blockNameAt(*CurBF, CurPC);
+  }
+
+  const BytecodeModule &BM;
+  /// One arena for all frames' register slots; frames are [Base, RegTop).
+  std::vector<Slot> RegStack;
+  size_t RegTop = 0;
+  /// Execution cursor for trap attribution.
+  const BCFunction *CurBF = nullptr;
+  uint32_t CurPC = 0;
+};
+
+#if KHAOS_DIRECT_THREADED
+#define OP(Name) L_##Name:
+#define DISPATCH()                                                             \
+  do {                                                                         \
+    In = &Code[PC];                                                            \
+    CurPC = PC;                                                                \
+    goto *JumpTable[static_cast<unsigned>(In->Op)];                            \
+  } while (0)
+#define NEXT()                                                                 \
+  do {                                                                         \
+    ++PC;                                                                      \
+    DISPATCH();                                                                \
+  } while (0)
+#define JUMP(Target)                                                           \
+  do {                                                                         \
+    PC = (Target);                                                             \
+    DISPATCH();                                                                \
+  } while (0)
+#else
+#define OP(Name) case BC::Name:
+#define NEXT()                                                                 \
+  do {                                                                         \
+    ++PC;                                                                      \
+    goto dispatch_loop;                                                        \
+  } while (0)
+#define JUMP(Target)                                                           \
+  do {                                                                         \
+    PC = (Target);                                                             \
+    goto dispatch_loop;                                                        \
+  } while (0)
+#endif
+
+#define CHARGE(Amount)                                                         \
+  do {                                                                         \
+    if (!charge(Amount))                                                       \
+      return Leave(Bad);                                                       \
+  } while (0)
+
+VMRuntime::Flow PrecompiledVM::execFunction(uint32_t FnIdx, const Slot *Args,
+                                            uint32_t NArgs) {
+  Flow Bad;
+  Bad.Kind = FlowKind::Trap;
+  if (++CallDepth > Opts.MaxCallDepth) {
+    trap("call depth limit exceeded");
+    --CallDepth;
+    return Bad;
+  }
+
+  const BCFunction &BF = BM.Funcs[FnIdx];
+  const size_t Base = RegTop;
+  if (RegStack.size() < Base + BF.FrameSlots)
+    RegStack.resize(std::max(RegStack.size() * 2,
+                             Base + BF.FrameSlots + 64));
+  RegTop = Base + BF.FrameSlots;
+  Slot *R = RegStack.data() + Base;
+  // Zero registers for determinism (the reference interpreter instead traps
+  // on reads of never-written registers, which the Verifier rules out).
+  std::memset(static_cast<void *>(R), 0, BF.NumRegs * sizeof(Slot));
+  if (NArgs) {
+    uint32_t Copy = NArgs < BF.NumArgs ? NArgs : BF.NumArgs;
+    std::memcpy(static_cast<void *>(R), Args, Copy * sizeof(Slot));
+  }
+  if (!BF.ConstPool.empty())
+    std::memcpy(static_cast<void *>(R + BF.NumRegs), BF.ConstPool.data(),
+                BF.ConstPool.size() * sizeof(Slot));
+
+  const uint64_t StackMark = StackPtr;
+  const BCFunction *PrevBF = CurBF;
+  const uint32_t PrevPC = CurPC;
+  CurBF = &BF;
+
+  int64_t CurrentException = 0;
+  /// Active setjmp records: token -> pc of the setjmp call.
+  std::vector<std::pair<uint64_t, uint32_t>> JumpRecs;
+
+  auto Leave = [&](Flow Rv) {
+    StackPtr = StackMark;
+    --CallDepth;
+    CurBF = PrevBF;
+    CurPC = PrevPC;
+    RegTop = Base;
+    return Rv;
+  };
+
+  const BCInst *Code = BF.Code.data();
+  const BCInst *In = Code;
+  uint32_t PC = 0;
+
+  Flow LeaveFlow;
+  /// Shared disposition of a finished call: 0 = continue at NextPC,
+  /// 1 = unwind this frame with LeaveFlow.
+  auto HandleCallFlow = [&](const Flow &Sub, const BCInst &CallIn,
+                            uint32_t &NextPC) -> int {
+    switch (Sub.Kind) {
+    case FlowKind::Trap:
+      LeaveFlow = Bad;
+      return 1;
+    case FlowKind::Return:
+    case FlowKind::Normal:
+      if (CallIn.A != BCNoReg)
+        R[CallIn.A] = Sub.RetVal;
+      NextPC = (CallIn.Sub & 1) ? CallIn.C : CurPC + 1;
+      return 0;
+    case FlowKind::Exception:
+      if (CallIn.Sub & 1) {
+        CurrentException = Sub.ExcPayload;
+        NextPC = static_cast<uint32_t>(CallIn.Imm);
+        return 0;
+      }
+      LeaveFlow = Sub; // Propagate through plain calls.
+      return 1;
+    case FlowKind::LongJmp:
+      for (const auto &Rec : JumpRecs) {
+        if (Rec.first != Sub.JmpToken)
+          continue;
+        const uint32_t SJPc = Rec.second;
+        const BCInst &SJ = Code[SJPc];
+        if (SJ.Sub & 1) {
+          // setjmp via invoke: the reference interpreter resumes past the
+          // terminator and falls off the block.
+          CurPC = SJPc;
+          trap("fell off the end of block '" + blockNameAt(BF, SJPc) + "'");
+          LeaveFlow = Bad;
+          return 1;
+        }
+        // Resume right after the setjmp call with the longjmp value.
+        if (SJ.A != BCNoReg)
+          R[SJ.A].I = Sub.JmpValue;
+        NextPC = SJPc + 1;
+        return 0;
+      }
+      LeaveFlow = Sub; // Propagate to the setjmp frame.
+      return 1;
+    }
+    LeaveFlow = Bad;
+    return 1;
+  };
+
+#if KHAOS_DIRECT_THREADED
+  // One entry per BC opcode, in declaration order.
+  static const void *const JumpTable[] = {
+      &&L_AllocaOp,   &&L_LoadOp,     &&L_StoreOp,       &&L_AddI,
+      &&L_SubI,       &&L_MulI,       &&L_DivI,          &&L_RemI,
+      &&L_AndI,       &&L_OrI,        &&L_XorI,          &&L_ShlI,
+      &&L_AShrI,      &&L_LShrI,      &&L_AddF,          &&L_SubF,
+      &&L_MulF,       &&L_DivF,       &&L_CmpIOp,        &&L_CmpFOp,
+      &&L_CastOp,     &&L_GEPOp,      &&L_SelectOp,      &&L_LandingPadOp,
+      &&L_Jmp,        &&L_BrCond,     &&L_SwitchOp,      &&L_RetVoid,
+      &&L_RetVal,     &&L_ThrowOp,    &&L_UnreachableOp, &&L_FellOff,
+      &&L_CallOp,     &&L_CmpBrI,     &&L_CmpBrF,        &&L_LoadBinStoreI,
+      &&L_CallDirect4,
+  };
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) ==
+                    static_cast<size_t>(BC::NumOpcodes),
+                "jump table out of sync with BC");
+  DISPATCH();
+#else
+dispatch_loop:
+  In = &Code[PC];
+  CurPC = PC;
+  switch (In->Op) {
+#endif
+
+  OP(AllocaOp) {
+    CHARGE(Opts.Costs.Alloca);
+    const uint64_t Size = In->Imm;
+    if (StackPtr + Size > HeapPtr / 2 + Mem.size() / 4) {
+      trap("stack overflow");
+      return Leave(Bad);
+    }
+    R[In->A].I = static_cast<int64_t>(StackPtr);
+    // Zero the slot: MiniC relies on deterministic memory for the
+    // semantic-equality oracle.
+    std::memset(Mem.data() + StackPtr, 0, Size);
+    StackPtr += Size;
+    NEXT();
+  }
+
+  OP(LoadOp) {
+    CHARGE(Opts.Costs.Memory);
+    if (!loadKinded(static_cast<uint64_t>(R[In->B].I),
+                    static_cast<TypeKind>(In->Sub), R[In->A]))
+      return Leave(Bad);
+    NEXT();
+  }
+
+  OP(StoreOp) {
+    CHARGE(Opts.Costs.Memory);
+    if (!storeKinded(static_cast<uint64_t>(R[In->B].I),
+                     static_cast<TypeKind>(In->Sub), R[In->A]))
+      return Leave(Bad);
+    NEXT();
+  }
+
+#define INT_BINOP(Name, Expr)                                                  \
+  OP(Name) {                                                                   \
+    CHARGE(Opts.Costs.Simple);                                                 \
+    const int64_t L = R[In->B].I;                                              \
+    const int64_t Rv = R[In->C].I;                                             \
+    R[In->A].I = narrowInt((Expr), static_cast<TypeKind>(In->Sub));            \
+    NEXT();                                                                    \
+  }
+
+  INT_BINOP(AddI, L + Rv)
+  INT_BINOP(SubI, L - Rv)
+  INT_BINOP(MulI, L * Rv)
+
+  OP(DivI) {
+    CHARGE(Opts.Costs.IntDiv);
+    const int64_t L = R[In->B].I;
+    const int64_t Rv = R[In->C].I;
+    if (Rv == 0) {
+      trap("integer division by zero");
+      return Leave(Bad);
+    }
+    if (L == INT64_MIN && Rv == -1) {
+      trap("integer division overflow");
+      return Leave(Bad);
+    }
+    R[In->A].I = narrowInt(L / Rv, static_cast<TypeKind>(In->Sub));
+    NEXT();
+  }
+
+  OP(RemI) {
+    CHARGE(Opts.Costs.IntDiv);
+    const int64_t L = R[In->B].I;
+    const int64_t Rv = R[In->C].I;
+    if (Rv == 0) {
+      trap("integer division by zero");
+      return Leave(Bad);
+    }
+    if (L == INT64_MIN && Rv == -1) {
+      trap("integer division overflow");
+      return Leave(Bad);
+    }
+    R[In->A].I = narrowInt(L % Rv, static_cast<TypeKind>(In->Sub));
+    NEXT();
+  }
+
+  INT_BINOP(AndI, L & Rv)
+  INT_BINOP(OrI, L | Rv)
+  INT_BINOP(XorI, L ^ Rv)
+  INT_BINOP(ShlI, static_cast<int64_t>(static_cast<uint64_t>(L)
+                                       << (Rv & 63)))
+  INT_BINOP(AShrI, L >> (Rv & 63))
+  INT_BINOP(LShrI,
+            static_cast<int64_t>(static_cast<uint64_t>(L) >> (Rv & 63)))
+#undef INT_BINOP
+
+#define FP_BINOP(Name, CostExpr, Expr)                                         \
+  OP(Name) {                                                                   \
+    CHARGE(CostExpr);                                                          \
+    const double L = R[In->B].F;                                               \
+    const double Rv = R[In->C].F;                                              \
+    double V = (Expr);                                                         \
+    if (static_cast<TypeKind>(In->Sub) == TypeKind::Float)                     \
+      V = static_cast<float>(V);                                               \
+    R[In->A].F = V;                                                            \
+    NEXT();                                                                    \
+  }
+
+  FP_BINOP(AddF, Opts.Costs.FPOp, L + Rv)
+  FP_BINOP(SubF, Opts.Costs.FPOp, L - Rv)
+  FP_BINOP(MulF, Opts.Costs.FPOp, L * Rv)
+  FP_BINOP(DivF, Opts.Costs.FPDiv, L / Rv)
+#undef FP_BINOP
+
+  OP(CmpIOp) {
+    CHARGE(Opts.Costs.Simple);
+    R[In->A].I =
+        cmpInt(static_cast<CmpPred>(In->Sub), R[In->B].I, R[In->C].I) ? 1 : 0;
+    NEXT();
+  }
+
+  OP(CmpFOp) {
+    CHARGE(Opts.Costs.Simple);
+    R[In->A].I =
+        cmpFP(static_cast<CmpPred>(In->Sub), R[In->B].F, R[In->C].F) ? 1 : 0;
+    NEXT();
+  }
+
+  OP(CastOp) {
+    CHARGE(Opts.Costs.Simple);
+    const Slot V = R[In->B];
+    const TypeKind SrcK = static_cast<TypeKind>(In->N >> 8);
+    const TypeKind DstK = static_cast<TypeKind>(In->N & 0xFF);
+    Slot Out;
+    Out.I = 0;
+    switch (static_cast<CastKind>(In->Sub)) {
+    case CastKind::Trunc:
+      switch (DstK) {
+      case TypeKind::Int1:
+        Out.I = V.I & 1;
+        break;
+      case TypeKind::Int8:
+        Out.I = static_cast<int8_t>(V.I);
+        break;
+      case TypeKind::Int32:
+        Out.I = static_cast<int32_t>(V.I);
+        break;
+      default:
+        Out.I = V.I;
+        break;
+      }
+      break;
+    case CastKind::SExt:
+      Out.I = V.I; // Slots already keep the sign-extended value.
+      break;
+    case CastKind::ZExt: {
+      uint64_t U = static_cast<uint64_t>(V.I);
+      switch (SrcK) {
+      case TypeKind::Int1:
+        U &= 1;
+        break;
+      case TypeKind::Int8:
+        U &= 0xFF;
+        break;
+      case TypeKind::Int32:
+        U &= 0xFFFFFFFF;
+        break;
+      default:
+        break;
+      }
+      Out.I = static_cast<int64_t>(U);
+      break;
+    }
+    case CastKind::FPToSI:
+      Out.I = static_cast<int64_t>(V.F);
+      if (DstK == TypeKind::Int32)
+        Out.I = static_cast<int32_t>(Out.I);
+      else if (DstK == TypeKind::Int8)
+        Out.I = static_cast<int8_t>(Out.I);
+      break;
+    case CastKind::SIToFP:
+      Out.F = static_cast<double>(V.I);
+      if (DstK == TypeKind::Float)
+        Out.F = static_cast<float>(Out.F);
+      break;
+    case CastKind::FPTrunc:
+      Out.F = static_cast<float>(V.F);
+      break;
+    case CastKind::FPExt:
+      Out.F = V.F;
+      break;
+    case CastKind::Bitcast:
+    case CastKind::PtrToInt:
+    case CastKind::IntToPtr:
+      Out.I = V.I;
+      break;
+    }
+    R[In->A] = Out;
+    NEXT();
+  }
+
+  OP(GEPOp) {
+    CHARGE(Opts.Costs.Simple);
+    R[In->A].I = R[In->B].I + R[In->C].I * static_cast<int64_t>(In->Imm);
+    NEXT();
+  }
+
+  OP(SelectOp) {
+    CHARGE(Opts.Costs.Simple);
+    R[In->A] = (R[In->B].I & 1) ? R[In->C] : R[In->Aux];
+    NEXT();
+  }
+
+  OP(LandingPadOp) {
+    CHARGE(Opts.Costs.Simple);
+    R[In->A].I = CurrentException;
+    NEXT();
+  }
+
+  OP(Jmp) {
+    CHARGE(Opts.Costs.Simple);
+    JUMP(In->A);
+  }
+
+  OP(BrCond) {
+    CHARGE(Opts.Costs.Simple);
+    JUMP((R[In->A].I & 1) ? In->B : In->C);
+  }
+
+  OP(SwitchOp) {
+    CHARGE(Opts.Costs.Switch);
+    const int64_t V = R[In->A].I;
+    uint32_t Target = In->B;
+    const BCCase *CS = BF.Cases.data() + In->Aux;
+    for (uint32_t K = 0, E = In->N; K != E; ++K) {
+      if (CS[K].Val == V) {
+        Target = CS[K].Target;
+        break;
+      }
+    }
+    JUMP(Target);
+  }
+
+  OP(RetVoid) {
+    CHARGE(Opts.Costs.Simple);
+    Flow Rf;
+    Rf.Kind = FlowKind::Return;
+    return Leave(Rf);
+  }
+
+  OP(RetVal) {
+    CHARGE(Opts.Costs.Simple);
+    Flow Rf;
+    Rf.Kind = FlowKind::Return;
+    Rf.RetVal = R[In->A];
+    return Leave(Rf);
+  }
+
+  OP(ThrowOp) {
+    CHARGE(Opts.Costs.Throw);
+    Flow Ef;
+    Ef.Kind = FlowKind::Exception;
+    Ef.ExcPayload = R[In->A].I;
+    return Leave(Ef);
+  }
+
+  OP(UnreachableOp) {
+    trap("reached 'unreachable'");
+    return Leave(Bad);
+  }
+
+  OP(FellOff) {
+    trap("fell off the end of block '" + BF.BlockNames[In->A] + "'");
+    return Leave(Bad);
+  }
+
+  OP(CallOp) {
+    const uint32_t Argc = In->N;
+    uint64_t Cc = Opts.Costs.CallBase;
+    if (In->Sub & 2)
+      Cc += Opts.Costs.IndirectExtra;
+    if (Argc > Opts.Costs.RegisterArgs)
+      Cc += static_cast<uint64_t>(Argc - Opts.Costs.RegisterArgs) *
+            Opts.Costs.StackArg;
+    CHARGE(Cc);
+
+    uint32_t FnIdx;
+    if (In->Sub & 2) {
+      const uint64_t Addr = static_cast<uint64_t>(R[In->B].I);
+      if (!BM.funcForAddr(Addr, FnIdx)) {
+        trap(formatStr("indirect call to invalid address 0x%llx",
+                       (unsigned long long)Addr));
+        return Leave(Bad);
+      }
+    } else {
+      FnIdx = In->B;
+    }
+
+    const BCFunction &Callee = BM.Funcs[FnIdx];
+    const BCArg *AP = BF.ArgPool.data() + In->Aux;
+    Flow Sub;
+    switch (Callee.Kind) {
+    case BCCallKind::Setjmp: {
+      if (Argc < 1) {
+        trap("malformed setjmp call");
+        return Leave(Bad);
+      }
+      Cost += Opts.Costs.SetJmp;
+      const uint64_t Token = NextJmpToken++;
+      JumpRecs.emplace_back(Token, PC);
+      Slot TokenSlot;
+      TokenSlot.I = static_cast<int64_t>(Token);
+      if (!storeKinded(static_cast<uint64_t>(R[AP[0].Slot].I),
+                       TypeKind::Int64, TokenSlot))
+        return Leave(Bad);
+      Sub.Kind = FlowKind::Return;
+      Sub.RetVal.I = 0;
+      break;
+    }
+    case BCCallKind::Longjmp: {
+      if (Argc < 2) {
+        trap("malformed longjmp call");
+        return Leave(Bad);
+      }
+      Cost += Opts.Costs.LongJmp;
+      Slot TokenSlot;
+      if (!loadKinded(static_cast<uint64_t>(R[AP[0].Slot].I),
+                      TypeKind::Int64, TokenSlot))
+        return Leave(Bad);
+      Sub.Kind = FlowKind::LongJmp;
+      Sub.JmpToken = static_cast<uint64_t>(TokenSlot.I);
+      const int64_t JV = R[AP[1].Slot].I;
+      Sub.JmpValue = JV ? JV : 1;
+      break;
+    }
+    case BCCallKind::Intrinsic: {
+      std::vector<Slot> CallArgs(Argc);
+      std::vector<const Type *> CallArgTys(Argc);
+      for (uint32_t A2 = 0; A2 != Argc; ++A2) {
+        CallArgs[A2] = R[AP[A2].Slot];
+        CallArgTys[A2] = AP[A2].Ty;
+      }
+      Sub = runIntrinsic(Callee.F, CallArgs, CallArgTys);
+      break;
+    }
+    case BCCallKind::Normal: {
+      Slot SmallBuf[8];
+      std::vector<Slot> BigBuf;
+      Slot *ArgBuf = SmallBuf;
+      if (Argc > 8) {
+        BigBuf.resize(Argc);
+        ArgBuf = BigBuf.data();
+      }
+      for (uint32_t A2 = 0; A2 != Argc; ++A2)
+        ArgBuf[A2] = R[AP[A2].Slot];
+      Sub = execFunction(FnIdx, ArgBuf, Argc);
+      R = RegStack.data() + Base; // The arena may have grown.
+      break;
+    }
+    }
+
+    uint32_t NextPC;
+    if (HandleCallFlow(Sub, *In, NextPC))
+      return Leave(LeaveFlow);
+    JUMP(NextPC);
+  }
+
+  OP(CmpBrI) {
+    CHARGE(Opts.Costs.Simple); // The cmp.
+    const bool Res =
+        cmpInt(static_cast<CmpPred>(In->Sub), R[In->A].I, R[In->B].I);
+    CHARGE(Opts.Costs.Simple); // The branch.
+    JUMP(Res ? In->C : In->Aux);
+  }
+
+  OP(CmpBrF) {
+    CHARGE(Opts.Costs.Simple);
+    const bool Res =
+        cmpFP(static_cast<CmpPred>(In->Sub), R[In->A].F, R[In->B].F);
+    CHARGE(Opts.Costs.Simple);
+    JUMP(Res ? In->C : In->Aux);
+  }
+
+  OP(LoadBinStoreI) {
+    CHARGE(Opts.Costs.Memory); // The load.
+    Slot LV;
+    if (!loadKinded(static_cast<uint64_t>(R[In->A].I),
+                    static_cast<TypeKind>(In->N >> 8), LV))
+      return Leave(Bad);
+    CHARGE(Opts.Costs.Simple); // The binop (div/rem are never fused).
+    int64_t L, Rv;
+    if (In->Imm & 1) {
+      L = R[In->B].I;
+      Rv = LV.I;
+    } else {
+      L = LV.I;
+      Rv = R[In->B].I;
+    }
+    int64_t Res = 0;
+    switch (static_cast<BinOp>(In->Sub)) {
+    case BinOp::Add:
+      Res = L + Rv;
+      break;
+    case BinOp::Sub:
+      Res = L - Rv;
+      break;
+    case BinOp::Mul:
+      Res = L * Rv;
+      break;
+    case BinOp::And:
+      Res = L & Rv;
+      break;
+    case BinOp::Or:
+      Res = L | Rv;
+      break;
+    case BinOp::Xor:
+      Res = L ^ Rv;
+      break;
+    case BinOp::Shl:
+      Res = static_cast<int64_t>(static_cast<uint64_t>(L) << (Rv & 63));
+      break;
+    case BinOp::AShr:
+      Res = L >> (Rv & 63);
+      break;
+    case BinOp::LShr:
+      Res = static_cast<int64_t>(static_cast<uint64_t>(L) >> (Rv & 63));
+      break;
+    default:
+      break;
+    }
+    const TypeKind ResK = static_cast<TypeKind>(In->N & 0xFF);
+    Slot SV;
+    SV.I = narrowInt(Res, ResK);
+    CHARGE(Opts.Costs.Memory); // The store.
+    if (!storeKinded(static_cast<uint64_t>(R[In->C].I), ResK, SV))
+      return Leave(Bad);
+    NEXT();
+  }
+
+  OP(CallDirect4) {
+    const uint32_t Argc = In->N;
+    uint64_t Cc = Opts.Costs.CallBase;
+    if (Argc > Opts.Costs.RegisterArgs)
+      Cc += static_cast<uint64_t>(Argc - Opts.Costs.RegisterArgs) *
+            Opts.Costs.StackArg;
+    CHARGE(Cc);
+    Slot ArgBuf[4];
+    switch (Argc) {
+    case 4:
+      ArgBuf[3] = R[static_cast<uint32_t>(In->Imm >> 32)];
+      [[fallthrough]];
+    case 3:
+      ArgBuf[2] = R[static_cast<uint32_t>(In->Imm)];
+      [[fallthrough]];
+    case 2:
+      ArgBuf[1] = R[In->Aux];
+      [[fallthrough]];
+    case 1:
+      ArgBuf[0] = R[In->C];
+      break;
+    default:
+      break;
+    }
+    Flow Sub = execFunction(In->B, ArgBuf, Argc);
+    R = RegStack.data() + Base; // The arena may have grown.
+    uint32_t NextPC;
+    if (HandleCallFlow(Sub, *In, NextPC))
+      return Leave(LeaveFlow);
+    JUMP(NextPC);
+  }
+
+#if !KHAOS_DIRECT_THREADED
+  default:
+    break;
+  }
+  trap("invalid bytecode opcode");
+  return Leave(Bad);
+#endif
+}
+
+#undef OP
+#undef DISPATCH
+#undef NEXT
+#undef JUMP
+#undef CHARGE
+
+ExecResult PrecompiledVM::run() {
+  ExecResult Res;
+  if (!layoutGlobals()) {
+    Res.Error = TrapMessage;
+    return Res;
+  }
+  if (BM.MainIndex == BCNoReg) {
+    Res.Error = "no main() in module";
+    return Res;
+  }
+  RegStack.resize(4096);
+  return finishRun(execFunction(BM.MainIndex, nullptr, 0));
+}
+
+} // namespace
+
+ExecResult khaos::runPrecompiled(const BytecodeModule &BM,
+                                 const ExecOptions &Opts) {
+  return PrecompiledVM(BM, Opts).run();
+}

@@ -11,7 +11,15 @@
 ///
 ///   khaos-fuzz [--seed S] [--budget N] [--threads N] [--modes A,B,...]
 ///              [--no-shrink] [--repro-dir DIR] [--store-max-bytes B]
-///              [--quiet] [--list-steps MODE] [--replay FILE]
+///              [--quiet] [--vm reference|precompiled] [--cross-vm]
+///              [--list-steps MODE] [--replay FILE]
+///
+/// --vm selects the engine every run executes under; --cross-vm runs each
+/// check on BOTH engines and reports any disagreement as its own
+/// "engine-mismatch" divergence kind. --replay honors both flags (repro
+/// files record the engine that found them, but replay deliberately takes
+/// the engine from the command line so old repros run on either engine)
+/// and prints which engine produced the verdict.
 ///
 /// Exit status: 0 = no divergence, 1 = divergences found (or a replayed
 /// repro still reproduces), 2 = usage error.
@@ -37,6 +45,7 @@ int usage() {
       "usage: khaos-fuzz [--seed S] [--budget N] [--threads N]\n"
       "                  [--modes A,B,...] [--no-shrink] [--repro-dir DIR]\n"
       "                  [--store-max-bytes B] [--quiet]\n"
+      "                  [--vm reference|precompiled] [--cross-vm]\n"
       "                  [--list-steps MODE] [--replay FILE]\n");
   return 2;
 }
@@ -56,7 +65,7 @@ int listSteps(const std::string &ModeName) {
   return 0;
 }
 
-int replay(const std::string &Path) {
+int replay(const std::string &Path, VMEngine Engine, bool CrossVM) {
   std::ifstream File(Path, std::ios::binary);
   if (!File) {
     std::fprintf(stderr, "khaos-fuzz: cannot read '%s'\n", Path.c_str());
@@ -66,18 +75,20 @@ int replay(const std::string &Path) {
   Buf << File.rdbuf();
   std::string Error;
   DivergenceKind Kind =
-      DifferentialFuzzer::replayRepro(Buf.str(), Error);
+      DifferentialFuzzer::replayRepro(Buf.str(), Error, Engine, CrossVM);
+  const char *Verdict = CrossVM ? "cross-vm" : vmEngineName(Engine);
   if (Kind == DivergenceKind::None && !Error.empty() &&
       Error.find("repro") != std::string::npos) {
     std::fprintf(stderr, "khaos-fuzz: %s\n", Error.c_str());
     return 2;
   }
   if (Kind == DivergenceKind::None) {
-    std::printf("replay %s: no divergence (bug no longer reproduces)\n",
-                Path.c_str());
+    std::printf("replay %s: engine=%s no divergence (bug no longer "
+                "reproduces)\n",
+                Path.c_str(), Verdict);
     return 0;
   }
-  std::printf("replay %s: kind=%s : %s\n", Path.c_str(),
+  std::printf("replay %s: engine=%s kind=%s : %s\n", Path.c_str(), Verdict,
               divergenceKindName(Kind), Error.c_str());
   return 1;
 }
@@ -85,11 +96,12 @@ int replay(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  // --threads/--seed/--store-max-bytes share the bench flag grammar.
+  // --threads/--seed/--store-max-bytes/--vm share the bench flag grammar.
   EvalScheduler::Config Sched = parseSchedulerArgs(argc, argv);
   DifferentialFuzzer::Config Cfg;
   Cfg.Seed = Sched.Seed;
   Cfg.Threads = Sched.Threads;
+  Cfg.Engine = Sched.Engine;
   Cfg.StoreMaxBytes = Sched.StoreMaxBytes ? Sched.StoreMaxBytes
                                           : Cfg.StoreMaxBytes;
 
@@ -110,6 +122,8 @@ int main(int argc, char **argv) {
       Cfg.Shrink = false;
     else if (Arg == "--quiet")
       Cfg.Verbose = false;
+    else if (Arg == "--cross-vm")
+      Cfg.CrossVM = true;
     else if (Arg == "--help" || Arg == "-h")
       return usage();
   }
@@ -117,7 +131,7 @@ int main(int argc, char **argv) {
   if (!ListStepsMode.empty())
     return listSteps(ListStepsMode);
   if (!ReplayPath.empty())
-    return replay(ReplayPath);
+    return replay(ReplayPath, Cfg.Engine, Cfg.CrossVM);
 
   if (!ModesSpec.empty()) {
     for (const std::string &Name : split(ModesSpec, ',')) {
