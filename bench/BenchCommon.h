@@ -12,7 +12,12 @@
 /// artifact; results are identical, only slower), `--shards N
 /// --shard-index I` (cross-process split of the matrix by FlatIdx %
 /// Shards), `--store-max-bytes B` (LRU-bound the ArtifactStore; evicted
-/// stages recompute, output is unchanged), `--tool-timeout-ms T` (the
+/// stages recompute, output is unchanged), `--cache-dir DIR
+/// --disk-max-bytes B` (persist serializable artifacts to a
+/// content-addressed on-disk tier; a warm rerun recompiles nothing and
+/// prints identical stdout), `--connect SOCKET` (route eval work to a
+/// running khaos-evald daemon instead of computing in-process; stdout is
+/// byte-identical either way), `--tool-timeout-ms T` (the
 /// round-trip budget of out-of-process diffing backends) and `--vm
 /// reference|precompiled` (which execution engine runs programs; both
 /// produce byte-identical stdout). `--json PATH` makes supporting benches
@@ -39,6 +44,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -76,11 +82,41 @@ inline const char *flagValue(int Argc, char **Argv, int &I,
   return nullptr;
 }
 
-/// Parses `--threads N`, `--seed S`, `--no-cache`, `--shards N` and
-/// `--shard-index I` (both `--flag V` and `--flag=V` spellings).
-/// Unrecognized arguments are ignored so benches stay forgiving in scripts.
+/// Strict byte-count parser for the store/disk capacity flags. strtoull
+/// alone is too forgiving for a capacity: it wraps "-1" to 2^64-1,
+/// accepts "12abc" as 12 and saturates overflow — all of which would turn
+/// a typo'd cap into a silently unbounded (or empty) cache. Rejects
+/// anything but a full, non-negative, in-range decimal/0x integer with
+/// the same exit-2 usage convention `--tools` validation uses.
+inline uint64_t parseByteCount(const char *V, const char *Flag,
+                               const char *Bench) {
+  const char *P = V;
+  while (*P == ' ' || *P == '\t')
+    ++P;
+  bool Bad = *P == '\0' || *P == '-' || *P == '+';
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(P, &End, 0);
+  if (Bad || End == P || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "%s: invalid byte count '%s' for %s\n"
+                 "usage: %s BYTES with BYTES a non-negative integer "
+                 "(decimal or 0x-hex, 0 = unbounded)\n",
+                 Bench, V, Flag, Flag);
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(N);
+}
+
+/// Parses `--threads N`, `--seed S`, `--no-cache`, `--shards N`,
+/// `--shard-index I`, `--store-max-bytes B`, `--cache-dir DIR`,
+/// `--disk-max-bytes B`, `--connect SOCKET` and `--vm ENGINE` (both
+/// `--flag V` and `--flag=V` spellings). Capacity flags go through
+/// parseByteCount (exit 2 on garbage); other unrecognized arguments are
+/// ignored so benches stay forgiving in scripts.
 inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
   EvalScheduler::Config C;
+  const char *Bench = Argc > 0 ? Argv[0] : "bench";
   auto Value = [&](const std::string &, const char *Flag,
                    int &I) -> const char * {
     return flagValue(Argc, Argv, I, Flag);
@@ -98,7 +134,13 @@ inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
     else if (const char *V4 = Value(Arg, "--shard-index", I))
       C.ShardIdx = static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
     else if (const char *V5 = Value(Arg, "--store-max-bytes", I))
-      C.StoreMaxBytes = std::strtoull(V5, nullptr, 0);
+      C.StoreMaxBytes = parseByteCount(V5, "--store-max-bytes", Bench);
+    else if (const char *VD = Value(Arg, "--cache-dir", I))
+      C.CacheDir = VD;
+    else if (const char *VB = Value(Arg, "--disk-max-bytes", I))
+      C.DiskMaxBytes = parseByteCount(VB, "--disk-max-bytes", Bench);
+    else if (const char *VC = Value(Arg, "--connect", I))
+      C.ConnectPath = VC;
     else if (const char *V6 = Value(Arg, "--tool-timeout-ms", I))
       // Round-trip budget of subprocess diffing backends: a process-wide
       // knob of the worker pool, not scheduler state.
@@ -366,6 +408,14 @@ inline void reportScheduler(const EvalScheduler &S, const EvalRunStats &R) {
                static_cast<unsigned long long>(R.CacheMisses),
                static_cast<unsigned long long>(R.CacheEvictions),
                static_cast<unsigned long long>(R.CacheBytesSaved));
+  if (S.pipeline().store().diskCache())
+    std::fprintf(stderr,
+                 "[disk] disk-hits=%llu disk-misses=%llu "
+                 "disk-evictions=%llu disk-corrupt=%llu\n",
+                 static_cast<unsigned long long>(R.DiskHits),
+                 static_cast<unsigned long long>(R.DiskMisses),
+                 static_cast<unsigned long long>(R.DiskEvictions),
+                 static_cast<unsigned long long>(R.DiskCorrupt));
 }
 
 inline void printHeader(const char *Id, const char *Caption) {

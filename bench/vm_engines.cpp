@@ -71,8 +71,9 @@ bool sameObservation(const ExecResult &A, const ExecResult &B) {
 int main(int argc, char **argv) {
   EvalScheduler::Config SC = parseSchedulerArgs(argc, argv);
   std::string JsonPath = parseJsonPath(argc, argv);
-  EvalPipeline Pipe(
-      EvalPipeline::Config{SC.CacheEnabled, SC.StoreMaxBytes, SC.Engine});
+  EvalPipeline Pipe(EvalPipeline::Config{SC.CacheEnabled, SC.StoreMaxBytes,
+                                         SC.Engine, SC.CacheDir,
+                                         SC.DiskMaxBytes});
 
   // The Figure-6 workload plane (baselines only — engine throughput, not
   // obfuscation overhead). Quick mode thins it like every other bench.

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed VM-engine trajectory.
+
+Compares a fresh `bench_vm_engines --json` result against a committed
+baseline (BENCH_vm_quick.json for the PR gate, BENCH_vm.json for the
+nightly full run) and fails when the precompiled engine regressed.
+
+The gated metric is the *speedup* (precompiled steps/sec over reference
+steps/sec), not absolute steps/sec: both engines run the same sweep on
+the same machine in the same process, so their ratio cancels the CI
+runner's speed-of-the-day while a real dispatch-loop regression still
+moves it. Correctness travels along: the current result must report
+all_match=true (every workload's precompiled observation equal to the
+reference interpreter's) and must not have silently dropped workloads.
+
+    check_vm_regression.py --current NEW.json --baseline OLD.json \
+        [--tolerance 0.35]
+
+Exit 0 = no regression, 1 = regression or correctness failure,
+2 = malformed inputs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_vm_regression: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def require(cond, message):
+    if not cond:
+        print(f"check_vm_regression: {message}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", required=True,
+                    help="fresh bench_vm_engines --json output")
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_vm*.json baseline")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="allowed fractional speedup drop (default 0.35; "
+                         "quick-mode runs are noisy)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    for tag, doc in (("current", cur), ("baseline", base)):
+        require(doc.get("bench") == "vm_engines",
+                f"{tag} is not a vm_engines result")
+        require(isinstance(doc.get("speedup"), (int, float)),
+                f"{tag} has no speedup field")
+    require(cur.get("quick") == base.get("quick"),
+            "quick/full mode mismatch between current and baseline "
+            "(gate quick runs against BENCH_vm_quick.json, full runs "
+            "against BENCH_vm.json)")
+
+    failures = []
+    if not cur.get("all_match", False):
+        failures.append(
+            "correctness: precompiled engine disagreed with the reference "
+            "interpreter on at least one workload (all_match=false)")
+    if cur.get("workloads_measured", 0) < base.get("workloads_measured", 0):
+        failures.append(
+            f"coverage: measured {cur.get('workloads_measured')} workloads, "
+            f"baseline has {base.get('workloads_measured')}")
+
+    floor = base["speedup"] * (1.0 - args.tolerance)
+    verdict = (f"speedup {cur['speedup']:.3f}x vs baseline "
+               f"{base['speedup']:.3f}x (floor {floor:.3f}x at "
+               f"{args.tolerance:.0%} tolerance)")
+    if cur["speedup"] < floor:
+        failures.append(f"performance: {verdict}")
+    else:
+        print(f"check_vm_regression: OK — {verdict}")
+
+    for failure in failures:
+        print(f"check_vm_regression: FAIL — {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

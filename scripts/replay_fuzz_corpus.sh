@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+# Replays every committed fuzz-corpus repro through `khaos-fuzz --replay`
+# and asserts the recorded verdict still holds.
+#
+#   scripts/replay_fuzz_corpus.sh <path-to-khaos-fuzz> [corpus-dir]
+#
+# Each repro records its verdict in a `# kind:` header line: `none` means
+# the divergence was fixed (replay must exit 0); any other kind means the
+# divergence must still reproduce (replay must exit 1). Replays run
+# --cross-vm so every file doubles as an A/B probe of the precompiled
+# engine against the reference interpreter. Exit 0 when every file agrees
+# with its recorded verdict, 1 otherwise, 2 on usage errors.
+#===------------------------------------------------------------------------===#
+set -u
+
+FUZZ="${1:-}"
+CORPUS="${2:-$(dirname "$0")/../fuzz-corpus}"
+
+if [ -z "$FUZZ" ] || [ ! -x "$FUZZ" ]; then
+  echo "usage: $0 <path-to-khaos-fuzz> [corpus-dir]" >&2
+  exit 2
+fi
+if [ ! -d "$CORPUS" ]; then
+  echo "replay_fuzz_corpus: corpus directory '$CORPUS' not found" >&2
+  exit 2
+fi
+
+shopt -s nullglob
+FILES=("$CORPUS"/*.repro)
+if [ ${#FILES[@]} -eq 0 ]; then
+  echo "replay_fuzz_corpus: no .repro files in '$CORPUS'" >&2
+  exit 2
+fi
+
+FAILURES=0
+for FILE in "${FILES[@]}"; do
+  KIND=$(sed -n 's/^# kind: //p' "$FILE" | head -1)
+  if [ -z "$KIND" ]; then
+    echo "FAIL $FILE: missing '# kind:' header" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  "$FUZZ" --replay "$FILE" --cross-vm
+  GOT=$?
+  if [ "$KIND" = "none" ]; then WANT=0; else WANT=1; fi
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL $FILE: recorded kind '$KIND' expects replay exit $WANT," \
+         "got $GOT" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+echo "replay_fuzz_corpus: ${#FILES[@]} repros, $FAILURES disagreements"
+[ "$FAILURES" -eq 0 ]

@@ -22,130 +22,12 @@ namespace {
 constexpr uint32_t MaxFrameBytes = 1u << 30;
 
 //===----------------------------------------------------------------------===//
-// Little-endian buffer writer/reader. Fixed-width fields only, no padding:
-// identical values always encode to identical bytes.
-//===----------------------------------------------------------------------===//
-
-class WireWriter {
-public:
-  std::vector<uint8_t> Buf;
-
-  void u8(uint8_t V) { Buf.push_back(V); }
-  void u16(uint16_t V) { raw(&V, 2); }
-  void u32(uint32_t V) { raw(&V, 4); }
-  void u64(uint64_t V) { raw(&V, 8); }
-  void i32(int32_t V) { raw(&V, 4); }
-  void i64(int64_t V) { raw(&V, 8); }
-  void f64(double V) {
-    // Raw bit pattern: the decoder reproduces the exact double, which is
-    // what makes subprocess results bit-identical to in-process ones.
-    uint64_t Bits;
-    std::memcpy(&Bits, &V, 8);
-    u64(Bits);
-  }
-  void str(const std::string &S) {
-    u32(static_cast<uint32_t>(S.size()));
-    Buf.insert(Buf.end(), S.begin(), S.end());
-  }
-  template <typename T, typename WriteOne>
-  void vec(const std::vector<T> &V, WriteOne One) {
-    u32(static_cast<uint32_t>(V.size()));
-    for (const T &E : V)
-      One(E);
-  }
-
-private:
-  void raw(const void *P, size_t N) {
-    // Host byte order is little-endian on every platform this project
-    // targets (x86-64, AArch64); a big-endian port would swap here.
-    const uint8_t *B = static_cast<const uint8_t *>(P);
-    Buf.insert(Buf.end(), B, B + N);
-  }
-};
-
-class WireReader {
-public:
-  WireReader(const uint8_t *Data, size_t Size)
-      : P(Data), End(Data + Size) {}
-
-  bool ok() const { return !Failed; }
-  bool atEnd() const { return P == End; }
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    raw(&V, 1);
-    return V;
-  }
-  uint16_t u16() {
-    uint16_t V = 0;
-    raw(&V, 2);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    raw(&V, 4);
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    raw(&V, 8);
-    return V;
-  }
-  int32_t i32() {
-    int32_t V = 0;
-    raw(&V, 4);
-    return V;
-  }
-  int64_t i64() {
-    int64_t V = 0;
-    raw(&V, 8);
-    return V;
-  }
-  double f64() {
-    uint64_t Bits = u64();
-    double V;
-    std::memcpy(&V, &Bits, 8);
-    return V;
-  }
-  std::string str() {
-    uint32_t N = u32();
-    if (Failed || static_cast<size_t>(End - P) < N) {
-      Failed = true;
-      return {};
-    }
-    std::string S(reinterpret_cast<const char *>(P), N);
-    P += N;
-    return S;
-  }
-  /// Reads a u32 element count, bounded by the bytes actually left (each
-  /// element encodes to >= 1 byte, so a count beyond that is malformed).
-  uint32_t count() {
-    uint32_t N = u32();
-    if (!Failed && N > static_cast<size_t>(End - P))
-      Failed = true;
-    return Failed ? 0 : N;
-  }
-
-private:
-  void raw(void *Out, size_t N) {
-    if (Failed || static_cast<size_t>(End - P) < N) {
-      Failed = true;
-      return;
-    }
-    std::memcpy(Out, P, N);
-    P += N;
-  }
-
-  const uint8_t *P;
-  const uint8_t *End;
-  bool Failed = false;
-};
-
-//===----------------------------------------------------------------------===//
 // Image / feature / result encoding.
 //===----------------------------------------------------------------------===//
 
-void writeImage(WireWriter &W, const BinaryImage &Img) {
+} // namespace
+
+void khaos::writeBinaryImage(WireWriter &W, const BinaryImage &Img) {
   W.str(Img.Name);
   W.vec(Img.Functions, [&](const MFunction &F) {
     W.str(F.Name);
@@ -181,7 +63,7 @@ void writeImage(WireWriter &W, const BinaryImage &Img) {
   }
 }
 
-bool readImage(WireReader &R, BinaryImage &Img) {
+bool khaos::readBinaryImage(WireReader &R, BinaryImage &Img) {
   Img.Name = R.str();
   uint32_t NF = R.count();
   Img.Functions.resize(NF);
@@ -239,7 +121,7 @@ bool readImage(WireReader &R, BinaryImage &Img) {
   return R.ok();
 }
 
-void writeFeatures(WireWriter &W, const ImageFeatures &F) {
+void khaos::writeImageFeatures(WireWriter &W, const ImageFeatures &F) {
   W.vec(F.Funcs, [&](const FunctionFeatures &FF) {
     W.str(FF.Name);
     W.u32(FF.NumBlocks);
@@ -263,7 +145,8 @@ void writeFeatures(WireWriter &W, const ImageFeatures &F) {
   });
 }
 
-bool readFeatures(WireReader &R, ImageFeatures &F) {
+bool khaos::readImageFeatures(WireReader &R, ImageFeatures &F) {
+
   uint32_t NF = R.count();
   F.Funcs.resize(NF);
   for (uint32_t I = 0; I != NF && R.ok(); ++I) {
@@ -316,6 +199,8 @@ bool readFeatures(WireReader &R, ImageFeatures &F) {
   return R.ok();
 }
 
+namespace {
+
 void writeHeader(WireWriter &W, DiffWireType Type) {
   W.u32(DiffWireMagic);
   W.u16(DiffWireVersion);
@@ -348,10 +233,10 @@ std::vector<uint8_t> khaos::encodeDiffRequest(const DiffWireRequest &Req) {
   WireWriter W;
   writeHeader(W, DiffWireType::Request);
   W.str(Req.Tool);
-  writeImage(W, Req.A);
-  writeFeatures(W, Req.FA);
-  writeImage(W, Req.B);
-  writeFeatures(W, Req.FB);
+  writeBinaryImage(W, Req.A);
+  writeImageFeatures(W, Req.FA);
+  writeBinaryImage(W, Req.B);
+  writeImageFeatures(W, Req.FB);
   return std::move(W.Buf);
 }
 
@@ -381,8 +266,8 @@ bool khaos::decodeDiffRequest(const std::vector<uint8_t> &Payload,
     return false;
   }
   Req.Tool = R.str();
-  if (!readImage(R, Req.A) || !readFeatures(R, Req.FA) ||
-      !readImage(R, Req.B) || !readFeatures(R, Req.FB)) {
+  if (!readBinaryImage(R, Req.A) || !readImageFeatures(R, Req.FA) ||
+      !readBinaryImage(R, Req.B) || !readImageFeatures(R, Req.FB)) {
     Err = "truncated request body";
     return false;
   }

@@ -36,6 +36,7 @@
 #include "diffing/DiffTool.h"
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,139 @@ namespace khaos {
 /// Protocol constants.
 constexpr uint32_t DiffWireMagic = 0x4B445731; // "KDW1"
 constexpr uint16_t DiffWireVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Little-endian buffer writer/reader. Fixed-width fields only, no padding:
+// identical values always encode to identical bytes. Shared by the diff
+// worker frames, the on-disk ArtifactStore tier (harness/DiskCache) and the
+// khaos-evald service protocol (harness/EvalService) so every serialized
+// form in the project has one byte-level convention.
+//===----------------------------------------------------------------------===//
+
+class WireWriter {
+public:
+  std::vector<uint8_t> Buf;
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) { raw(&V, 2); }
+  void u32(uint32_t V) { raw(&V, 4); }
+  void u64(uint64_t V) { raw(&V, 8); }
+  void i32(int32_t V) { raw(&V, 4); }
+  void i64(int64_t V) { raw(&V, 8); }
+  void f64(double V) {
+    // Raw bit pattern: the decoder reproduces the exact double, which is
+    // what makes serialized results bit-identical to in-process ones.
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  template <typename T, typename WriteOne>
+  void vec(const std::vector<T> &V, WriteOne One) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (const T &E : V)
+      One(E);
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    // Host byte order is little-endian on every platform this project
+    // targets (x86-64, AArch64); a big-endian port would swap here.
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+};
+
+class WireReader {
+public:
+  WireReader(const uint8_t *Data, size_t Size) : P(Data), End(Data + Size) {}
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return P == End; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    raw(&V, 2);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, 4);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+  int32_t i32() {
+    int32_t V = 0;
+    raw(&V, 4);
+    return V;
+  }
+  int64_t i64() {
+    int64_t V = 0;
+    raw(&V, 8);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || static_cast<size_t>(End - P) < N) {
+      Failed = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return S;
+  }
+  /// Reads a u32 element count, bounded by the bytes actually left (each
+  /// element encodes to >= 1 byte, so a count beyond that is malformed).
+  uint32_t count() {
+    uint32_t N = u32();
+    if (!Failed && N > static_cast<size_t>(End - P))
+      Failed = true;
+    return Failed ? 0 : N;
+  }
+
+private:
+  void raw(void *Out, size_t N) {
+    if (Failed || static_cast<size_t>(End - P) < N) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(Out, P, N);
+    P += N;
+  }
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Failed = false;
+};
+
+/// Field-for-field BinaryImage encoding (the request-frame body format,
+/// reused verbatim by the DiskCache image artifacts). readBinaryImage
+/// returns false on a truncated buffer.
+void writeBinaryImage(WireWriter &W, const BinaryImage &Img);
+bool readBinaryImage(WireReader &R, BinaryImage &Img);
+
+/// Field-for-field ImageFeatures encoding.
+void writeImageFeatures(WireWriter &W, const ImageFeatures &F);
+bool readImageFeatures(WireReader &R, ImageFeatures &F);
 
 enum class DiffWireType : uint8_t {
   Request = 1,

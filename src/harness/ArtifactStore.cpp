@@ -6,10 +6,20 @@
 
 #include "harness/ArtifactStore.h"
 
+#include "harness/DiskCache.h"
+
 #include <cassert>
 #include <tuple>
 
 using namespace khaos;
+
+ArtifactStore::ArtifactStore(Config C) : Cfg(std::move(C)) {
+  if (!Cfg.CacheDir.empty())
+    Disk.reset(new DiskCache(
+        DiskCache::Config{Cfg.CacheDir, Cfg.DiskMaxBytes}));
+}
+
+ArtifactStore::~ArtifactStore() = default;
 
 const char *khaos::artifactStageName(ArtifactStage Stage) {
   switch (Stage) {
@@ -75,12 +85,70 @@ ArtifactStore::Snapshot::delta(const Snapshot &After,
         After.PerStage[S].Misses - Before.PerStage[S].Misses;
     D.PerStage[S].Evictions =
         After.PerStage[S].Evictions - Before.PerStage[S].Evictions;
+    D.PerStage[S].DiskHits =
+        After.PerStage[S].DiskHits - Before.PerStage[S].DiskHits;
+    D.PerStage[S].DiskMisses =
+        After.PerStage[S].DiskMisses - Before.PerStage[S].DiskMisses;
+    D.PerStage[S].DiskEvictions =
+        After.PerStage[S].DiskEvictions - Before.PerStage[S].DiskEvictions;
+    D.PerStage[S].DiskCorrupt =
+        After.PerStage[S].DiskCorrupt - Before.PerStage[S].DiskCorrupt;
   }
   D.Hits = After.Hits - Before.Hits;
   D.Misses = After.Misses - Before.Misses;
   D.Evictions = After.Evictions - Before.Evictions;
   D.BytesSaved = After.BytesSaved - Before.BytesSaved;
+  D.DiskHits = After.DiskHits - Before.DiskHits;
+  D.DiskMisses = After.DiskMisses - Before.DiskMisses;
+  D.DiskEvictions = After.DiskEvictions - Before.DiskEvictions;
+  D.DiskCorrupt = After.DiskCorrupt - Before.DiskCorrupt;
   return D;
+}
+
+std::shared_ptr<const void>
+ArtifactStore::diskLoad(const ArtifactKey &K, const ArtifactCodec *Codec) {
+  size_t StageIdx = static_cast<size_t>(K.Stage);
+  std::vector<uint8_t> Payload;
+  DiskGetStatus S = Disk->get(K, Payload);
+  std::shared_ptr<const void> Value;
+  if (S == DiskGetStatus::Hit) {
+    Value = Codec->Decode(Payload.data(), Payload.size());
+    if (!Value)
+      S = DiskGetStatus::Corrupt; // Envelope valid, payload not: the
+                                  // codec rejected it. Recompute.
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  switch (S) {
+  case DiskGetStatus::Hit:
+    Counters.DiskHits += 1;
+    Counters.PerStage[StageIdx].DiskHits += 1;
+    break;
+  case DiskGetStatus::Corrupt:
+    Counters.DiskCorrupt += 1;
+    Counters.PerStage[StageIdx].DiskCorrupt += 1;
+    // A corrupt entry is also a miss: the artifact gets recomputed.
+    Counters.DiskMisses += 1;
+    Counters.PerStage[StageIdx].DiskMisses += 1;
+    break;
+  case DiskGetStatus::Miss:
+    Counters.DiskMisses += 1;
+    Counters.PerStage[StageIdx].DiskMisses += 1;
+    break;
+  }
+  return Value;
+}
+
+void ArtifactStore::diskStore(const ArtifactKey &K, const void *Value,
+                              const ArtifactCodec *Codec) {
+  std::vector<uint8_t> Payload;
+  if (!Codec->Encode(Value, Payload))
+    return; // The codec declined (e.g. a failure artifact).
+  unsigned Evicted = Disk->put(K, Payload);
+  if (Evicted == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Counters.DiskEvictions += Evicted;
+  Counters.PerStage[static_cast<size_t>(K.Stage)].DiskEvictions += Evicted;
 }
 
 void ArtifactStore::trimLocked() {
@@ -120,7 +188,8 @@ void ArtifactStore::markReady(const ArtifactKey &K) {
 
 std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
     const ArtifactKey &K, uint64_t CostBytes, std::type_index Type,
-    const std::function<std::shared_ptr<const void>()> &F) {
+    const std::function<std::shared_ptr<const void>()> &F,
+    const ArtifactCodec *Codec) {
   size_t StageIdx = static_cast<size_t>(K.Stage);
   assert(StageIdx < static_cast<size_t>(ArtifactStage::NumStages) &&
          "key has an invalid stage");
@@ -167,10 +236,21 @@ std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
   if (Hit)
     return Existing.get();
 
-  // First requester: compute outside the lock (single-flight). If the
-  // computation throws, the exception must reach the promise too —
-  // otherwise every later requester of this key would block forever on a
-  // never-ready future.
+  // First requester: memory missed, so consult the disk tier before
+  // computing. Both the disk I/O and the compute run outside the lock
+  // (single-flight: waiters block on the shared future either way).
+  bool UseDisk = Disk && Codec;
+  if (UseDisk) {
+    if (std::shared_ptr<const void> Value = diskLoad(K, Codec)) {
+      Promise.set_value(Value);
+      markReady(K);
+      return Value;
+    }
+  }
+
+  // Compute. If the computation throws, the exception must reach the
+  // promise too — otherwise every later requester of this key would
+  // block forever on a never-ready future.
   std::shared_ptr<const void> Value;
   try {
     Value = F();
@@ -183,6 +263,8 @@ std::shared_ptr<const void> ArtifactStore::getOrComputeErased(
   }
   Promise.set_value(Value);
   markReady(K);
+  if (UseDisk && Value)
+    diskStore(K, Value.get(), Codec);
   return Value;
 }
 

@@ -45,6 +45,7 @@
 #include <mutex>
 #include <string>
 #include <typeindex>
+#include <vector>
 
 namespace khaos {
 
@@ -90,20 +91,53 @@ struct ArtifactKey {
   uint64_t address() const;
 };
 
+class DiskCache;
+
+/// Byte-level (de)serialization of one artifact type for the disk tier.
+/// Stages whose artifacts hold live LLVM-analogue state (modules,
+/// contexts) have no codec and simply never persist; stages that are
+/// plain data (run results, images, diff outcomes) register one in
+/// Evaluator.cpp. Encode may decline (return false) — the policy hook
+/// that keeps transient failures (e.g. a worker timeout's error
+/// artifact) from becoming permanent on disk. Decode returns null on a
+/// malformed payload; the store then counts the entry corrupt and
+/// recomputes.
+struct ArtifactCodec {
+  std::function<bool(const void *Value, std::vector<uint8_t> &Out)> Encode;
+  std::function<std::shared_ptr<const void>(const uint8_t *Data,
+                                            size_t Size)>
+      Decode;
+};
+
 class ArtifactStore {
 public:
   struct Config {
-    /// false = --no-cache: every request recomputes (counted as a miss).
+    /// false = --no-cache: every request recomputes (counted as a miss)
+    /// and the disk tier is bypassed entirely.
     bool Enabled = true;
     /// LRU byte cap over the per-artifact CostBytes accounting;
     /// 0 = unbounded (--store-max-bytes).
     uint64_t MaxBytes = 0;
+    /// Disk-tier directory; empty = no disk tier (--cache-dir).
+    std::string CacheDir = {};
+    /// Disk-tier LRU byte cap over stored file sizes; 0 = unbounded
+    /// (--disk-max-bytes).
+    uint64_t DiskMaxBytes = 0;
   };
 
   struct StageCounters {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t Evictions = 0;
+    /// Disk-tier counters. A memory miss that loads from disk is a
+    /// DiskHit (the stage's Misses still counts the memory miss, so
+    /// existing memory-tier assertions keep their meaning); DiskCorrupt
+    /// entries (validation failures) also count as DiskMisses since the
+    /// artifact had to be recomputed.
+    uint64_t DiskHits = 0;
+    uint64_t DiskMisses = 0;
+    uint64_t DiskEvictions = 0;
+    uint64_t DiskCorrupt = 0;
   };
 
   /// Monotonic counter snapshot. Matrix runs diff two snapshots to report
@@ -115,6 +149,10 @@ public:
     uint64_t Evictions = 0;
     /// Bytes of MiniC source whose recompilation hits avoided.
     uint64_t BytesSaved = 0;
+    uint64_t DiskHits = 0;
+    uint64_t DiskMisses = 0;
+    uint64_t DiskEvictions = 0;
+    uint64_t DiskCorrupt = 0;
 
     StageCounters stage(ArtifactStage S) const {
       return PerStage[static_cast<size_t>(S)];
@@ -125,11 +163,15 @@ public:
 
   /// A disabled store never retains anything: every request recomputes
   /// (counted as a miss), which is what --no-cache runs use.
-  explicit ArtifactStore(bool Enabled = true) : Cfg{Enabled, 0} {}
-  explicit ArtifactStore(Config C) : Cfg(C) {}
+  explicit ArtifactStore(bool Enabled = true)
+      : ArtifactStore(Config{Enabled, 0, {}, 0}) {}
+  explicit ArtifactStore(Config C);
+  ~ArtifactStore();
 
   bool enabled() const { return Cfg.Enabled; }
   uint64_t maxBytes() const { return Cfg.MaxBytes; }
+  /// The disk tier, if configured (test/telemetry hook).
+  DiskCache *diskCache() const { return Disk.get(); }
 
   /// Returns the artifact for \p K, computing it with \p Compute on first
   /// request. \p CostBytes is the recompilation cost a future hit on this
@@ -139,13 +181,20 @@ public:
   /// store lock. Failed computations are artifacts too (e.g. a
   /// CompiledWorkload carrying its frontend error), so failures are
   /// computed once like successes, never retried.
+  ///
+  /// When a \p Codec is given and the disk tier is configured, a memory
+  /// miss first consults the disk: a validated stored payload decodes in
+  /// place of \p Compute, and a computed value is written back for the
+  /// next process. Without a codec the key is memory-only.
   template <typename T>
   std::shared_ptr<const T>
   getOrCompute(const ArtifactKey &K, uint64_t CostBytes,
-               const std::function<std::shared_ptr<const T>()> &Compute) {
+               const std::function<std::shared_ptr<const T>()> &Compute,
+               const ArtifactCodec *Codec = nullptr) {
     return std::static_pointer_cast<const T>(getOrComputeErased(
         K, CostBytes, std::type_index(typeid(T)),
-        [&Compute]() -> std::shared_ptr<const void> { return Compute(); }));
+        [&Compute]() -> std::shared_ptr<const void> { return Compute(); },
+        Codec));
   }
 
   /// Current counters (cheap copy under the lock).
@@ -169,7 +218,17 @@ private:
   std::shared_ptr<const void>
   getOrComputeErased(const ArtifactKey &K, uint64_t CostBytes,
                      std::type_index Type,
-                     const std::function<std::shared_ptr<const void>()> &F);
+                     const std::function<std::shared_ptr<const void>()> &F,
+                     const ArtifactCodec *Codec);
+
+  /// Disk-tier lookup for a first requester (memory miss). Returns the
+  /// decoded value or null, updating disk counters.
+  std::shared_ptr<const void> diskLoad(const ArtifactKey &K,
+                                       const ArtifactCodec *Codec);
+
+  /// Writes a freshly computed value through to the disk tier.
+  void diskStore(const ArtifactKey &K, const void *Value,
+                 const ArtifactCodec *Codec);
 
   struct Entry {
     std::shared_future<std::shared_ptr<const void>> Value;
@@ -193,6 +252,9 @@ private:
   void markReady(const ArtifactKey &K);
 
   const Config Cfg;
+  /// The disk tier (null without Config::CacheDir). Its I/O happens
+  /// outside \c M, on the first-requester path only.
+  std::unique_ptr<DiskCache> Disk;
   mutable std::mutex M;
   std::map<ArtifactKey, Entry> Artifacts;
   Snapshot Counters;

@@ -1,0 +1,110 @@
+//===- harness/DiskCache.h - On-disk artifact tier --------------*- C++ -*-===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed blob store backing the ArtifactStore's disk tier.
+/// One artifact = one file under the cache directory, named
+///
+///   <stage-name>-<16 hex digits of ArtifactKey::address()>.art
+///
+/// Each file carries a self-validating envelope (magic, version, FNV-1a
+/// checksum, the full key, then the payload), so a truncated, bit-flipped
+/// or wrong-version file is detected on read, deleted, and reported as
+/// Corrupt — the caller recomputes and overwrites. The full embedded key
+/// also makes the (telemetry-grade) 64-bit filename address safe: a
+/// colliding key reads as a plain Miss, never as someone else's bytes.
+///
+/// Retention is an LRU byte cap over the file sizes (Config::MaxBytes,
+/// 0 = unbounded). The LRU order is process-local (seeded from file
+/// mtimes at startup, refreshed on every hit); eviction unlinks files.
+/// Writes are atomic: payloads land in a tmp file first and rename(2)
+/// into place, so concurrent readers — including other processes sharing
+/// the directory, e.g. shards on one machine — see either the old
+/// complete artifact or the new one, never a torn write.
+///
+/// The class is a dumb byte store: (de)serialization of artifact values
+/// lives with the stage codecs (harness/Evaluator.cpp), and hit/miss
+/// accounting lives in the ArtifactStore that owns this tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KHAOS_HARNESS_DISKCACHE_H
+#define KHAOS_HARNESS_DISKCACHE_H
+
+#include "harness/ArtifactStore.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace khaos {
+
+/// On-disk envelope constants (pinned by DiskCacheTest).
+constexpr uint32_t DiskCacheMagic = 0x4B444331; // "KDC1"
+constexpr uint16_t DiskCacheVersion = 1;
+
+/// Outcome of one disk lookup.
+enum class DiskGetStatus : uint8_t {
+  Hit,     ///< Payload returned, envelope fully validated.
+  Miss,    ///< No file for this key (or an address-colliding other key).
+  Corrupt, ///< File existed but failed validation; it has been deleted.
+};
+
+class DiskCache {
+public:
+  struct Config {
+    /// Cache directory; created (one level) if missing.
+    std::string Dir;
+    /// LRU byte cap over stored file sizes; 0 = unbounded.
+    uint64_t MaxBytes = 0;
+  };
+
+  /// Scans \p C.Dir and seeds the LRU index from the surviving files
+  /// (oldest mtime = first eviction candidate). Leftover tmp files from a
+  /// crashed writer are removed.
+  explicit DiskCache(Config C);
+
+  /// Looks up \p K. On Hit, \p Payload holds the stored bytes.
+  DiskGetStatus get(const ArtifactKey &K, std::vector<uint8_t> &Payload);
+
+  /// Stores \p Payload under \p K (overwriting any previous file at the
+  /// same address), then evicts LRU files until the byte cap fits.
+  /// Returns the number of files evicted. A payload whose file would
+  /// alone exceed the cap is not stored (returns 0).
+  unsigned put(const ArtifactKey &K, const std::vector<uint8_t> &Payload);
+
+  /// Sum of indexed file sizes (the value MaxBytes bounds).
+  uint64_t totalBytes() const;
+
+  /// Number of indexed artifact files.
+  size_t fileCount() const;
+
+  const std::string &dir() const { return Cfg.Dir; }
+
+private:
+  struct FileInfo {
+    uint64_t Bytes = 0;
+    uint64_t LastUse = 0;
+  };
+
+  std::string pathFor(const ArtifactKey &K) const;
+  void evictLocked(const std::string &Keep);
+  void forgetLocked(const std::string &Name);
+
+  const Config Cfg;
+  mutable std::mutex M;
+  /// Filename (not full path) -> size + LRU tick.
+  std::map<std::string, FileInfo> Files;
+  uint64_t TotalBytes = 0;
+  uint64_t UseTick = 0;
+  uint64_t TmpCounter = 0;
+};
+
+} // namespace khaos
+
+#endif // KHAOS_HARNESS_DISKCACHE_H

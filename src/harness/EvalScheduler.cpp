@@ -64,9 +64,13 @@ void EvalRunStats::mergeCache(const ArtifactStore::Snapshot &Delta) {
   CacheMisses += Delta.Misses;
   CacheEvictions += Delta.Evictions;
   CacheBytesSaved += Delta.BytesSaved;
+  DiskHits += Delta.DiskHits;
+  DiskMisses += Delta.DiskMisses;
+  DiskEvictions += Delta.DiskEvictions;
+  DiskCorrupt += Delta.DiskCorrupt;
 }
 
-EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
+EvalScheduler::EvalScheduler(Config C) : Cfg(std::move(C)) {
   if (Cfg.Shards == 0)
     Cfg.Shards = 1;
   if (Cfg.ShardIdx >= Cfg.Shards) {
@@ -86,7 +90,69 @@ EvalScheduler::EvalScheduler(Config C) : Cfg(C) {
   PC.CacheEnabled = Cfg.CacheEnabled;
   PC.StoreMaxBytes = Cfg.StoreMaxBytes;
   PC.Engine = Cfg.Engine;
+  PC.CacheDir = Cfg.CacheDir;
+  PC.DiskMaxBytes = Cfg.DiskMaxBytes;
   Pipe = std::make_shared<EvalPipeline>(PC);
+
+  if (!Cfg.ConnectPath.empty()) {
+    // Fail fast, and fail loud: a daemon whose engine or cache setting
+    // differs from this run's flags would NOT produce byte-identical
+    // results, which is the whole --connect contract.
+    auto Client = std::unique_ptr<EvalClient>(new EvalClient());
+    std::string Err;
+    EvalRequest Req;
+    Req.Kind = EvalWireKind::Ping;
+    EvalResponse Resp;
+    if (!Client->connect(Cfg.ConnectPath, Err) ||
+        !Client->call(Req, Resp, Err) || !Resp.Ok) {
+      std::fprintf(stderr, "EvalScheduler: cannot reach khaos-evald at "
+                           "'%s': %s\n",
+                   Cfg.ConnectPath.c_str(), Err.c_str());
+      std::abort();
+    }
+    if (Resp.Engine != static_cast<uint8_t>(Cfg.Engine) ||
+        (Resp.CacheEnabled != 0) != Cfg.CacheEnabled) {
+      std::fprintf(stderr,
+                   "EvalScheduler: khaos-evald at '%s' runs engine=%s "
+                   "cache=%s but this run wants engine=%s cache=%s — "
+                   "results would not be comparable\n",
+                   Cfg.ConnectPath.c_str(),
+                   vmEngineName(static_cast<VMEngine>(Resp.Engine)),
+                   Resp.CacheEnabled ? "on" : "off",
+                   vmEngineName(Cfg.Engine),
+                   Cfg.CacheEnabled ? "on" : "off");
+      std::abort();
+    }
+    std::lock_guard<std::mutex> Lock(ClientsM);
+    Clients.push_back(std::move(Client));
+  }
+}
+
+EvalScheduler::~EvalScheduler() = default;
+
+std::unique_ptr<EvalClient> EvalScheduler::acquireClient() const {
+  {
+    std::lock_guard<std::mutex> Lock(ClientsM);
+    if (!Clients.empty()) {
+      std::unique_ptr<EvalClient> C = std::move(Clients.back());
+      Clients.pop_back();
+      return C;
+    }
+  }
+  auto C = std::unique_ptr<EvalClient>(new EvalClient());
+  std::string Err;
+  if (!C->connect(Cfg.ConnectPath, Err)) {
+    std::fprintf(stderr, "EvalScheduler: cannot reach khaos-evald at "
+                         "'%s': %s\n",
+                 Cfg.ConnectPath.c_str(), Err.c_str());
+    std::abort();
+  }
+  return C;
+}
+
+void EvalScheduler::releaseClient(std::unique_ptr<EvalClient> C) const {
+  std::lock_guard<std::mutex> Lock(ClientsM);
+  Clients.push_back(std::move(C));
 }
 
 void EvalScheduler::runPool(size_t N,
@@ -193,6 +259,36 @@ EvalScheduler::overheadMatrix(const std::vector<Workload> &Workloads,
                               EvalRunStats *RunStats) const {
   ArtifactStore::Snapshot Before = Pipe->store().stats();
   std::vector<CellOverhead> Out(Workloads.size() * Modes.size());
+  if (remote()) {
+    // Same fan-out, same per-cell seeds — the measurement just happens on
+    // the daemon's warm pipeline. The percent travels as raw double bits,
+    // so downstream formatting is byte-identical to an in-process run.
+    forEachCell(Workloads, Modes, [&](const EvalCell &C) {
+      std::unique_ptr<EvalClient> Client = acquireClient();
+      EvalRequest Req;
+      Req.Kind = EvalWireKind::Overhead;
+      Req.WorkloadName = C.W->Name;
+      Req.WorkloadSource = C.W->Source;
+      Req.Mode = C.Mode;
+      Req.Seed = C.Seed;
+      EvalResponse Resp;
+      std::string Err;
+      if (!Client->call(Req, Resp, Err) || !Resp.Ok) {
+        std::fprintf(stderr,
+                     "EvalScheduler: evald overhead request failed: %s\n",
+                     Err.empty() ? Resp.Error.c_str() : Err.c_str());
+        std::abort();
+      }
+      releaseClient(std::move(Client));
+      CellOverhead &Slot = Out[C.FlatIdx];
+      Slot.Ran = true;
+      Slot.Ok = Resp.Measured != 0;
+      Slot.Percent = Resp.Percent;
+      if (RunStats)
+        RunStats->countCell(!Slot.Ok);
+    });
+    return Out;
+  }
   forEachCell(Workloads, Modes, [&](const EvalCell &C) {
     CellOverhead &Slot = Out[C.FlatIdx];
     Slot.Ran = true;
@@ -204,6 +300,76 @@ EvalScheduler::overheadMatrix(const std::vector<Workload> &Workloads,
     RunStats->mergeCache(
         ArtifactStore::Snapshot::delta(Pipe->store().stats(), Before));
   return Out;
+}
+
+std::vector<uint8_t> EvalScheduler::remoteCellToolPlane(
+    const std::vector<Workload> &Workloads,
+    const std::vector<ObfuscationMode> &Modes,
+    const std::vector<std::string> &ToolNames,
+    const std::function<void(const EvalTask &, const EvalResponse &)> &Fn,
+    EvalRunStats *RunStats) const {
+  // Validate locally against the same registry the daemon checks; a
+  // mismatch is version skew and the daemon would reject the request.
+  for (const std::string &Name : ToolNames) {
+    if (!isDiffToolRegistered(Name)) {
+      std::fprintf(stderr, "EvalScheduler: unknown diffing tool '%s'\n",
+                   Name.c_str());
+      std::abort();
+    }
+  }
+
+  std::vector<uint8_t> CellOk(Workloads.size() * Modes.size(), 0);
+  forEachCellTask(
+      Workloads, Modes, ToolNames.empty() ? 1 : ToolNames.size(),
+      [&](const EvalTask &T) {
+        std::unique_ptr<EvalClient> Client = acquireClient();
+        EvalRequest Req;
+        Req.Kind = EvalWireKind::DiffTask;
+        Req.WorkloadName = T.Cell.W->Name;
+        Req.WorkloadSource = T.Cell.W->Source;
+        Req.VulnFunctions = T.Cell.W->VulnFunctions;
+        Req.Mode = T.Cell.Mode;
+        Req.Seed = T.Cell.Seed;
+        if (T.ToolIdx < ToolNames.size())
+          Req.Tool = ToolNames[T.ToolIdx];
+        EvalResponse Resp;
+        std::string Err;
+        if (!Client->call(Req, Resp, Err) || !Resp.Ok) {
+          std::fprintf(stderr,
+                       "EvalScheduler: evald diff request failed: %s\n",
+                       Err.empty() ? Resp.Error.c_str() : Err.c_str());
+          std::abort();
+        }
+        releaseClient(std::move(Client));
+        bool ImagesOk = Resp.ImagesOk != 0;
+        if (T.ToolIdx == 0)
+          CellOk[T.Cell.FlatIdx] = ImagesOk ? 1 : 0;
+        if (!ImagesOk || T.ToolIdx >= ToolNames.size())
+          return;
+        if (!Resp.ToolOk) {
+          // Same failure shape as the in-process plane: the task renders
+          // as "n/a", siblings and the run keep going.
+          std::fprintf(stderr,
+                       "[scheduler] tool '%s' failed on %s/%s: %s\n",
+                       ToolNames[T.ToolIdx].c_str(),
+                       T.Cell.W->Name.c_str(),
+                       obfuscationModeName(T.Cell.Mode),
+                       Resp.ToolError.c_str());
+          if (RunStats)
+            RunStats->countToolFailure();
+          return;
+        }
+        Fn(T, Resp);
+      });
+
+  // Deterministic post-pass, mirroring runCellToolPlane. Cache counters
+  // stay zero: the artifacts live in the daemon's store, which reports
+  // its own telemetry.
+  if (RunStats)
+    for (size_t Flat = 0; Flat != CellOk.size(); ++Flat)
+      if (ownsCell(Flat))
+        RunStats->countCell(!CellOk[Flat]);
+  return CellOk;
 }
 
 std::vector<uint8_t> EvalScheduler::runCellToolPlane(
@@ -287,13 +453,23 @@ EvalScheduler::precisionMatrix(const std::vector<Workload> &Workloads,
     Out[Flat].PerTool.assign(ToolNames.size(), -1.0);
   }
 
-  std::vector<uint8_t> CellOk = runCellToolPlane(
-      Workloads, Modes, ToolNames,
-      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &,
-          const EvalPipeline::ImageArtifact &, const DiffOutcome &O) {
-        Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] = O.Precision;
-      },
-      RunStats);
+  std::vector<uint8_t> CellOk =
+      remote() ? remoteCellToolPlane(
+                     Workloads, Modes, ToolNames,
+                     [&](const EvalTask &T, const EvalResponse &Resp) {
+                       Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] =
+                           Resp.Precision;
+                     },
+                     RunStats)
+               : runCellToolPlane(
+                     Workloads, Modes, ToolNames,
+                     [&](const EvalTask &T,
+                         const EvalPipeline::ImageArtifact &,
+                         const EvalPipeline::ImageArtifact &,
+                         const DiffOutcome &O) {
+                       Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] = O.Precision;
+                     },
+                     RunStats);
 
   for (size_t Flat = 0; Flat != Out.size(); ++Flat)
     if (Out[Flat].Ran)
@@ -314,17 +490,30 @@ EvalScheduler::vulnRankMatrix(const std::vector<Workload> &Workloads,
     Out[Flat].PerTool.resize(ToolNames.size());
   }
 
-  std::vector<uint8_t> CellOk = runCellToolPlane(
-      Workloads, Modes, ToolNames,
-      [&](const EvalTask &T, const EvalPipeline::ImageArtifact &A,
-          const EvalPipeline::ImageArtifact &B, const DiffOutcome &O) {
-        std::vector<uint32_t> &Ranks =
-            Out[T.Cell.FlatIdx].PerTool[T.ToolIdx];
-        Ranks.reserve(T.Cell.W->VulnFunctions.size());
-        for (const std::string &V : T.Cell.W->VulnFunctions)
-          Ranks.push_back(trueMatchRank(A.Image, B.Image, O.Raw, V));
-      },
-      RunStats);
+  std::vector<uint8_t> CellOk =
+      remote() ? remoteCellToolPlane(
+                     Workloads, Modes, ToolNames,
+                     [&](const EvalTask &T, const EvalResponse &Resp) {
+                       // The daemon computed trueMatchRank over the same
+                       // images and raw rankings; ranks travel verbatim.
+                       Out[T.Cell.FlatIdx].PerTool[T.ToolIdx] =
+                           Resp.VulnRanks;
+                     },
+                     RunStats)
+               : runCellToolPlane(
+                     Workloads, Modes, ToolNames,
+                     [&](const EvalTask &T,
+                         const EvalPipeline::ImageArtifact &A,
+                         const EvalPipeline::ImageArtifact &B,
+                         const DiffOutcome &O) {
+                       std::vector<uint32_t> &Ranks =
+                           Out[T.Cell.FlatIdx].PerTool[T.ToolIdx];
+                       Ranks.reserve(T.Cell.W->VulnFunctions.size());
+                       for (const std::string &V : T.Cell.W->VulnFunctions)
+                         Ranks.push_back(
+                             trueMatchRank(A.Image, B.Image, O.Raw, V));
+                     },
+                     RunStats);
 
   for (size_t Flat = 0; Flat != Out.size(); ++Flat)
     if (Out[Flat].Ran)

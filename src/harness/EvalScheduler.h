@@ -33,9 +33,11 @@
 #ifndef KHAOS_HARNESS_EVALSCHEDULER_H
 #define KHAOS_HARNESS_EVALSCHEDULER_H
 
+#include "harness/EvalService.h"
 #include "harness/Evaluator.h"
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -85,6 +87,11 @@ struct EvalRunStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0; ///< LRU evictions under --store-max-bytes.
   uint64_t CacheBytesSaved = 0; ///< Bytes of recompilation avoided.
+  // Disk-tier telemetry (--cache-dir); all zero without a disk tier.
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
+  uint64_t DiskEvictions = 0; ///< File evictions under --disk-max-bytes.
+  uint64_t DiskCorrupt = 0;   ///< Invalid on-disk artifacts discarded.
 
   /// Thread-safe: folds one cell's transformation stats into the totals.
   void mergeCell(const ObfuscationResult &R, bool Failed);
@@ -116,10 +123,28 @@ public:
     /// (--vm reference|precompiled). Both engines produce byte-identical
     /// stdout, so shard merging is engine-agnostic.
     VMEngine Engine = VMEngine::Precompiled;
+    /// Persistent disk tier for the pipeline's store (--cache-dir);
+    /// empty = memory-only.
+    std::string CacheDir = {};
+    /// Disk-tier byte cap (--disk-max-bytes); 0 = unbounded.
+    uint64_t DiskMaxBytes = 0;
+    /// khaos-evald socket (--connect); when set, the overhead and
+    /// (cell × tool) matrix front-ends execute their cells on the daemon
+    /// against its shared warm store instead of in-process. Per-cell
+    /// seeds are derived locally and shipped in the request, so remote
+    /// results — and bench stdout — are byte-identical to in-process
+    /// runs. The constructor pings the daemon and aborts on a
+    /// configuration mismatch (engine or cache setting), which would
+    /// silently break that identity.
+    std::string ConnectPath = {};
   };
 
   explicit EvalScheduler(Config C);
   EvalScheduler() : EvalScheduler(Config{}) {}
+  ~EvalScheduler();
+
+  /// True when matrix cells execute on a khaos-evald daemon (--connect).
+  bool remote() const { return !Cfg.ConnectPath.empty(); }
 
   /// The worker count actually used (>= 1).
   unsigned threadCount() const { return Workers; }
@@ -241,6 +266,23 @@ private:
                                const EvalPipeline::ImageArtifact &,
                                const DiffOutcome &)> &Fn,
       EvalRunStats *RunStats) const;
+  /// Remote twin of runCellToolPlane: ships each (cell × tool) task to
+  /// the daemon as a DiffTask request and feeds the response to \p Fn.
+  /// Same failure reporting, same CellOk bookkeeping, byte-identical
+  /// downstream output.
+  std::vector<uint8_t> remoteCellToolPlane(
+      const std::vector<Workload> &Workloads,
+      const std::vector<ObfuscationMode> &Modes,
+      const std::vector<std::string> &ToolNames,
+      const std::function<void(const EvalTask &, const EvalResponse &)> &Fn,
+      EvalRunStats *RunStats) const;
+
+  /// Borrows a connected client from the pool (one per concurrent
+  /// worker; new connections are opened on demand). die-on-failure: a
+  /// daemon that vanishes mid-run cannot produce a correct matrix.
+  std::unique_ptr<EvalClient> acquireClient() const;
+  void releaseClient(std::unique_ptr<EvalClient> C) const;
+
   /// Runs Fn(0..N-1) on the worker pool (atomic-ticket work stealing).
   void runPool(size_t N, const std::function<void(size_t)> &Fn) const;
 
@@ -252,6 +294,8 @@ private:
   Config Cfg;
   unsigned Workers;
   std::shared_ptr<EvalPipeline> Pipe;
+  mutable std::mutex ClientsM;
+  mutable std::vector<std::unique_ptr<EvalClient>> Clients;
 };
 
 } // namespace khaos

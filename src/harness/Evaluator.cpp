@@ -6,6 +6,7 @@
 
 #include "harness/Evaluator.h"
 
+#include "diffing/DiffWorkerProtocol.h"
 #include "diffing/Metrics.h"
 #include "frontend/IRGen.h"
 #include "vm/PrecompiledInterpreter.h"
@@ -64,6 +65,128 @@ uint64_t fingerprintFission(const FissionOptions &Opts) {
   for (char C : Opts.SepSuffix)
     Mix(static_cast<unsigned char>(C));
   return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk-tier codecs. Only plain-data stages have one: the module-holding
+// stages (Baseline, FissionStage, PrecompiledModule) would need an IR
+// serializer to persist, and recompiling them is exactly what a disk-hit
+// on the downstream image/run/diff stages avoids anyway. Every codec
+// declines to Encode failure artifacts — a transient failure (frontend
+// bug under a fuzzer seed, a worker timeout) must not become permanent
+// across processes. Encodings reuse the diff-worker wire primitives, so
+// a decoded artifact is field-for-field identical to the computed one
+// (doubles travel as raw bit patterns): cold vs. warm runs stay
+// byte-identical, the disk tier's contract.
+//===----------------------------------------------------------------------===//
+
+void writeExecResult(WireWriter &W, const ExecResult &R) {
+  W.u8(R.Ok ? 1 : 0);
+  W.str(R.Error);
+  W.str(R.FaultFunction);
+  W.str(R.FaultBlock);
+  W.i64(R.ExitValue);
+  W.str(R.Stdout);
+  W.u64(R.Steps);
+  W.u64(R.Cost);
+}
+
+bool readExecResult(WireReader &R, ExecResult &Out) {
+  Out.Ok = R.u8() != 0;
+  Out.Error = R.str();
+  Out.FaultFunction = R.str();
+  Out.FaultBlock = R.str();
+  Out.ExitValue = R.i64();
+  Out.Stdout = R.str();
+  Out.Steps = R.u64();
+  Out.Cost = R.u64();
+  return R.ok();
+}
+
+const ArtifactCodec &baselineRunCodec() {
+  static const ArtifactCodec C{
+      [](const void *V, std::vector<uint8_t> &Out) {
+        const auto *A =
+            static_cast<const EvalPipeline::BaselineRunArtifact *>(V);
+        if (!A->Ok)
+          return false;
+        WireWriter W;
+        writeExecResult(W, A->Run);
+        Out = std::move(W.Buf);
+        return true;
+      },
+      [](const uint8_t *D, size_t N) -> std::shared_ptr<const void> {
+        WireReader R(D, N);
+        auto A = std::make_shared<EvalPipeline::BaselineRunArtifact>();
+        if (!readExecResult(R, A->Run) || !R.atEnd())
+          return nullptr;
+        A->Ok = true;
+        return A;
+      }};
+  return C;
+}
+
+const ArtifactCodec &imageCodec() {
+  static const ArtifactCodec C{
+      [](const void *V, std::vector<uint8_t> &Out) {
+        const auto *A = static_cast<const EvalPipeline::ImageArtifact *>(V);
+        if (!A->Ok)
+          return false;
+        WireWriter W;
+        writeBinaryImage(W, A->Image);
+        writeImageFeatures(W, A->Features);
+        Out = std::move(W.Buf);
+        return true;
+      },
+      [](const uint8_t *D, size_t N) -> std::shared_ptr<const void> {
+        WireReader R(D, N);
+        auto A = std::make_shared<EvalPipeline::ImageArtifact>();
+        if (!readBinaryImage(R, A->Image) ||
+            !readImageFeatures(R, A->Features) || !R.atEnd())
+          return nullptr;
+        A->Ok = true;
+        return A;
+      }};
+  return C;
+}
+
+const ArtifactCodec &diffOutcomeCodec() {
+  static const ArtifactCodec C{
+      [](const void *V, std::vector<uint8_t> &Out) {
+        const auto *A = static_cast<const EvalPipeline::DiffArtifact *>(V);
+        if (!A->Ok)
+          return false;
+        WireWriter W;
+        W.f64(A->Outcome.Precision);
+        W.f64(A->Outcome.Similarity);
+        W.vec(A->Outcome.Raw.Rankings,
+              [&](const std::vector<uint32_t> &Ranking) {
+                W.vec(Ranking, [&](uint32_t I) { W.u32(I); });
+              });
+        W.f64(A->Outcome.Raw.WholeBinarySimilarity);
+        Out = std::move(W.Buf);
+        return true;
+      },
+      [](const uint8_t *D, size_t N) -> std::shared_ptr<const void> {
+        WireReader R(D, N);
+        auto A = std::make_shared<EvalPipeline::DiffArtifact>();
+        A->Outcome.Precision = R.f64();
+        A->Outcome.Similarity = R.f64();
+        uint32_t NR = R.count();
+        A->Outcome.Raw.Rankings.resize(NR);
+        for (uint32_t I = 0; I != NR && R.ok(); ++I) {
+          uint32_t M = R.count();
+          A->Outcome.Raw.Rankings[I].resize(M);
+          for (uint32_t J = 0; J != M && R.ok(); ++J)
+            A->Outcome.Raw.Rankings[I][J] = R.u32();
+        }
+        A->Outcome.Raw.WholeBinarySimilarity = R.f64();
+        if (!R.ok() || !R.atEnd())
+          return nullptr;
+        A->Ok = true;
+        return A;
+      }};
+  return C;
 }
 
 } // namespace
@@ -132,7 +255,8 @@ EvalPipeline::baselineRun(const Workload &W) {
         }
         Out->Ok = Out->Run.Ok && Out->Run.Cost != 0;
         return Out;
-      });
+      },
+      &baselineRunCodec());
 }
 
 std::shared_ptr<const EvalPipeline::ImageArtifact>
@@ -151,7 +275,8 @@ EvalPipeline::baselineImage(const Workload &W, OptLevel Level,
         Out->Features = extractFeatures(Out->Image);
         Out->Ok = true;
         return Out;
-      });
+      },
+      &imageCodec());
 }
 
 std::shared_ptr<const EvalPipeline::FissionArtifact>
@@ -238,7 +363,8 @@ EvalPipeline::obfuscatedImage(const Workload &W, ObfuscationMode Mode,
         Out->Features = extractFeatures(Out->Image);
         Out->Ok = true;
         return Out;
-      });
+      },
+      &imageCodec());
 }
 
 std::shared_ptr<const EvalPipeline::DiffArtifact>
@@ -276,7 +402,8 @@ EvalPipeline::diffOutcome(const Workload &W, ObfuscationMode Mode,
           Out->Error = E.what();
         }
         return Out;
-      });
+      },
+      &diffOutcomeCodec());
 }
 
 DiffImages EvalPipeline::diffImages(const Workload &W, ObfuscationMode Mode,

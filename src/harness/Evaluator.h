@@ -89,10 +89,18 @@ public:
     /// Which VM engine executes programs (--vm). Part of the BaselineRun
     /// artifact key, so one pipeline can serve A/B comparisons.
     VMEngine Engine = VMEngine::Precompiled;
+    /// Persistent disk tier under this directory (--cache-dir); empty =
+    /// memory-only. Stages that are plain data (BaselineRun, the two
+    /// image stages, DiffOutcome) survive process restarts; module-
+    /// holding stages stay memory-only.
+    std::string CacheDir = {};
+    /// Disk-tier byte cap (--disk-max-bytes); 0 = unbounded.
+    uint64_t DiskMaxBytes = 0;
   };
 
   explicit EvalPipeline(Config C)
-      : Cfg(C), Store(ArtifactStore::Config{C.CacheEnabled, C.StoreMaxBytes}) {}
+      : Cfg(C), Store(ArtifactStore::Config{C.CacheEnabled, C.StoreMaxBytes,
+                                            C.CacheDir, C.DiskMaxBytes}) {}
   EvalPipeline() : EvalPipeline(Config{}) {}
 
   const Config &config() const { return Cfg; }

@@ -47,7 +47,7 @@ std::shared_ptr<const int> getInt(ArtifactStore &S, const ArtifactKey &K,
 }
 
 TEST(ArtifactStoreEviction, LruOrderRespectedUnderTightCap) {
-  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/100});
+  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/100, {}, 0});
   std::atomic<int> Computes{0};
 
   auto A = getInt(S, key("A"), 40, 1, Computes);
@@ -79,7 +79,7 @@ TEST(ArtifactStoreEviction, LruOrderRespectedUnderTightCap) {
 }
 
 TEST(ArtifactStoreEviction, UnboundedStoreNeverEvicts) {
-  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/0});
+  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/0, {}, 0});
   std::atomic<int> Computes{0};
   for (int I = 0; I != 50; ++I) {
     // Append-style concat sidesteps a GCC 12 -Wrestrict false positive
@@ -93,7 +93,7 @@ TEST(ArtifactStoreEviction, UnboundedStoreNeverEvicts) {
 }
 
 TEST(ArtifactStoreEviction, InFlightComputationIsPinned) {
-  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/50});
+  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/50, {}, 0});
 
   std::mutex M;
   std::condition_variable CV;
@@ -193,7 +193,7 @@ TEST(ArtifactStoreEviction, BoundedSchedulerRunMatchesUnbounded) {
 /// interleave constantly. Run under TSan/ASan in CI; labeled slow so the
 /// default ctest wall-clock stays lean.
 TEST(ArtifactStoreEviction, MultithreadedGetEvictSlowStress) {
-  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/500});
+  ArtifactStore S(ArtifactStore::Config{true, /*MaxBytes=*/500, {}, 0});
   constexpr int Threads = 8;
   constexpr int Iters = 1500;
   constexpr int Keys = 64;

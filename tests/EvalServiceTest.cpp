@@ -1,0 +1,461 @@
+//===- tests/EvalServiceTest.cpp - Eval daemon protocol + serving ---------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The khaos-evald serving contract: golden wire frames (the format
+/// cannot drift silently), encode/decode round trips with malformed-frame
+/// rejection, server/client parity against the same computation done
+/// in-process, many concurrent clients on one shared warm pipeline, the
+/// EvalScheduler's --connect routing producing identical matrices, and
+/// hung-worker isolation (a timed-out subprocess tool fails one request
+/// without stalling the daemon's other clients).
+///
+//===----------------------------------------------------------------------===//
+
+#include "diffing/SubprocessDiffTool.h"
+#include "harness/DifferentialFuzzer.h"
+#include "harness/EvalScheduler.h"
+#include "harness/EvalService.h"
+#include "workloads/Suites.h"
+#include "workloads/SyntheticProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace khaos;
+
+namespace {
+
+std::string freshSocket(const char *Tag) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "khaos-evald-" + Tag + "-" +
+         std::to_string(::getpid()) + "-" + std::to_string(++Counter) +
+         ".sock";
+}
+
+EvalPipeline::Config inProcessConfig() {
+  return EvalPipeline::Config{/*CacheEnabled=*/true, /*StoreMaxBytes=*/0,
+                              VMEngine::Precompiled, {}, 0};
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format.
+//===----------------------------------------------------------------------===//
+
+/// The 8-byte header is the protocol's anchor: "KEV1" little-endian,
+/// version 1, type, kind. Pinning the exact bytes of a Ping request means
+/// any layout change must bump EvalWireVersion rather than silently
+/// desync daemon and clients built from different revisions.
+TEST(EvalWire, GoldenPingRequestBytes) {
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::Ping;
+  std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
+  const std::vector<uint8_t> Expected = {
+      0x31, 0x56, 0x45, 0x4B, // magic "KEV1" little-endian
+      0x01, 0x00,             // version 1
+      0x01,                   // type = request
+      0x01,                   // kind = Ping
+  };
+  EXPECT_EQ(Bytes, Expected);
+}
+
+TEST(EvalWire, GoldenOverheadRequestBytes) {
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::Overhead;
+  Req.WorkloadName = "ab";
+  Req.WorkloadSource = "x";
+  Req.Mode = ObfuscationMode::Fission;
+  Req.Seed = 0x0102030405060708ull;
+  std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
+  std::vector<uint8_t> Expected = {
+      0x31, 0x56, 0x45, 0x4B, 0x01, 0x00, 0x01, 0x02, // header, kind=2
+      0x02, 0x00, 0x00, 0x00, 'a',  'b',              // name
+      0x01, 0x00, 0x00, 0x00, 'x',                    // source
+      static_cast<uint8_t>(ObfuscationMode::Fission), // mode
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // seed LE
+  };
+  EXPECT_EQ(Bytes, Expected);
+}
+
+TEST(EvalWire, RequestRoundTripsEveryKind) {
+  EvalRequest Diff;
+  Diff.Kind = EvalWireKind::DiffTask;
+  Diff.WorkloadName = "wl";
+  Diff.WorkloadSource = "int main() { return 0; }";
+  Diff.VulnFunctions = {"f", "g"};
+  Diff.Mode = ObfuscationMode::Fusion;
+  Diff.Seed = 77;
+  Diff.Tool = "SAFE";
+
+  EvalRequest Fuzz;
+  Fuzz.Kind = EvalWireKind::FuzzBatch;
+  Fuzz.FuzzSeed = 0xdead;
+  Fuzz.FuzzBudget = 25;
+  Fuzz.FuzzEngine = 1;
+  Fuzz.FuzzCrossVM = 1;
+  Fuzz.FuzzVerbose = 0;
+
+  for (const EvalRequest &Req : {Diff, Fuzz}) {
+    EvalRequest Out;
+    std::string Err;
+    ASSERT_TRUE(decodeEvalRequest(encodeEvalRequest(Req), Out, Err)) << Err;
+    EXPECT_EQ(Out.Kind, Req.Kind);
+    EXPECT_EQ(Out.WorkloadName, Req.WorkloadName);
+    EXPECT_EQ(Out.WorkloadSource, Req.WorkloadSource);
+    EXPECT_EQ(Out.VulnFunctions, Req.VulnFunctions);
+    EXPECT_EQ(Out.Mode, Req.Mode);
+    EXPECT_EQ(Out.Seed, Req.Seed);
+    EXPECT_EQ(Out.Tool, Req.Tool);
+    EXPECT_EQ(Out.FuzzSeed, Req.FuzzSeed);
+    EXPECT_EQ(Out.FuzzBudget, Req.FuzzBudget);
+    EXPECT_EQ(Out.FuzzEngine, Req.FuzzEngine);
+    EXPECT_EQ(Out.FuzzCrossVM, Req.FuzzCrossVM);
+  }
+}
+
+TEST(EvalWire, ResponseRoundTripsWithDoublesBitExact) {
+  EvalResponse Resp;
+  Resp.Kind = EvalWireKind::DiffTask;
+  Resp.Ok = true;
+  Resp.ImagesOk = 1;
+  Resp.ToolOk = 1;
+  Resp.Precision = 0.1 + 0.2; // A value with ugly low bits.
+  Resp.Similarity = 1.0 / 3.0;
+  Resp.VulnRanks = {0, 4, UINT32_MAX};
+
+  EvalResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeEvalResponse(encodeEvalResponse(Resp), Out, Err)) << Err;
+  // Bit-exact, not approximately-equal: byte-identical stdout depends
+  // on doubles crossing the wire as raw IEEE-754 bits.
+  EXPECT_EQ(Out.Precision, Resp.Precision);
+  EXPECT_EQ(Out.Similarity, Resp.Similarity);
+  EXPECT_EQ(Out.VulnRanks, Resp.VulnRanks);
+
+  EvalResponse ErrResp;
+  ErrResp.Kind = EvalWireKind::Overhead;
+  ErrResp.Ok = false;
+  ErrResp.Error = "unknown diffing tool 'nope'";
+  ASSERT_TRUE(decodeEvalResponse(encodeEvalResponse(ErrResp), Out, Err));
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_EQ(Out.Error, ErrResp.Error);
+}
+
+TEST(EvalWire, MalformedFramesAreRejectedNotCrashed) {
+  EvalRequest Req;
+  std::string Err;
+
+  // Truncated at every prefix of a valid frame.
+  EvalRequest Whole;
+  Whole.Kind = EvalWireKind::DiffTask;
+  Whole.WorkloadName = "w";
+  Whole.Tool = "SAFE";
+  std::vector<uint8_t> Valid = encodeEvalRequest(Whole);
+  for (size_t Len = 0; Len != Valid.size(); ++Len) {
+    std::vector<uint8_t> Cut(Valid.begin(), Valid.begin() + Len);
+    EXPECT_FALSE(decodeEvalRequest(Cut, Req, Err)) << "length " << Len;
+  }
+
+  // Wrong magic, wrong version, trailing garbage.
+  std::vector<uint8_t> BadMagic = Valid;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(decodeEvalRequest(BadMagic, Req, Err));
+  std::vector<uint8_t> BadVersion = Valid;
+  BadVersion[4] = 0x7f;
+  EXPECT_FALSE(decodeEvalRequest(BadVersion, Req, Err));
+  std::vector<uint8_t> Trailing = Valid;
+  Trailing.push_back(0);
+  EXPECT_FALSE(decodeEvalRequest(Trailing, Req, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Serving.
+//===----------------------------------------------------------------------===//
+
+TEST(EvalServer, PingReportsDaemonConfiguration) {
+  EvalServer Server({freshSocket("ping"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  EvalClient Client;
+  ASSERT_TRUE(Client.connect(Server.socketPath(), Err)) << Err;
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::Ping;
+  EvalResponse Resp;
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Engine, static_cast<uint8_t>(VMEngine::Precompiled));
+  EXPECT_EQ(Resp.CacheEnabled, 1);
+  EXPECT_EQ(Resp.HasDiskTier, 0);
+  EXPECT_EQ(Server.requestsServed(), 1u);
+}
+
+TEST(EvalServer, DiffTaskMatchesInProcessPipeline) {
+  Workload W = specCpu2006Suite().front();
+  const ObfuscationMode Mode = ObfuscationMode::Fission;
+  const uint64_t Seed = 0xc906;
+
+  // The reference: the same computation done in-process.
+  EvalPipeline Local(inProcessConfig());
+  auto LocalDiff = Local.diffOutcome(W, Mode, Seed, "SAFE");
+  ASSERT_TRUE(LocalDiff->Ok);
+
+  EvalServer Server({freshSocket("diff"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+  EvalClient Client;
+  ASSERT_TRUE(Client.connect(Server.socketPath(), Err)) << Err;
+
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::DiffTask;
+  Req.WorkloadName = W.Name;
+  Req.WorkloadSource = W.Source;
+  Req.VulnFunctions = W.VulnFunctions;
+  Req.Mode = Mode;
+  Req.Seed = Seed;
+  Req.Tool = "SAFE";
+  EvalResponse Resp;
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(Resp.ImagesOk, 1);
+  EXPECT_EQ(Resp.ToolOk, 1);
+  EXPECT_EQ(Resp.Precision, LocalDiff->Outcome.Precision);
+  EXPECT_EQ(Resp.Similarity, LocalDiff->Outcome.Similarity);
+
+  // An unknown tool is a protocol error response, never a daemon abort.
+  Req.Tool = "no-such-tool";
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Error.find("no-such-tool"), std::string::npos);
+
+  // The daemon is still alive and serving after the error.
+  Req.Kind = EvalWireKind::Ping;
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok);
+}
+
+TEST(EvalServer, FourConcurrentClientsShareOneWarmPipeline) {
+  std::vector<Workload> Suite = specCpu2006Suite();
+  Suite.resize(2);
+  const ObfuscationMode Mode = ObfuscationMode::Sub;
+  const uint64_t Seed = 0xc906;
+
+  EvalPipeline Local(inProcessConfig());
+  std::vector<double> Expected;
+  for (const Workload &W : Suite) {
+    double Pct = 0.0;
+    ASSERT_TRUE(Local.overheadPercent(W, Mode, Pct, Seed));
+    Expected.push_back(Pct);
+  }
+
+  EvalServer Server({freshSocket("concurrent"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  // 4 clients, each asking for every cell: answers must agree with the
+  // in-process run bit for bit, concurrently, over one shared pipeline.
+  std::vector<std::vector<double>> Got(4);
+  std::vector<std::string> Errors(4);
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != 4; ++C)
+    Threads.emplace_back([&, C] {
+      EvalClient Client;
+      std::string E;
+      if (!Client.connect(Server.socketPath(), E)) {
+        Errors[C] = E;
+        return;
+      }
+      for (const Workload &W : Suite) {
+        EvalRequest Req;
+        Req.Kind = EvalWireKind::Overhead;
+        Req.WorkloadName = W.Name;
+        Req.WorkloadSource = W.Source;
+        Req.Mode = Mode;
+        Req.Seed = Seed;
+        EvalResponse Resp;
+        if (!Client.call(Req, Resp, E) || !Resp.Ok || !Resp.Measured) {
+          Errors[C] = E.empty() ? Resp.Error : E;
+          return;
+        }
+        Got[C].push_back(Resp.Percent);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int C = 0; C != 4; ++C) {
+    EXPECT_EQ(Errors[C], "");
+    EXPECT_EQ(Got[C], Expected) << "client " << C;
+  }
+  EXPECT_EQ(Server.requestsServed(), 4u * Suite.size());
+}
+
+TEST(EvalServer, SchedulerConnectMatrixMatchesInProcess) {
+  std::vector<Workload> Suite = specCpu2006Suite();
+  Suite.resize(2);
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::Fission,
+                                              ObfuscationMode::Sub};
+  const std::vector<std::string> Tools = {"Asm2Vec", "SAFE"};
+
+  EvalScheduler LocalSched({/*Threads=*/4, /*Seed=*/0xc906});
+  EvalRunStats LocalRun;
+  auto LocalCells =
+      LocalSched.precisionMatrix(Suite, Modes, Tools, &LocalRun);
+  auto LocalOverheads = LocalSched.overheadMatrix(Suite, Modes);
+  auto LocalRanks = LocalSched.vulnRankMatrix(Suite, Modes, Tools);
+
+  EvalServer Server({freshSocket("sched"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  EvalScheduler::Config RC;
+  RC.Threads = 4;
+  RC.Seed = 0xc906;
+  RC.ConnectPath = Server.socketPath();
+  EvalScheduler Remote(RC);
+  ASSERT_TRUE(Remote.remote());
+  EvalRunStats RemoteRun;
+  auto RemoteCells = Remote.precisionMatrix(Suite, Modes, Tools, &RemoteRun);
+  auto RemoteOverheads = Remote.overheadMatrix(Suite, Modes);
+  auto RemoteRanks = Remote.vulnRankMatrix(Suite, Modes, Tools);
+
+  ASSERT_EQ(RemoteCells.size(), LocalCells.size());
+  for (size_t I = 0; I != LocalCells.size(); ++I) {
+    EXPECT_EQ(RemoteCells[I].Ran, LocalCells[I].Ran);
+    EXPECT_EQ(RemoteCells[I].Ok, LocalCells[I].Ok);
+    EXPECT_EQ(RemoteCells[I].PerTool, LocalCells[I].PerTool) << "cell " << I;
+  }
+  ASSERT_EQ(RemoteOverheads.size(), LocalOverheads.size());
+  for (size_t I = 0; I != LocalOverheads.size(); ++I) {
+    EXPECT_EQ(RemoteOverheads[I].Ok, LocalOverheads[I].Ok);
+    EXPECT_EQ(RemoteOverheads[I].Percent, LocalOverheads[I].Percent);
+  }
+  ASSERT_EQ(RemoteRanks.size(), LocalRanks.size());
+  for (size_t I = 0; I != LocalRanks.size(); ++I)
+    EXPECT_EQ(RemoteRanks[I].PerTool, LocalRanks[I].PerTool) << "cell " << I;
+
+  EXPECT_EQ(RemoteRun.Cells, LocalRun.Cells);
+  EXPECT_EQ(RemoteRun.Failures, LocalRun.Failures);
+  EXPECT_EQ(RemoteRun.ToolFailures, LocalRun.ToolFailures);
+  // Cache accounting lives daemon-side in remote mode.
+  EXPECT_EQ(RemoteRun.CacheHits + RemoteRun.CacheMisses, 0u);
+}
+
+TEST(EvalServer, HungWorkerFailsOneRequestWithoutStallingOthers) {
+  // A subprocess diff tool that reads its request and never answers
+  // (same registration the DiffWorker suite uses). Served remotely, its
+  // timeout must fail only its own (cell × tool) tasks while another
+  // client's pings keep flowing.
+  if (!isDiffToolRegistered("test-hang")) {
+    SubprocessToolSpec Hang;
+    Hang.Name = "test-hang";
+    Hang.RemoteTool = "SAFE";
+    Hang.Command = {defaultDiffWorkerPath(), "--test-hang"};
+    Hang.TimeoutMs = 400;
+    ASSERT_TRUE(registerSubprocessDiffTool(Hang));
+  }
+
+  EvalServer Server({freshSocket("hang"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  // While the hang requests time out, a second client pings in a loop;
+  // every ping must answer long before the hang tool's budget expires.
+  std::atomic<bool> Done{false};
+  std::atomic<int> Pings{0};
+  std::atomic<int> PingFailures{0};
+  std::thread Pinger([&] {
+    EvalClient Client;
+    std::string E;
+    if (!Client.connect(Server.socketPath(), E))
+      return;
+    while (!Done.load()) {
+      EvalRequest Req;
+      Req.Kind = EvalWireKind::Ping;
+      EvalResponse Resp;
+      if (!Client.call(Req, Resp, E) || !Resp.Ok)
+        PingFailures.fetch_add(1);
+      else
+        Pings.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  ProgramSpec S;
+  S.Name = "evald-hang";
+  S.NumFunctions = 8;
+  S.Seed = 5;
+  std::vector<Workload> Suite{{S.Name, generateMiniCProgram(S), {}, {}}};
+  const std::vector<ObfuscationMode> Modes = {ObfuscationMode::Sub,
+                                              ObfuscationMode::Fission};
+  EvalScheduler::Config RC;
+  RC.Threads = 4;
+  RC.Seed = 0xc906;
+  RC.ConnectPath = Server.socketPath();
+  EvalScheduler Remote(RC);
+  EvalRunStats Run;
+  auto Cells =
+      Remote.precisionMatrix(Suite, Modes, {"Asm2Vec", "test-hang"}, &Run);
+  Done.store(true);
+  Pinger.join();
+
+  ASSERT_EQ(Cells.size(), 2u);
+  for (const auto &Cell : Cells) {
+    ASSERT_TRUE(Cell.Ok);
+    ASSERT_EQ(Cell.PerTool.size(), 2u);
+    EXPECT_GE(Cell.PerTool[0], 0.0);  // Sibling tool completed.
+    EXPECT_EQ(Cell.PerTool[1], -1.0); // Hung tool failed, marked n/a.
+  }
+  EXPECT_EQ(Run.ToolFailures, 2u);
+  EXPECT_EQ(Run.Failures, 0u);
+  EXPECT_GT(Pings.load(), 0);
+  EXPECT_EQ(PingFailures.load(), 0);
+}
+
+TEST(EvalServer, FuzzBatchMatchesLocalRun) {
+  // The daemon's fuzz batch is the same deterministic computation as a
+  // local DifferentialFuzzer with the wire-carried knobs.
+  std::ostringstream LocalText;
+  DifferentialFuzzer::Config FC;
+  FC.Seed = 0x51;
+  FC.Budget = 4;
+  FC.Engine = VMEngine::Precompiled;
+  FC.Verbose = true;
+  FC.Out = &LocalText;
+  DifferentialFuzzer Local(FC);
+  FuzzReport LocalReport = Local.run();
+
+  EvalServer Server({freshSocket("fuzz"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+  EvalClient Client;
+  ASSERT_TRUE(Client.connect(Server.socketPath(), Err)) << Err;
+
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::FuzzBatch;
+  Req.FuzzSeed = 0x51;
+  Req.FuzzBudget = 4;
+  Req.FuzzEngine = static_cast<uint8_t>(VMEngine::Precompiled);
+  Req.FuzzCrossVM = 0;
+  Req.FuzzVerbose = 1;
+  EvalResponse Resp;
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(Resp.Cases, LocalReport.Cases);
+  EXPECT_EQ(Resp.Cells, LocalReport.Cells);
+  EXPECT_EQ(Resp.DivergenceCount, LocalReport.Divergences.size());
+  EXPECT_EQ(Resp.Text, LocalText.str());
+}
+
+} // namespace

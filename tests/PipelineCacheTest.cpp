@@ -42,8 +42,8 @@ TEST(PipelineCache, CachedAndUncachedProduceIdenticalIR) {
       ObfuscationMode::Fusion, ObfuscationMode::FuFiSep,
       ObfuscationMode::FuFiAll};
 
-  EvalPipeline Cached(EvalPipeline::Config{/*CacheEnabled=*/true});
-  EvalPipeline Uncached(EvalPipeline::Config{/*CacheEnabled=*/false});
+  EvalPipeline Cached(EvalPipeline::Config{/*CacheEnabled=*/true, 0, VMEngine::Precompiled, {}, 0});
+  EvalPipeline Uncached(EvalPipeline::Config{/*CacheEnabled=*/false, 0, VMEngine::Precompiled, {}, 0});
 
   for (const Workload &W : Suite) {
     for (ObfuscationMode Mode : Modes) {

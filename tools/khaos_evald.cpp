@@ -1,0 +1,110 @@
+//===- tools/khaos_evald.cpp - Long-lived eval/diff daemon ------------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The khaos-evald front-end: binds an EvalServer on a Unix-domain socket
+/// and serves eval/diff/fuzz-batch requests from many concurrent clients
+/// against ONE shared warm EvalPipeline — compiles, images and diff
+/// outcomes are paid once per daemon (and, with --cache-dir, once per
+/// machine) instead of once per bench process.
+///
+///   khaos-evald --socket PATH [--vm reference|precompiled] [--no-cache]
+///               [--store-max-bytes B] [--cache-dir DIR]
+///               [--disk-max-bytes B] [--tool-timeout-ms T]
+///
+/// Clients are the benches and khaos-fuzz run with `--connect PATH`;
+/// their stdout is byte-identical to in-process runs (the client refuses
+/// a daemon whose engine/cache configuration differs from its own).
+///
+/// Lifecycle: prints one "[khaos-evald] listening on PATH" line to stderr
+/// once ready (scripts wait for it), then serves until SIGINT/SIGTERM,
+/// which drains cleanly: stop accepting, close every connection, join all
+/// threads, unlink the socket. Exit status: 0 on a signalled shutdown,
+/// 1 when the socket cannot be bound, 2 on a usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "harness/EvalService.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include <unistd.h>
+
+using namespace khaos;
+
+namespace {
+
+volatile std::sig_atomic_t SignalSeen = 0;
+
+void onSignal(int) { SignalSeen = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: khaos-evald --socket PATH [--vm reference|precompiled]\n"
+      "                   [--no-cache] [--store-max-bytes B]\n"
+      "                   [--cache-dir DIR] [--disk-max-bytes B]\n"
+      "                   [--tool-timeout-ms T]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // --vm/--no-cache/--store-max-bytes/--cache-dir/--disk-max-bytes/
+  // --tool-timeout-ms share the bench flag grammar (and the validated
+  // byte-count parsing).
+  EvalScheduler::Config Sched = parseSchedulerArgs(argc, argv);
+
+  std::string SocketPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (const char *V = flagValue(argc, argv, I, "--socket"))
+      SocketPath = V;
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "khaos-evald: --socket PATH is required\n");
+    return usage();
+  }
+  if (!Sched.ConnectPath.empty()) {
+    std::fprintf(stderr,
+                 "khaos-evald: --connect is a client flag; the daemon "
+                 "serves, it does not forward\n");
+    return usage();
+  }
+
+  EvalServer Server(EvalServer::Config{
+      SocketPath,
+      EvalPipeline::Config{Sched.CacheEnabled, Sched.StoreMaxBytes,
+                           Sched.Engine, Sched.CacheDir,
+                           Sched.DiskMaxBytes}});
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "khaos-evald: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::fprintf(stderr,
+               "[khaos-evald] listening on %s engine=%s cache=%s disk=%s\n",
+               SocketPath.c_str(), vmEngineName(Sched.Engine),
+               Sched.CacheEnabled ? "on" : "off",
+               Sched.CacheDir.empty() ? "(none)" : Sched.CacheDir.c_str());
+
+  while (!SignalSeen)
+    ::pause();
+
+  std::fprintf(stderr, "[khaos-evald] shutting down (%llu requests served)\n",
+               static_cast<unsigned long long>(Server.requestsServed()));
+  Server.stop();
+  return 0;
+}

@@ -12,7 +12,13 @@
 ///   khaos-fuzz [--seed S] [--budget N] [--threads N] [--modes A,B,...]
 ///              [--no-shrink] [--repro-dir DIR] [--store-max-bytes B]
 ///              [--quiet] [--vm reference|precompiled] [--cross-vm]
-///              [--list-steps MODE] [--replay FILE]
+///              [--list-steps MODE] [--replay FILE] [--connect SOCKET]
+///
+/// --connect ships the batch to a running khaos-evald daemon (same
+/// socket the benches use) and prints the daemon's verdict stream;
+/// stdout matches a local run of the same (--seed, --budget, --vm).
+/// Flags the wire request cannot carry (--repro-dir, --modes,
+/// --no-shrink) are refused with --connect rather than silently ignored.
 ///
 /// --vm selects the engine every run executes under; --cross-vm runs each
 /// check on BOTH engines and reports any disagreement as its own
@@ -28,6 +34,7 @@
 
 #include "BenchCommon.h"
 #include "harness/DifferentialFuzzer.h"
+#include "harness/EvalService.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -46,8 +53,47 @@ int usage() {
       "                  [--modes A,B,...] [--no-shrink] [--repro-dir DIR]\n"
       "                  [--store-max-bytes B] [--quiet]\n"
       "                  [--vm reference|precompiled] [--cross-vm]\n"
-      "                  [--list-steps MODE] [--replay FILE]\n");
+      "                  [--list-steps MODE] [--replay FILE]\n"
+      "                  [--connect SOCKET]\n");
   return 2;
+}
+
+/// --connect mode: ship the whole batch to a running khaos-evald and
+/// print its verdict stream. The daemon runs the identical deterministic
+/// batch, so stdout matches a local run of the same (--seed, --budget).
+int runRemote(const std::string &SocketPath,
+              const DifferentialFuzzer::Config &Cfg) {
+  EvalClient Client;
+  std::string Err;
+  if (!Client.connect(SocketPath, Err)) {
+    std::fprintf(stderr, "khaos-fuzz: %s\n", Err.c_str());
+    return 2;
+  }
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::FuzzBatch;
+  Req.FuzzSeed = Cfg.Seed;
+  Req.FuzzBudget = Cfg.Budget;
+  Req.FuzzEngine = static_cast<uint8_t>(Cfg.Engine);
+  Req.FuzzCrossVM = Cfg.CrossVM ? 1 : 0;
+  Req.FuzzVerbose = Cfg.Verbose ? 1 : 0;
+  EvalResponse Resp;
+  if (!Client.call(Req, Resp, Err)) {
+    std::fprintf(stderr, "khaos-fuzz: daemon call failed: %s\n",
+                 Err.c_str());
+    return 2;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "khaos-fuzz: daemon error: %s\n",
+                 Resp.Error.c_str());
+    return 2;
+  }
+  std::fwrite(Resp.Text.data(), 1, Resp.Text.size(), stdout);
+  std::fprintf(stderr,
+               "[khaos-fuzz] cases=%u cells=%u divergences=%u "
+               "baseline-errors=%u (via %s)\n",
+               Resp.Cases, Resp.Cells, Resp.DivergenceCount,
+               Resp.BaselineErrors, SocketPath.c_str());
+  return Resp.DivergenceCount == 0 ? 0 : 1;
 }
 
 int listSteps(const std::string &ModeName) {
@@ -132,6 +178,22 @@ int main(int argc, char **argv) {
     return listSteps(ListStepsMode);
   if (!ReplayPath.empty())
     return replay(ReplayPath, Cfg.Engine, Cfg.CrossVM);
+
+  if (!Sched.ConnectPath.empty()) {
+    // The FuzzBatch wire request carries (seed, budget, engine, cross-vm,
+    // verbose) only; flags that would silently change the batch locally
+    // but not remotely are refused instead of ignored.
+    if (!Cfg.ReproDir.empty() || !ModesSpec.empty() || !Cfg.Shrink) {
+      std::fprintf(stderr,
+                   "khaos-fuzz: --repro-dir/--modes/--no-shrink cannot be "
+                   "combined with --connect (the daemon runs the batch "
+                   "with its own defaults)\n");
+      return 2;
+    }
+    if (Cfg.Budget == 0)
+      return usage();
+    return runRemote(Sched.ConnectPath, Cfg);
+  }
 
   if (!ModesSpec.empty()) {
     for (const std::string &Name : split(ModesSpec, ',')) {
