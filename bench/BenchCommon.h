@@ -416,6 +416,13 @@ inline void reportScheduler(const EvalScheduler &S, const EvalRunStats &R) {
                  static_cast<unsigned long long>(R.DiskMisses),
                  static_cast<unsigned long long>(R.DiskEvictions),
                  static_cast<unsigned long long>(R.DiskCorrupt));
+  if (!R.Passes.empty())
+    std::fprintf(stderr,
+                 "[passes] sites-rewritten=%u strings-encrypted=%u "
+                 "blocks-split=%u blocks-inserted=%u bytes-grown=%llu\n",
+                 R.Passes.SitesRewritten, R.Passes.StringsEncrypted,
+                 R.Passes.BlocksSplit, R.Passes.BlocksInserted,
+                 static_cast<unsigned long long>(R.Passes.BytesGrown));
 }
 
 inline void printHeader(const char *Id, const char *Caption) {

@@ -22,6 +22,7 @@ Exit 0 = no regression, 1 = regression or correctness failure,
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -58,8 +59,19 @@ def main():
     for tag, doc in (("current", cur), ("baseline", base)):
         require(doc.get("bench") == "vm_engines",
                 f"{tag} is not a vm_engines result")
-        require(isinstance(doc.get("speedup"), (int, float)),
-                f"{tag} has no speedup field")
+        # A timed-out or broken bench run can emit zero/NaN rates; gating
+        # a ratio of those would either crash (divide by zero) or pass
+        # vacuously (floor of 0). Reject the input instead of guessing.
+        for field in ("reference_steps_per_sec",
+                      "precompiled_steps_per_sec", "speedup"):
+            value = doc.get(field)
+            require(isinstance(value, (int, float))
+                    and not isinstance(value, bool),
+                    f"{tag} has no numeric {field} field "
+                    f"(truncated or non-bench JSON?)")
+            require(math.isfinite(value) and value > 0,
+                    f"{tag} has unusable {field}={value!r}; the bench run "
+                    f"that produced it measured nothing — rerun it")
     require(cur.get("quick") == base.get("quick"),
             "quick/full mode mismatch between current and baseline "
             "(gate quick runs against BENCH_vm_quick.json, full runs "

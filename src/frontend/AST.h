@@ -251,6 +251,8 @@ enum class StmtKind : uint8_t {
   Switch,
   Try,
   Throw,
+  Goto,
+  Label,
 };
 
 struct Stmt {
@@ -355,6 +357,22 @@ struct ThrowStmt : Stmt {
   ThrowStmt(ExprPtr V, int Line)
       : Stmt(StmtKind::Throw, Line), Value(std::move(V)) {}
   ExprPtr Value;
+};
+
+struct GotoStmt : Stmt {
+  GotoStmt(std::string Label, int Line)
+      : Stmt(StmtKind::Goto, Line), Label(std::move(Label)) {}
+  std::string Label;
+};
+
+/// `Name: <stmt>` — a labelled statement. The label is function-scoped,
+/// like C.
+struct LabelStmt : Stmt {
+  LabelStmt(std::string Name, StmtPtr Body, int Line)
+      : Stmt(StmtKind::Label, Line), Name(std::move(Name)),
+        Body(std::move(Body)) {}
+  std::string Name;
+  StmtPtr Body;
 };
 
 //===----------------------------------------------------------------------===//

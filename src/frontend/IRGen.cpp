@@ -13,6 +13,7 @@
 
 #include <cassert>
 #include <map>
+#include <set>
 
 using namespace khaos;
 using namespace khaos::minic;
@@ -81,6 +82,12 @@ private:
   void genTry(const TryStmt *S);
   void genThrow(const ThrowStmt *S);
   void genReturn(const ReturnStmt *S);
+  void genGoto(const GotoStmt *S);
+  void genLabel(const LabelStmt *S);
+
+  /// The block for a function-scoped label, created on first mention so
+  /// forward gotos work.
+  BasicBlock *getLabelBlock(const std::string &Name);
 
   // Expressions.
   RValue genExpr(const Expr *E);
@@ -116,6 +123,9 @@ private:
   std::vector<BasicBlock *> BreakTargets;
   std::vector<BasicBlock *> ContinueTargets;
   std::vector<BasicBlock *> LandingPads; ///< Innermost try handler.
+  std::map<std::string, BasicBlock *> LabelBlocks; ///< Function-scoped.
+  std::set<std::string> DefinedLabels;
+  std::map<std::string, int> PendingGotos; ///< Label -> first goto line.
   std::map<std::string, GlobalVariable *> StringLiterals;
   std::map<std::string, const FunctionDecl *> FunctionDecls;
 };
@@ -333,6 +343,9 @@ void IRGenImpl::genFunctionBody(const FunctionDecl &FD) {
   BreakTargets.clear();
   ContinueTargets.clear();
   LandingPads.clear();
+  LabelBlocks.clear();
+  DefinedLabels.clear();
+  PendingGotos.clear();
 
   BasicBlock *Entry = F->addBlock("entry");
   AllocaBlock = Entry;
@@ -349,6 +362,12 @@ void IRGenImpl::genFunctionBody(const FunctionDecl &FD) {
   }
 
   genStmt(FD.Body.get());
+
+  // Every goto must have found its label by the end of the function.
+  if (!PendingGotos.empty() && !hadError()) {
+    auto &P = *PendingGotos.begin();
+    fail(P.second, "goto to undefined label '" + P.first + "'");
+  }
 
   // Implicit return when control falls off the end.
   if (!B.blockTerminated()) {
@@ -379,7 +398,10 @@ void IRGenImpl::genStmt(const Stmt *S) {
   if (!S || hadError())
     return;
   // Skip statements in already-terminated blocks (e.g. code after return).
-  if (B.blockTerminated() && S->Kind != StmtKind::Block)
+  // Labels are exempt: they open a fresh block, so code after a goto or
+  // return stays reachable through its label.
+  if (B.blockTerminated() && S->Kind != StmtKind::Block &&
+      S->Kind != StmtKind::Label)
     return;
   switch (S->Kind) {
   case StmtKind::Block:
@@ -427,6 +449,12 @@ void IRGenImpl::genStmt(const Stmt *S) {
     break;
   case StmtKind::Throw:
     genThrow(static_cast<const ThrowStmt *>(S));
+    break;
+  case StmtKind::Goto:
+    genGoto(static_cast<const GotoStmt *>(S));
+    break;
+  case StmtKind::Label:
+    genLabel(static_cast<const LabelStmt *>(S));
     break;
   }
 }
@@ -629,6 +657,32 @@ void IRGenImpl::genThrow(const ThrowStmt *S) {
   emitCallMaybeInvoke(ThrowFn, {V.V}, /*CanThrow=*/true);
   if (!B.blockTerminated())
     B.createUnreachable();
+}
+
+BasicBlock *IRGenImpl::getLabelBlock(const std::string &Name) {
+  BasicBlock *&BB = LabelBlocks[Name];
+  if (!BB)
+    BB = CurFn->addBlock("label." + Name);
+  return BB;
+}
+
+void IRGenImpl::genGoto(const GotoStmt *S) {
+  BasicBlock *Target = getLabelBlock(S->Label);
+  if (!DefinedLabels.count(S->Label))
+    PendingGotos.emplace(S->Label, S->Line); // Keeps the first goto's line.
+  B.createBr(Target);
+}
+
+void IRGenImpl::genLabel(const LabelStmt *S) {
+  if (!DefinedLabels.insert(S->Name).second) {
+    fail(S->Line, "duplicate label '" + S->Name + "'");
+    return;
+  }
+  PendingGotos.erase(S->Name);
+  BasicBlock *BB = getLabelBlock(S->Name);
+  ensureTerminated(BB);
+  B.setInsertPoint(BB);
+  genStmt(S->Body.get());
 }
 
 void IRGenImpl::genReturn(const ReturnStmt *S) {

@@ -22,6 +22,7 @@ static const std::map<std::string, Tok> &keywordTable() {
       {"while", Tok::KwWhile},     {"for", Tok::KwFor},
       {"do", Tok::KwDo},           {"return", Tok::KwReturn},
       {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"goto", Tok::KwGoto},
       {"switch", Tok::KwSwitch},   {"case", Tok::KwCase},
       {"default", Tok::KwDefault}, {"extern", Tok::KwExtern},
       {"try", Tok::KwTry},         {"catch", Tok::KwCatch},

@@ -45,6 +45,7 @@ enum class Tok : uint8_t {
   KwReturn,
   KwBreak,
   KwContinue,
+  KwGoto,
   KwSwitch,
   KwCase,
   KwDefault,

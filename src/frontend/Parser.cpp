@@ -410,11 +410,31 @@ StmtPtr Parser::parseStmt() {
     advance();
     expect(Tok::Semicolon, "';'");
     return std::make_unique<ContinueStmt>(Line);
+  case Tok::KwGoto: {
+    advance();
+    if (!check(Tok::Identifier)) {
+      fail("expected label name after 'goto'");
+      return nullptr;
+    }
+    std::string Label = advance().Text;
+    expect(Tok::Semicolon, "';'");
+    return std::make_unique<GotoStmt>(std::move(Label), Line);
+  }
   default:
     break;
   }
   if (atTypeKeyword())
     return parseDeclTail(parseTypeSpec(), /*AllowMulti=*/true);
+  // Labelled statement: `name: stmt`. Two-token lookahead keeps this
+  // unambiguous with expression statements (no other statement starts
+  // with `identifier :`).
+  if (check(Tok::Identifier) && peek(1).Kind == Tok::Colon) {
+    std::string Name = advance().Text;
+    advance(); // ':'
+    StmtPtr Body = parseStmt();
+    return std::make_unique<LabelStmt>(std::move(Name), std::move(Body),
+                                       Line);
+  }
   ExprPtr E = parseExpr();
   expect(Tok::Semicolon, "';'");
   return std::make_unique<ExprStmt>(std::move(E), Line);

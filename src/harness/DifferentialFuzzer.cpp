@@ -59,7 +59,9 @@ bool khaos::parseObfuscationModeName(const std::string &Name,
   const ObfuscationMode All[] = {
       ObfuscationMode::None,    ObfuscationMode::Sub,
       ObfuscationMode::Bog,     ObfuscationMode::Fla,
-      ObfuscationMode::Fla10,   ObfuscationMode::Fission,
+      ObfuscationMode::Fla10,   ObfuscationMode::MBA,
+      ObfuscationMode::StrEnc,  ObfuscationMode::IndCall,
+      ObfuscationMode::SplitBB, ObfuscationMode::Fission,
       ObfuscationMode::Fusion,  ObfuscationMode::FuFiSep,
       ObfuscationMode::FuFiOri, ObfuscationMode::FuFiAll,
   };
@@ -96,6 +98,11 @@ ProgramSpec DifferentialFuzzer::sampleSpec(uint64_t BaseSeed,
       1 + static_cast<unsigned>(R.nextBelow(S.MaxLoopDepth >= 3 ? 3 : 8));
   if (S.MaxLoopDepth == 4)
     S.NumFunctions = 3 + S.NumFunctions % 14;
+  // Adversarial idioms (appended draws: changes fuzz case shapes only,
+  // never the fixed eval workloads).
+  S.StringRatio = R.nextBool(0.35) ? 0.3 * (1 + R.nextBelow(3)) : 0.0;
+  S.UseSwitchDispatch = R.nextBool(0.35);
+  S.UseGotos = R.nextBool(0.35);
   return S;
 }
 
@@ -440,7 +447,7 @@ ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
       if (!Try(std::move(C)))
         break;
     }
-    for (int Feature = 0; Feature != 5 && Res.Probes < MaxProbes;
+    for (int Feature = 0; Feature != 8 && Res.Probes < MaxProbes;
          ++Feature) {
       ProgramSpec C = Res.Spec;
       switch (Feature) {
@@ -463,6 +470,21 @@ ShrinkResult DifferentialFuzzer::shrink(const ProgramSpec &Spec,
         if (C.FloatRatio == 0.0)
           continue;
         C.FloatRatio = 0.0;
+        break;
+      case 4:
+        if (C.StringRatio == 0.0)
+          continue;
+        C.StringRatio = 0.0;
+        break;
+      case 5:
+        if (!C.UseSwitchDispatch)
+          continue;
+        C.UseSwitchDispatch = false;
+        break;
+      case 6:
+        if (!C.UseGotos)
+          continue;
+        C.UseGotos = false;
         break;
       default:
         if (C.RecursionRatio == 0.0)
@@ -571,11 +593,13 @@ std::string DifferentialFuzzer::formatRepro(const FuzzDivergence &D) {
     Out += formatStr("# guilty-step: %s (step %zu of %zu)\n",
                      S.GuiltyStep.c_str(), S.GuiltyStepIndex, S.StepCount);
   Out += formatStr("# spec: nfun=%u fp=%.2f rec=%.2f ind=%d eh=%d sj=%d "
-                   "loop=%u iters=%u gseed=0x%llx\n",
+                   "loop=%u iters=%u str=%.2f sw=%d goto=%d gseed=0x%llx\n",
                    S.Spec.NumFunctions, S.Spec.FloatRatio,
                    S.Spec.RecursionRatio, S.Spec.UseIndirectCalls ? 1 : 0,
                    S.Spec.UseExceptions ? 1 : 0, S.Spec.UseSetjmp ? 1 : 0,
                    S.Spec.MaxLoopDepth, S.Spec.MainIterations,
+                   S.Spec.StringRatio, S.Spec.UseSwitchDispatch ? 1 : 0,
+                   S.Spec.UseGotos ? 1 : 0,
                    (unsigned long long)S.Spec.Seed);
   if (!S.Detail.empty())
     Out += "# detail: " + S.Detail + "\n";
@@ -806,12 +830,14 @@ FuzzReport DifferentialFuzzer::run() {
       if (Cfg.Verbose || DivModes != 0 || BaseErrs != 0)
         OS << formatStr(
             "case %06u %s nfun=%u fp=%.2f rec=%.2f ind=%d eh=%d sj=%d "
-            "loop=%u iters=%u : ok=%u div=%u base-err=%u\n",
+            "loop=%u iters=%u str=%.2f sw=%d goto=%d : ok=%u div=%u "
+            "base-err=%u\n",
             CaseIdx, Spec.Name.c_str(), Spec.NumFunctions, Spec.FloatRatio,
             Spec.RecursionRatio, Spec.UseIndirectCalls ? 1 : 0,
             Spec.UseExceptions ? 1 : 0, Spec.UseSetjmp ? 1 : 0,
-            Spec.MaxLoopDepth, Spec.MainIterations, OkModes, DivModes,
-            BaseErrs);
+            Spec.MaxLoopDepth, Spec.MainIterations, Spec.StringRatio,
+            Spec.UseSwitchDispatch ? 1 : 0, Spec.UseGotos ? 1 : 0, OkModes,
+            DivModes, BaseErrs);
 
       for (size_t MI = 0; MI != Modes.size(); ++MI) {
         const CellOutcome &Cell = Cells[WI * Modes.size() + MI];

@@ -114,14 +114,20 @@ DiskCache::DiskCache(Config C) : Cfg(std::move(C)) {
       struct stat St;
       if (::stat(Path.c_str(), &St) != 0 || !S_ISREG(St.st_mode))
         continue;
-      Found.push_back({std::move(Name), static_cast<uint64_t>(St.st_size),
-                       static_cast<int64_t>(St.st_mtime)});
+      // Nanosecond mtime: whole-second st_mtime collapses every artifact
+      // a fast run writes into one tie, and the startup eviction order
+      // then depends on nothing but the name — not on actual recency.
+      int64_t MtimeNs = static_cast<int64_t>(St.st_mtim.tv_sec) *
+                            1000000000ll +
+                        static_cast<int64_t>(St.st_mtim.tv_nsec);
+      Found.push_back(
+          {std::move(Name), static_cast<uint64_t>(St.st_size), MtimeNs});
     }
     ::closedir(D);
   }
   // Seed the LRU order from mtimes: the stalest file on disk is the first
-  // eviction candidate of this process. Ties break by name so the order
-  // is deterministic.
+  // eviction candidate of this process. Ties (e.g. a filesystem that
+  // truncates timestamps) break by name so the order is deterministic.
   std::sort(Found.begin(), Found.end(), [](const Seen &A, const Seen &B) {
     return std::tie(A.Mtime, A.Name) < std::tie(B.Mtime, B.Name);
   });

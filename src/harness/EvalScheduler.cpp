@@ -45,12 +45,18 @@ void EvalRunStats::mergeCell(const ObfuscationResult &R, bool Failed) {
   Fusion.DeepMergedBlocks += R.Fusion.DeepMergedBlocks;
   Fusion.Trampolines += R.Fusion.Trampolines;
   Fusion.TaggedPointerSites += R.Fusion.TaggedPointerSites;
+  Passes.merge(R.Report);
 }
 
 void EvalRunStats::countCell(bool Failed) {
   std::lock_guard<std::mutex> Lock(M);
   Cells += 1;
   Failures += Failed ? 1 : 0;
+}
+
+void EvalRunStats::mergePasses(const PassReport &R) {
+  std::lock_guard<std::mutex> Lock(M);
+  Passes.merge(R);
 }
 
 void EvalRunStats::countToolFailure() {
@@ -409,8 +415,15 @@ std::vector<uint8_t> EvalScheduler::runCellToolPlane(
         auto A = Pipe->baselineImage(*T.Cell.W);
         auto B = Pipe->obfuscatedImage(*T.Cell.W, T.Cell.Mode, T.Cell.Seed);
         bool ImagesOk = A->Ok && B->Ok;
-        if (T.ToolIdx == 0)
+        if (T.ToolIdx == 0) {
           CellOk[T.Cell.FlatIdx] = ImagesOk ? 1 : 0;
+          // The ToolIdx-0 task is the cell's only writer, so the pass
+          // telemetry the obfuscated image carries is folded exactly
+          // once per cell; PassReport::merge is additive, so thread
+          // scheduling cannot change the totals.
+          if (RunStats && ImagesOk)
+            RunStats->mergePasses(B->Report);
+        }
         if (!ImagesOk || T.ToolIdx >= ToolNames.size())
           return;
         auto D = Pipe->diffOutcome(*T.Cell.W, T.Cell.Mode, T.Cell.Seed,

@@ -80,6 +80,9 @@ struct EvalRunStats {
   size_t ToolFailures = 0;
   FissionStats Fission;
   FusionStats Fusion;
+  /// Per-pass potency/cost totals (MBA sites, encrypted strings, block
+  /// splits, byte growth) folded in from every cell's ObfuscationResult.
+  PassReport Passes;
 
   // Cache telemetry, folded in from the ArtifactStore after each matrix
   // run (reportScheduler prints it on stderr; stdout stays byte-identical).
@@ -99,6 +102,11 @@ struct EvalRunStats {
   /// Thread-safe: counts a cell that produced no transformation stats
   /// (e.g. an overhead measurement).
   void countCell(bool Failed);
+
+  /// Thread-safe: folds one image's pass telemetry into the totals
+  /// without counting a cell (the cell×tool planes count cells in their
+  /// deterministic post-pass instead).
+  void mergePasses(const PassReport &R);
 
   /// Thread-safe: counts one failed (cell × tool) task.
   void countToolFailure();

@@ -135,6 +135,15 @@ const ArtifactCodec &imageCodec() {
         WireWriter W;
         writeBinaryImage(W, A->Image);
         writeImageFeatures(W, A->Features);
+        // Pass telemetry travels with the image: a run served entirely
+        // from the disk tier must print the same [passes] totals as the
+        // run that populated it. Entries written before this field
+        // existed fail the atEnd() check below and recompute.
+        W.u64(A->Report.SitesRewritten);
+        W.u64(A->Report.StringsEncrypted);
+        W.u64(A->Report.BlocksSplit);
+        W.u64(A->Report.BlocksInserted);
+        W.u64(A->Report.BytesGrown);
         Out = std::move(W.Buf);
         return true;
       },
@@ -142,7 +151,14 @@ const ArtifactCodec &imageCodec() {
         WireReader R(D, N);
         auto A = std::make_shared<EvalPipeline::ImageArtifact>();
         if (!readBinaryImage(R, A->Image) ||
-            !readImageFeatures(R, A->Features) || !R.atEnd())
+            !readImageFeatures(R, A->Features))
+          return nullptr;
+        A->Report.SitesRewritten = static_cast<unsigned>(R.u64());
+        A->Report.StringsEncrypted = static_cast<unsigned>(R.u64());
+        A->Report.BlocksSplit = static_cast<unsigned>(R.u64());
+        A->Report.BlocksInserted = static_cast<unsigned>(R.u64());
+        A->Report.BytesGrown = R.u64();
+        if (!R.ok() || !R.atEnd())
           return nullptr;
         A->Ok = true;
         return A;
@@ -356,11 +372,13 @@ EvalPipeline::obfuscatedImage(const Workload &W, ObfuscationMode Mode,
   return Store.getOrCompute<ImageArtifact>(
       K, W.Source.size(), [&]() -> std::shared_ptr<const ImageArtifact> {
         auto Out = std::make_shared<ImageArtifact>();
-        CompiledWorkload Obf = obfuscate(W, Mode, nullptr, Seed);
+        ObfuscationResult Stats;
+        CompiledWorkload Obf = obfuscate(W, Mode, &Stats, Seed);
         if (!Obf)
           return Out;
         Out->Image = lowerToBinary(*Obf.M);
         Out->Features = extractFeatures(Out->Image);
+        Out->Report = Stats.Report;
         Out->Ok = true;
         return Out;
       },

@@ -139,6 +139,11 @@ public:
     bool Ok = false;
     BinaryImage Image;
     ImageFeatures Features;
+    /// Per-pass transformation counts from the obfuscation that produced
+    /// this image (empty for baseline images). Carried inside the
+    /// artifact — and its on-disk encoding — so schedulers that only ever
+    /// see cached images still aggregate pass telemetry.
+    PassReport Report;
   };
   std::shared_ptr<const ImageArtifact>
   baselineImage(const Workload &W, OptLevel Level = OptLevel::O2,

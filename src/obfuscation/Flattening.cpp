@@ -60,6 +60,19 @@ bool flattenFunction(Module &M, Function &F, RNG &Rng) {
   Context &Ctx = M.getContext();
   BasicBlock *Entry = F.getEntryBlock();
 
+  // The entry block gets no case id (it keeps its body so allocas stay
+  // put), so a branch back to it cannot be rewired. Such IR never comes
+  // out of the verifier, but hand-built IR can have it — skip rather than
+  // silently emitting a state id the dispatcher has no case for.
+  for (const auto &BB : F.blocks()) {
+    Instruction *T = BB->getTerminator();
+    if (!T)
+      return false;
+    for (unsigned I = 0, E = T->getNumSuccessors(); I != E; ++I)
+      if (T->getSuccessor(I) == Entry)
+        return false;
+  }
+
   // Collect the blocks to flatten (everything except the entry).
   std::vector<BasicBlock *> Body;
   for (const auto &BB : F.blocks())
@@ -94,12 +107,16 @@ bool flattenFunction(Module &M, Function &F, RNG &Rng) {
       auto *BR = cast<BranchInst>(T);
       TB.setInsertBefore(T);
       Value *Next;
+      // Checked lookups throughout: operator[] would default-insert state
+      // id 0 for a destination missing from the map, and the dispatcher
+      // has no case 0 — the flattened function would fall into the
+      // default (first body) block at runtime instead of crashing here.
       if (BR->isConditional()) {
         Next = TB.createSelect(BR->getCondition(),
-                               M.getInt32(Id[BR->getTrueDest()]),
-                               M.getInt32(Id[BR->getFalseDest()]));
+                               M.getInt32(Id.at(BR->getTrueDest())),
+                               M.getInt32(Id.at(BR->getFalseDest())));
       } else {
-        Next = M.getInt32(Id[BR->getSuccessor(0)]);
+        Next = M.getInt32(Id.at(BR->getSuccessor(0)));
       }
       TB.createStore(Next, State);
       BB->insertAt(BB->size(), new BranchInst(Dispatch));
@@ -111,13 +128,13 @@ bool flattenFunction(Module &M, Function &F, RNG &Rng) {
       // Chain of selects mapping the condition to state ids.
       TB.setInsertBefore(T);
       Value *Cond = SW->getCondition();
-      Value *NextId = M.getInt32(Id[SW->getDefaultDest()]);
+      Value *NextId = M.getInt32(Id.at(SW->getDefaultDest()));
       for (unsigned C = 0, E = SW->getNumCases(); C != E; ++C) {
         Value *IsCase = TB.createCmp(
             CmpPred::EQ, Cond,
             M.getConstantInt(Cond->getType(), SW->getCaseValue(C)));
-        NextId = TB.createSelect(IsCase, M.getInt32(Id[SW->getCaseDest(C)]),
-                                 NextId);
+        NextId = TB.createSelect(
+            IsCase, M.getInt32(Id.at(SW->getCaseDest(C))), NextId);
       }
       TB.createStore(NextId, State);
       BB->insertAt(BB->size(), new BranchInst(Dispatch));
@@ -139,7 +156,7 @@ bool flattenFunction(Module &M, Function &F, RNG &Rng) {
   Value *S = B.createLoad(State, "state");
   SwitchInst *SW = B.createSwitch(S, Body.front());
   for (BasicBlock *BB : Body)
-    SW->addCase(Id[BB], BB);
+    SW->addCase(Id.at(BB), BB);
   return true;
 }
 

@@ -22,7 +22,9 @@ using namespace khaos;
 const std::vector<ObfuscationMode> &khaos::allObfuscationModes() {
   static const std::vector<ObfuscationMode> Modes = {
       ObfuscationMode::Sub,     ObfuscationMode::Bog,
-      ObfuscationMode::Fla10,   ObfuscationMode::Fission,
+      ObfuscationMode::Fla10,   ObfuscationMode::MBA,
+      ObfuscationMode::StrEnc,  ObfuscationMode::IndCall,
+      ObfuscationMode::SplitBB, ObfuscationMode::Fission,
       ObfuscationMode::Fusion,  ObfuscationMode::FuFiSep,
       ObfuscationMode::FuFiOri, ObfuscationMode::FuFiAll,
   };
@@ -51,6 +53,14 @@ const char *khaos::obfuscationModeName(ObfuscationMode Mode) {
     return "FuFi.ori";
   case ObfuscationMode::FuFiAll:
     return "FuFi.all";
+  case ObfuscationMode::MBA:
+    return "MBA";
+  case ObfuscationMode::StrEnc:
+    return "StrEnc";
+  case ObfuscationMode::IndCall:
+    return "IndCall";
+  case ObfuscationMode::SplitBB:
+    return "SplitBB";
   }
   return "?";
 }
@@ -187,6 +197,8 @@ std::vector<ObfStep> buildSteps(ObfuscationMode Mode,
                          Base.Seed = Opts.Seed;
                          Base.Ratio = 1.0;
                          State->R.BaselineSites = runSubstitution(M, Base);
+                         State->R.Report.SitesRewritten +=
+                             State->R.BaselineSites;
                        }});
       break;
     case ObfuscationMode::Bog:
@@ -196,6 +208,11 @@ std::vector<ObfStep> buildSteps(ObfuscationMode Mode,
                          Base.Ratio = 1.0;
                          State->R.BaselineSites =
                              runBogusControlFlow(M, Base);
+                         // Each bogus twin = one split tail + one clone.
+                         State->R.Report.BlocksSplit +=
+                             State->R.BaselineSites;
+                         State->R.Report.BlocksInserted +=
+                             State->R.BaselineSites * 2;
                        }});
       break;
     case ObfuscationMode::Fla:
@@ -213,6 +230,42 @@ std::vector<ObfStep> buildSteps(ObfuscationMode Mode,
                          FusionOptions FuOpt = Opts.Fusion;
                          FuOpt.Seed = Opts.Seed;
                          runFusion(M, State->R.Fusion, FuOpt);
+                       }});
+      break;
+    case ObfuscationMode::MBA:
+      Steps.push_back({"mba", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites = runMBASubstitution(
+                             M, Base, &State->R.Report);
+                       }});
+      break;
+    case ObfuscationMode::StrEnc:
+      Steps.push_back({"string-encryption", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites = runStringEncryption(
+                             M, Base, &State->R.Report);
+                       }});
+      break;
+    case ObfuscationMode::IndCall:
+      Steps.push_back({"indirect-calls", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites = runIndirectCalls(
+                             M, Base, &State->R.Report);
+                       }});
+      break;
+    case ObfuscationMode::SplitBB:
+      Steps.push_back({"split-blocks", [State, Opts](Module &M) {
+                         OLLVMOptions Base;
+                         Base.Seed = Opts.Seed;
+                         Base.Ratio = 1.0;
+                         State->R.BaselineSites = runSplitBasicBlocks(
+                             M, Base, &State->R.Report);
                        }});
       break;
     // These four take the modeUsesFission() branch above.
@@ -237,6 +290,14 @@ std::vector<ObfStep> buildSteps(ObfuscationMode Mode,
   if (Opts.RunPostOpt) {
     std::map<std::string, unsigned> Occurrence;
     for (auto &P : buildOptPassList(Opts.PostOptLevel)) {
+      // simplifycfg's threading/merging would stitch every SplitBB cut
+      // straight back together, but its unreachable-block removal is
+      // still required (the inliner leaves dead continuation blocks that
+      // fail the verifier's dominance check). Swap in the cleanup-only
+      // flavour instead of dropping the slot.
+      if (Mode == ObfuscationMode::SplitBB &&
+          std::string(P->getName()) == "simplifycfg")
+        P = createCFGCleanupPass();
       unsigned K = ++Occurrence[P->getName()];
       std::shared_ptr<Pass> SP = std::move(P);
       Steps.push_back({"post-opt:" + std::string(SP->getName()) + "#" +

@@ -17,6 +17,7 @@
 
 #include "obfuscation/Fission.h"
 #include "obfuscation/Fusion.h"
+#include "obfuscation/OLLVM.h"
 #include "transform/Pass.h"
 
 #include <functional>
@@ -40,6 +41,12 @@ enum class ObfuscationMode : uint8_t {
   FuFiSep, ///< Fission, then fuse only the generated sepFuncs.
   FuFiOri, ///< Fission, then fuse only fission-unprocessed oriFuncs.
   FuFiAll, ///< Fission, then fuse sepFuncs + unprocessed oriFuncs.
+  // Arms-race roster additions (post-paper; real obfuscator staples).
+  // Appended so existing modes keep their serialized ArtifactKey values.
+  MBA,     ///< Mixed boolean-arithmetic substitution (deep chains).
+  StrEnc,  ///< String/constant encryption with a runtime decode stub.
+  IndCall, ///< Direct calls routed through a shuffled dispatch table.
+  SplitBB, ///< Split-basic-block (post-opt keeps the splits).
 };
 
 /// All configurations in evaluation order (figure legends).
@@ -53,6 +60,7 @@ struct ObfuscationResult {
   FissionStats Fission;
   FusionStats Fusion;
   unsigned BaselineSites = 0; ///< Sub/Bog/Fla transformation count.
+  PassReport Report;          ///< Per-pass potency/cost telemetry.
 };
 
 /// Driver configuration.

@@ -30,6 +30,31 @@ struct OLLVMOptions {
   uint64_t Seed = 0xb0b;
 };
 
+/// Per-pass potency/cost telemetry (after Chakravyuha's ReportData).
+/// Every pass accumulates into the same report so a mode that chains
+/// several primitives still yields one rolled-up line; BytesGrown uses a
+/// nominal 4 bytes per KIR instruction so growth is comparable across
+/// modes.
+struct PassReport {
+  unsigned SitesRewritten = 0;   ///< Binary ops MBA-rewritten / calls made indirect.
+  unsigned StringsEncrypted = 0; ///< Global byte arrays encrypted by StrEnc.
+  unsigned BlocksSplit = 0;      ///< Original blocks that received >= 1 split.
+  unsigned BlocksInserted = 0;   ///< New blocks added (split tails, decode stubs).
+  uint64_t BytesGrown = 0;       ///< Instruction-count growth * 4.
+
+  void merge(const PassReport &O) {
+    SitesRewritten += O.SitesRewritten;
+    StringsEncrypted += O.StringsEncrypted;
+    BlocksSplit += O.BlocksSplit;
+    BlocksInserted += O.BlocksInserted;
+    BytesGrown += O.BytesGrown;
+  }
+  bool empty() const {
+    return !SitesRewritten && !StringsEncrypted && !BlocksSplit &&
+           !BlocksInserted && !BytesGrown;
+  }
+};
+
 /// Instruction substitution: integer add/sub/xor/and/or are replaced by
 /// equivalent multi-instruction idioms.
 unsigned runSubstitution(Module &M, const OLLVMOptions &Opts = {});
@@ -42,6 +67,33 @@ unsigned runBogusControlFlow(Module &M, const OLLVMOptions &Opts = {});
 /// Control-flow flattening: function bodies become a switch dispatcher
 /// driven by a state variable.
 unsigned runFlattening(Module &M, const OLLVMOptions &Opts = {});
+
+/// Mixed boolean-arithmetic substitution: integer add/sub/xor/and/or are
+/// rewritten through MBA identities, and the helper ops those identities
+/// introduce are recursively rewritten again (depth 2-3), producing much
+/// deeper chains than runSubstitution's single-level strategies.
+unsigned runMBASubstitution(Module &M, const OLLVMOptions &Opts = {},
+                            PassReport *Report = nullptr);
+
+/// String/constant encryption: i8-array global initializers are XOR
+/// encrypted with a per-global key and a runtime decode stub (guarded by a
+/// once flag) is called on entry to main. Requires a defined main; returns
+/// 0 and leaves the module untouched otherwise.
+unsigned runStringEncryption(Module &M, const OLLVMOptions &Opts = {},
+                             PassReport *Report = nullptr);
+
+/// Direct-to-indirect call rewriting: eligible direct call sites are
+/// routed through a module-level dispatch table of function addresses in
+/// shuffled order (load + inttoptr + indirect call).
+unsigned runIndirectCalls(Module &M, const OLLVMOptions &Opts = {},
+                          PassReport *Report = nullptr);
+
+/// Split-basic-block: each eligible block is split at 1-3 random points.
+/// On its own this only perturbs shape (pair it with a post-opt pipeline
+/// that skips simplifycfg or the merges undo it); its real use is as a
+/// pre-pass giving Fla/Bog more blocks to work with.
+unsigned runSplitBasicBlocks(Module &M, const OLLVMOptions &Opts = {},
+                             PassReport *Report = nullptr);
 
 } // namespace khaos
 

@@ -1,0 +1,71 @@
+//===- obfuscation/SplitBasicBlocks.cpp - Split-basic-block pass ----------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// O-LLVM's -split pass: each eligible block is cut at 1-3 random points
+/// into a fall-through chain. Useless alone against semantic diffing but
+/// a standard pre-pass: it multiplies the block count Fla's dispatcher
+/// and Bog's opaque twins get to work with, and it perturbs block-level
+/// features (sizes, counts) that cheap diffing heuristics key on.
+///
+/// As a standalone mode the driver pairs it with a post-opt pipeline that
+/// skips simplifycfg — the merge-chains cleanup would stitch every split
+/// straight back together.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obfuscation/OLLVM.h"
+
+#include "ir/Module.h"
+#include "support/RNG.h"
+
+using namespace khaos;
+
+unsigned khaos::runSplitBasicBlocks(Module &M, const OLLVMOptions &Opts,
+                                    PassReport *Report) {
+  RNG Rng(Opts.Seed);
+  unsigned SplitBlocks = 0, NewBlocks = 0;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration() || F->isNoObfuscate())
+      continue;
+    // Snapshot the block list (splitting appends blocks).
+    std::vector<BasicBlock *> Blocks;
+    for (const auto &BB : F->blocks())
+      Blocks.push_back(BB.get());
+
+    for (BasicBlock *BB : Blocks) {
+      if (BB->size() < 3)
+        continue;
+      if (isa<LandingPadInst>(BB->front()))
+        continue; // Unwind targets must keep their shape.
+      if (!Rng.nextBool(Opts.Ratio))
+        continue;
+      unsigned Want = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+      BasicBlock *Cur = BB;
+      bool Did = false;
+      for (unsigned K = 0; K != Want; ++K) {
+        if (Cur->size() < 3)
+          break;
+        // Any point strictly inside the block, never before the
+        // terminator (splitBefore would leave a block without one).
+        size_t Idx = 1 + Rng.nextBelow(Cur->size() - 2);
+        Instruction *SplitPoint = Cur->getInst(Idx);
+        Cur = Cur->splitBefore(SplitPoint, Cur->getName() + ".split");
+        Did = true;
+        ++NewBlocks;
+      }
+      if (Did)
+        ++SplitBlocks;
+    }
+  }
+  if (Report) {
+    Report->BlocksSplit += SplitBlocks;
+    Report->BlocksInserted += NewBlocks;
+    // Each split adds exactly one fall-through branch.
+    Report->BytesGrown += static_cast<uint64_t>(NewBlocks) * 4;
+  }
+  return SplitBlocks;
+}

@@ -59,6 +59,10 @@ enum class OptLevel : uint8_t { O0, O1, O2, O3 };
 
 // Pass factories.
 std::unique_ptr<Pass> createSimplifyCFGPass();
+/// simplifycfg's shape-preserving subset (constant-branch folds +
+/// unreachable-block removal, no threading or chain merging) — for
+/// pipelines whose obfuscation full simplification would undo.
+std::unique_ptr<Pass> createCFGCleanupPass();
 std::unique_ptr<Pass> createConstantFoldPass();
 std::unique_ptr<Pass> createDCEPass();
 std::unique_ptr<Pass> createLoadForwardingPass();

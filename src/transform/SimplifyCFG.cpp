@@ -9,6 +9,12 @@
 /// blocks, thread trivial forwarding blocks, merge single-pred/single-succ
 /// chains. Runs to a fixed point per function.
 ///
+/// Two pass flavours share the transforms: "simplifycfg" runs all of
+/// them, "cfg-cleanup" runs only the shape-preserving subset (constant
+/// folds + unreachable-block removal) for pipelines whose obfuscation
+/// the threading/merging steps would undo — SplitBB's cuts are exactly
+/// the single-pred/single-succ chains mergeChains exists to stitch.
+///
 //===----------------------------------------------------------------------===//
 
 #include "ir/Module.h"
@@ -20,22 +26,7 @@ using namespace khaos;
 
 namespace {
 
-class SimplifyCFGPass : public Pass {
-public:
-  const char *getName() const override { return "simplifycfg"; }
-  bool run(Module &M) override;
-
-private:
-  bool runOnFunction(Function &F);
-  bool foldConstantBranches(Function &F);
-  bool removeUnreachable(Function &F);
-  bool threadForwarders(Function &F);
-  bool mergeChains(Function &F);
-};
-
-} // namespace
-
-bool SimplifyCFGPass::foldConstantBranches(Function &F) {
+bool foldConstantBranches(Function &F) {
   bool Changed = false;
   for (const auto &BB : F.blocks()) {
     Instruction *T = BB->getTerminator();
@@ -54,7 +45,7 @@ bool SimplifyCFGPass::foldConstantBranches(Function &F) {
   return Changed;
 }
 
-bool SimplifyCFGPass::removeUnreachable(Function &F) {
+bool removeUnreachable(Function &F) {
   std::set<BasicBlock *> Reachable;
   std::vector<BasicBlock *> Work{F.getEntryBlock()};
   while (!Work.empty()) {
@@ -80,7 +71,7 @@ bool SimplifyCFGPass::removeUnreachable(Function &F) {
   return true;
 }
 
-bool SimplifyCFGPass::threadForwarders(Function &F) {
+bool threadForwarders(Function &F) {
   bool Changed = false;
   for (const auto &BB : F.blocks()) {
     if (BB.get() == F.getEntryBlock() || BB->size() != 1)
@@ -98,7 +89,7 @@ bool SimplifyCFGPass::threadForwarders(Function &F) {
   return Changed;
 }
 
-bool SimplifyCFGPass::mergeChains(Function &F) {
+bool mergeChains(Function &F) {
   bool Changed = true, Any = false;
   while (Changed) {
     Changed = false;
@@ -134,6 +125,30 @@ bool SimplifyCFGPass::mergeChains(Function &F) {
   return Any;
 }
 
+class SimplifyCFGPass : public Pass {
+public:
+  const char *getName() const override { return "simplifycfg"; }
+  bool run(Module &M) override;
+
+private:
+  bool runOnFunction(Function &F);
+};
+
+/// The shape-preserving subset: dead code still dies (the verifier's
+/// dominance sets treat unreachable blocks as self-dominating islands
+/// that poison every reachable successor), but no block is threaded
+/// away or merged into its predecessor.
+class CFGCleanupPass : public Pass {
+public:
+  const char *getName() const override { return "cfg-cleanup"; }
+  bool run(Module &M) override;
+
+private:
+  bool runOnFunction(Function &F);
+};
+
+} // namespace
+
 bool SimplifyCFGPass::runOnFunction(Function &F) {
   bool Any = false;
   bool Changed = true;
@@ -156,6 +171,30 @@ bool SimplifyCFGPass::run(Module &M) {
   return Changed;
 }
 
+bool CFGCleanupPass::runOnFunction(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= foldConstantBranches(F);
+    Changed |= removeUnreachable(F);
+    Any |= Changed;
+  }
+  return Any;
+}
+
+bool CFGCleanupPass::run(Module &M) {
+  bool Changed = false;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Changed |= runOnFunction(*F);
+  return Changed;
+}
+
 std::unique_ptr<Pass> khaos::createSimplifyCFGPass() {
   return std::make_unique<SimplifyCFGPass>();
+}
+
+std::unique_ptr<Pass> khaos::createCFGCleanupPass() {
+  return std::make_unique<CFGCleanupPass>();
 }

@@ -73,10 +73,19 @@ private:
   std::string fpExpr(unsigned Depth);
   std::string intCall(size_t MaxCallee);
 
+  /// A fresh literal from the safe charset (never braces or quotes, so
+  /// the shrinker's per-line brace counting stays exact).
+  std::string makeStringLiteral();
+
   // Statement generation.
   void emitStatements(const FnInfo &F, unsigned Budget, unsigned LoopDepth);
   void emitFunction(size_t Index);
   void emitMain();
+
+  // Adversarial idiom emitters (ProgramSpec knobs, default off).
+  void emitSwitchDispatcher();
+  void emitGotoMaze();
+  void emitStringBlender();
 
   const ProgramSpec &Spec;
   RNG Rng;
@@ -192,10 +201,100 @@ std::string ProgramBuilder::fpExpr(unsigned Depth) {
   }
 }
 
+std::string ProgramBuilder::makeStringLiteral() {
+  static const char Charset[] = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  std::string S;
+  for (unsigned I = 0, E = 4 + (unsigned)Rng.nextBelow(16); I != E; ++I)
+    S += Charset[Rng.nextBelow(sizeof(Charset) - 1)];
+  return S;
+}
+
+/// Switch-dense state machine: one big dispatcher loop whose switch has
+/// 16 distinct cases — the shape Fla turns into select chains and SplitBB
+/// carves up, and the Chakravyuha test corpus is full of.
+void ProgramBuilder::emitSwitchDispatcher() {
+  open("int dispatch_sm(int s, int n)");
+  line("int acc = 0;");
+  open("for (int k = 0; k < n; k++)");
+  open("switch (s & 15)");
+  for (int C = 0; C != 15; ++C) {
+    line(formatStr("case %d:", C));
+    ++IndentLevel;
+    line(formatStr("s = s * %d + %d; acc += %d; break;",
+                   (int)Rng.nextRange(3, 9), (int)Rng.nextRange(1, 31),
+                   (int)Rng.nextRange(1, 15)));
+    --IndentLevel;
+  }
+  line("default:");
+  ++IndentLevel;
+  line(formatStr("s = s ^ %d; acc += 1; break;",
+                 (int)Rng.nextRange(1, 255)));
+  --IndentLevel;
+  close(); // switch
+  close(); // for
+  line("return acc + (s & 1023);");
+  close();
+  Out += "\n";
+}
+
+/// Goto-dense CFG maze: every label decrements the fuel counter and exits
+/// when it runs out, so any jump pattern terminates. This is the
+/// unstructured-CFG shape that caught Flattening's unchecked id lookup.
+/// Control always falls through label to label (plus random conditional
+/// cross jumps), so every block stays reachable — the verifier rejects
+/// uses in unreachable blocks.
+void ProgramBuilder::emitGotoMaze() {
+  const unsigned Labels = 6;
+  open("int goto_maze(int x, int n)");
+  line("int acc = x & 255;");
+  line("goto L0;");
+  for (unsigned L = 0; L != Labels; ++L) {
+    line(formatStr("L%u:", L));
+    line("n = n - 1;");
+    line("if (n <= 0) goto Ldone;");
+    line(formatStr("acc = acc + %d;", (int)Rng.nextRange(1, 63)));
+    unsigned A = (unsigned)Rng.nextBelow(Labels);
+    unsigned B = (unsigned)Rng.nextBelow(Labels);
+    line(formatStr("if (acc & %d) goto L%u;", 1 << Rng.nextBelow(3), A));
+    line(formatStr("if (acc & %d) goto L%u;", 1 << Rng.nextBelow(3), B));
+    if (L + 1 == Labels)
+      line("goto Ldone;");
+  }
+  line("Ldone:");
+  line("return acc;");
+  close();
+  Out += "\n";
+}
+
+/// String-heavy helper: feeds distinctive literals through strlen and
+/// (observably, via puts) stdout — StrEnc must decode them bit-exactly.
+void ProgramBuilder::emitStringBlender() {
+  std::vector<std::string> Pool;
+  for (unsigned I = 0, E = 3 + (unsigned)Rng.nextBelow(4); I != E; ++I)
+    Pool.push_back(makeStringLiteral());
+  open("int str_blend(int k)");
+  line("int t = k & 15;");
+  for (const std::string &S : Pool)
+    line(formatStr("t += (int)strlen(\"%s\");", S.c_str()));
+  open(formatStr("if ((k & 7) == %d)", (int)Rng.nextBelow(8)));
+  line(formatStr("puts(\"%s\");", Pool[Rng.nextBelow(Pool.size())].c_str()));
+  close();
+  line("return t;");
+  close();
+  Out += "\n";
+}
+
 void ProgramBuilder::emitStatements(const FnInfo &F, unsigned Budget,
                                     unsigned LoopDepth) {
   while (Budget > 0) {
     --Budget;
+    // String-heavy filler rides its own gated draw so a zero ratio leaves
+    // the RNG stream (and every existing program) untouched.
+    if (Spec.StringRatio > 0.0 && Rng.nextBool(Spec.StringRatio * 0.25)) {
+      line(formatStr("%s += (int)strlen(\"%s\");",
+                     pickAssignable().c_str(), makeStringLiteral().c_str()));
+      continue;
+    }
     unsigned Kind = Rng.nextBelow(10);
     switch (Kind) {
     case 0: { // New local.
@@ -437,6 +536,12 @@ void ProgramBuilder::emitMain() {
   }
   if (HasTable)
     line("x = op_table[iter & 3](x & 1023, iter & 63);");
+  if (Spec.UseSwitchDispatch)
+    line("total += dispatch_sm(x + iter, 9);");
+  if (Spec.UseGotos)
+    line("total += goto_maze(x ^ iter, 25);");
+  if (Spec.StringRatio > 0.0)
+    line("total += str_blend(iter);");
   close(); // for
 
   if (Spec.UseSetjmp) {
@@ -519,6 +624,14 @@ std::string ProgramBuilder::run() {
     close();
     Out += "\n";
   }
+
+  // Adversarial idiom helpers (each gated, so disabled knobs draw nothing).
+  if (Spec.UseSwitchDispatch)
+    emitSwitchDispatcher();
+  if (Spec.UseGotos)
+    emitGotoMaze();
+  if (Spec.StringRatio > 0.0)
+    emitStringBlender();
 
   for (size_t I = 0; I != Fns.size(); ++I)
     if (!Fns[I].IsBinOp)

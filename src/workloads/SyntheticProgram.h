@@ -35,6 +35,12 @@ struct ProgramSpec {
   unsigned MaxLoopDepth = 2;
   unsigned MainIterations = 40; ///< Outer workload loop in main().
   uint64_t Seed = 1;
+  // Adversarial idioms aimed at the obfuscation passes' weak spots. All
+  // default off, and a disabled knob consumes no RNG draws, so existing
+  // specs keep generating byte-identical sources.
+  double StringRatio = 0.0;       ///< String-heavy data (StrEnc stress).
+  bool UseSwitchDispatch = false; ///< Switch-dense state machine (Fla).
+  bool UseGotos = false;          ///< Goto-dense CFG maze (Fla id map).
   /// Function names that must exist with substantial bodies (the CVE
   /// functions of the paper's Table 3).
   std::vector<std::string> NamedFunctions;

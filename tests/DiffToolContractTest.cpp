@@ -218,8 +218,13 @@ TEST(DiffToolContractMatrix, ThreadCountAndRerunInvariance) {
   Spec.NumFunctions = 8;
   Spec.Seed = 23;
   std::vector<Workload> Suite{{Spec.Name, generateMiniCProgram(Spec), {}, {}}};
-  std::vector<ObfuscationMode> Modes{ObfuscationMode::Sub,
-                                     ObfuscationMode::Fission};
+  // One intra-procedural baseline, one inter-procedural Khaos mode, and
+  // the four passes this PR adds — every roster entry must hold the
+  // fig8-grade determinism bar, not just the founding ones.
+  std::vector<ObfuscationMode> Modes{
+      ObfuscationMode::Sub,    ObfuscationMode::Fission,
+      ObfuscationMode::MBA,    ObfuscationMode::StrEnc,
+      ObfuscationMode::IndCall, ObfuscationMode::SplitBB};
   std::vector<std::string> Tools = registeredToolNames();
 
   EvalScheduler One({/*Threads=*/1, /*Seed=*/0xc906});

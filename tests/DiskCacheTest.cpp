@@ -20,13 +20,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -83,6 +86,23 @@ std::string onlyArtFile(const std::string &Dir) {
   ::closedir(D);
   EXPECT_EQ(Count, 1);
   return Found;
+}
+
+/// The on-disk file name DiskCache::pathFor would pick for \p K.
+std::string artFileName(const ArtifactKey &K) {
+  char Hex[32];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(K.address()));
+  return std::string(artifactStageName(K.Stage)) + "-" + Hex + ".art";
+}
+
+/// Pins both timestamps of \p Path to an exact (sec, nsec) pair.
+void setMtimeNs(const std::string &Path, time_t Sec, long Nsec) {
+  timespec Times[2];
+  Times[0].tv_sec = Sec;
+  Times[0].tv_nsec = Nsec;
+  Times[1] = Times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, Path.c_str(), Times, 0), 0);
 }
 
 std::vector<uint8_t> readFileBytes(const std::string &Path) {
@@ -258,6 +278,76 @@ TEST(DiskCache, LRUEvictionHonorsRecency) {
   EXPECT_EQ(Bounded.get(K2, Got), DiskGetStatus::Miss);
   EXPECT_EQ(Bounded.get(K1, Got), DiskGetStatus::Hit);
   EXPECT_EQ(Bounded.get(K3, Got), DiskGetStatus::Hit);
+}
+
+/// Three artifacts written within the same wall-clock second, where the
+/// file whose name sorts LAST is the true stalest. Whole-second mtimes
+/// would tie all three and the name tiebreak would evict the wrong file;
+/// the nanosecond seed must evict by actual write recency.
+TEST(DiskCache, StartupSeedOrdersSameSecondWritesByNanosecond) {
+  std::string Dir = freshDir("nsmtime");
+  ArtifactKey Keys[3] = {sampleKey("ns-1", 1), sampleKey("ns-2", 2),
+                         sampleKey("ns-3", 3)};
+  std::vector<uint8_t> Payload(64, 0xbb);
+  uint64_t PerFile;
+  {
+    DiskCache Writer({Dir, 0});
+    for (const ArtifactKey &K : Keys)
+      Writer.put(K, Payload);
+    PerFile = Writer.totalBytes() / 3; // Equal-size files by construction.
+  }
+
+  // Map name-sorted position -> key index, then make the name-sorted-last
+  // file the stalest inside one shared second.
+  std::vector<std::pair<std::string, int>> Named;
+  for (int I = 0; I != 3; ++I)
+    Named.push_back({artFileName(Keys[I]), I});
+  std::sort(Named.begin(), Named.end());
+  setMtimeNs(Dir + "/" + Named[0].first, 1000000, 300);
+  setMtimeNs(Dir + "/" + Named[1].first, 1000000, 200);
+  setMtimeNs(Dir + "/" + Named[2].first, 1000000, 100);
+
+  // Cap fits the three seeded files; the fourth put evicts exactly one.
+  DiskCache Bounded({Dir, PerFile * 3 + 1});
+  EXPECT_EQ(Bounded.put(sampleKey("ns-4", 4), Payload), 1u);
+
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(Bounded.get(Keys[Named[2].second], Got), DiskGetStatus::Miss);
+  EXPECT_EQ(Bounded.get(Keys[Named[0].second], Got), DiskGetStatus::Hit);
+  EXPECT_EQ(Bounded.get(Keys[Named[1].second], Got), DiskGetStatus::Hit);
+}
+
+/// Genuinely identical timestamps (a filesystem that truncates them, or a
+/// copied cache directory): the seed order falls back to the name
+/// tiebreak, so every process picks the same eviction victim.
+TEST(DiskCache, StartupSeedBreaksIdenticalMtimesByName) {
+  std::string Dir = freshDir("mtime-tie");
+  ArtifactKey Keys[3] = {sampleKey("tie-1", 1), sampleKey("tie-2", 2),
+                         sampleKey("tie-3", 3)};
+  std::vector<uint8_t> Payload(64, 0xcc);
+  uint64_t PerFile;
+  {
+    DiskCache Writer({Dir, 0});
+    for (const ArtifactKey &K : Keys)
+      Writer.put(K, Payload);
+    PerFile = Writer.totalBytes() / 3;
+  }
+
+  std::vector<std::pair<std::string, int>> Named;
+  for (int I = 0; I != 3; ++I)
+    Named.push_back({artFileName(Keys[I]), I});
+  std::sort(Named.begin(), Named.end());
+  for (const auto &P : Named)
+    setMtimeNs(Dir + "/" + P.first, 2000000, 500);
+
+  DiskCache Bounded({Dir, PerFile * 3 + 1});
+  EXPECT_EQ(Bounded.put(sampleKey("tie-4", 4), Payload), 1u);
+
+  // The name-sorted-first file is the deterministic victim.
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(Bounded.get(Keys[Named[0].second], Got), DiskGetStatus::Miss);
+  EXPECT_EQ(Bounded.get(Keys[Named[1].second], Got), DiskGetStatus::Hit);
+  EXPECT_EQ(Bounded.get(Keys[Named[2].second], Got), DiskGetStatus::Hit);
 }
 
 TEST(DiskCache, OversizePayloadIsNotStored) {

@@ -26,11 +26,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace khaos;
@@ -421,6 +424,86 @@ TEST(EvalServer, HungWorkerFailsOneRequestWithoutStallingOthers) {
   EXPECT_EQ(Run.Failures, 0u);
   EXPECT_GT(Pings.load(), 0);
   EXPECT_EQ(PingFailures.load(), 0);
+}
+
+/// A client that vanishes mid-conversation must cost the daemon nothing.
+/// Three disconnect shapes: half a frame on the wire (mid-frame EOF on
+/// the daemon's read), a fire-and-forget request whose response write
+/// lands on a closed socket (EPIPE — fatal SIGPIPE unless ignored), and
+/// the same with a slow request so the write provably happens after the
+/// close. After all three the daemon still answers a fresh client.
+TEST(EvalServer, MidFrameClientDisconnectLeavesDaemonServing) {
+  EvalServer Server({freshSocket("disconnect"), inProcessConfig()});
+  std::string Err;
+  ASSERT_TRUE(Server.start(Err)) << Err;
+
+  auto RawConnect = [&]() {
+    int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(S, 0);
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Server.socketPath().c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    EXPECT_EQ(::connect(S, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+    return S;
+  };
+  auto SendRaw = [](int S, const std::vector<uint8_t> &Bytes) {
+    ASSERT_EQ(::write(S, Bytes.data(), Bytes.size()),
+              static_cast<ssize_t>(Bytes.size()));
+  };
+  auto SendFrame = [&](int S, const std::vector<uint8_t> &Payload) {
+    uint32_t Len = static_cast<uint32_t>(Payload.size());
+    std::vector<uint8_t> Bytes = {
+        static_cast<uint8_t>(Len), static_cast<uint8_t>(Len >> 8),
+        static_cast<uint8_t>(Len >> 16), static_cast<uint8_t>(Len >> 24)};
+    Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+    SendRaw(S, Bytes);
+  };
+
+  // Shape 1: a length prefix promising 64 bytes, 4 delivered, then gone.
+  {
+    int S = RawConnect();
+    SendRaw(S, {64, 0, 0, 0, 0x31, 0x56, 0x45, 0x4B});
+    ::close(S);
+  }
+
+  // Shape 2: a complete Ping whose answer may race our close.
+  {
+    EvalRequest Ping;
+    Ping.Kind = EvalWireKind::Ping;
+    int S = RawConnect();
+    SendFrame(S, encodeEvalRequest(Ping));
+    ::close(S);
+  }
+
+  // Shape 3: an Overhead request does real compile+run work, so the
+  // daemon's response write is guaranteed to happen after our close and
+  // hit the dead socket.
+  {
+    EvalRequest Slow;
+    Slow.Kind = EvalWireKind::Overhead;
+    Slow.WorkloadName = "disc-wl";
+    Slow.WorkloadSource = "int main() { return 0; }";
+    Slow.Mode = ObfuscationMode::Sub;
+    Slow.Seed = 0xc906;
+    int S = RawConnect();
+    SendFrame(S, encodeEvalRequest(Slow));
+    ::close(S);
+  }
+
+  // Give the connection threads time to trip over the dead sockets, then
+  // prove the daemon survived all three.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EvalClient Client;
+  ASSERT_TRUE(Client.connect(Server.socketPath(), Err)) << Err;
+  EvalRequest Req;
+  Req.Kind = EvalWireKind::Ping;
+  EvalResponse Resp;
+  ASSERT_TRUE(Client.call(Req, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.Ok);
 }
 
 TEST(EvalServer, FuzzBatchMatchesLocalRun) {

@@ -110,8 +110,8 @@ TEST(EvalScheduler, CompileMatrixIdenticalAcrossThreadCounts) {
   EXPECT_EQ(SerialRun.Cells, A.size());
   EXPECT_EQ(PoolRun.Cells, B.size());
   EXPECT_EQ(SerialRun.Failures, PoolRun.Failures);
-  expectStatsEqual({SerialRun.Fission, SerialRun.Fusion, 0},
-                   {PoolRun.Fission, PoolRun.Fusion, 0});
+  expectStatsEqual({SerialRun.Fission, SerialRun.Fusion, 0, {}},
+                   {PoolRun.Fission, PoolRun.Fusion, 0, {}});
 }
 
 TEST(EvalScheduler, OverheadMatrixIdenticalAcrossThreadCounts) {

@@ -13,11 +13,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/IRGen.h"
+#include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "obfuscation/KhaosDriver.h"
 #include "obfuscation/OLLVM.h"
+#include "support/Casting.h"
 #include "support/StringUtils.h"
 #include "vm/Interpreter.h"
 
@@ -511,6 +513,220 @@ TEST(BaselineMechanism, FlatteningCreatesDispatcher) {
         SawDispatcher = true;
   EXPECT_TRUE(SawDispatcher);
   EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+/// The Flattening hardening this PR pins: a terminator that targets the
+/// entry block again. The entry keeps its body (allocas) and gets no case
+/// id, so before the checked lookups operator[] default-inserted state id
+/// 0 for it — and the dispatcher has no case 0, sending execution into
+/// the default block at runtime. Such IR never passes the verifier, but
+/// hand-built modules can carry it; the pass must skip, not miscompile.
+TEST(BaselineMechanism, FlatteningSkipsBranchBackToEntry) {
+  Context Ctx;
+  Module M(Ctx, "flat-entry");
+  Function *F = M.createFunction(
+      "loopy", Ctx.getFunctionType(Ctx.getInt32Type(), {}));
+  BasicBlock *Entry = F->addBlock("entry");
+  BasicBlock *Mid = F->addBlock("mid");
+  BasicBlock *Exit = F->addBlock("exit");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  B.createBr(Mid);
+  B.setInsertPoint(Mid);
+  Value *C = B.createCmp(CmpPred::EQ, M.getInt32(0), M.getInt32(1), "c");
+  B.createCondBr(C, Entry, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet(M.getInt32(7));
+
+  OLLVMOptions Opts;
+  EXPECT_EQ(runFlattening(M, Opts), 0u);
+  for (const auto &BB : F->blocks())
+    EXPECT_FALSE(startsWith(BB->getName(), "flat.dispatch"))
+        << "ineligible function was flattened anyway";
+}
+
+//===----------------------------------------------------------------------===//
+// New-pass mechanisms: MBA, StrEnc, IndCall, SplitBB (+ telemetry).
+//===----------------------------------------------------------------------===//
+
+size_t instructionCount(const Module &M) {
+  size_t N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      N += BB->insts().size();
+  return N;
+}
+
+size_t blockCount(const Module &M) {
+  size_t N = 0;
+  for (const auto &F : M.functions())
+    N += F->size();
+  return N;
+}
+
+TEST(NewPassMechanism, MBARewritesSitesAndReports) {
+  const Program &P = TestPrograms[0];
+  Behaviour Base = baselineRun(P.Source);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  size_t Before = instructionCount(*M);
+  PassReport Rep;
+  unsigned N = runMBASubstitution(*M, {}, &Rep);
+  EXPECT_GT(N, 0u);
+  EXPECT_EQ(Rep.SitesRewritten, N);
+  EXPECT_GT(Rep.BytesGrown, 0u);
+  // Recursive identities grow every rewritten site by several ops.
+  EXPECT_GT(instructionCount(*M), Before + N);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+  EXPECT_EQ(R.Stdout, Base.Stdout);
+}
+
+TEST(NewPassMechanism, StringEncryptionHidesPlaintextAndDecodes) {
+  const Program &P = TestPrograms[5]; // "strings": two literals via hash().
+  Behaviour Base = baselineRun(P.Source);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  PassReport Rep;
+  unsigned N = runStringEncryption(*M, {}, &Rep);
+  EXPECT_GE(N, 2u); // Both literals encrypted.
+  EXPECT_EQ(Rep.StringsEncrypted, N);
+  EXPECT_GT(Rep.BlocksInserted, 0u);
+
+  bool SawDecode = false;
+  for (const auto &F : M->functions())
+    if (startsWith(F->getName(), "strenc.decode")) {
+      SawDecode = true;
+      EXPECT_TRUE(F->isNoObfuscate());
+    }
+  EXPECT_TRUE(SawDecode);
+
+  // No global initializer may still spell the plaintext at rest.
+  for (const auto &G : M->globals()) {
+    std::string Bytes;
+    for (const Constant *C : G->getInitializer())
+      if (const auto *CI = dyn_cast<ConstantInt>(C))
+        Bytes += static_cast<char>(CI->getValue());
+    EXPECT_EQ(Bytes.find("khaos obfuscation"), std::string::npos);
+    EXPECT_EQ(Bytes.find("binary diffing"), std::string::npos);
+  }
+
+  EXPECT_TRUE(verifyModule(*M).empty());
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+  EXPECT_EQ(R.Stdout, Base.Stdout);
+}
+
+TEST(NewPassMechanism, StringEncryptionRequiresMain) {
+  // Without a defined main there is nowhere to anchor the decode call;
+  // the pass must leave the module byte-for-byte alone.
+  const char *Src = R"(
+int pick(char* s, int i) { return s[i]; }
+int first(int i) { return pick("no main here", i); }
+)";
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(Src, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  size_t Insts = instructionCount(*M);
+  size_t Funcs = M->functions().size();
+  PassReport Rep;
+  EXPECT_EQ(runStringEncryption(*M, {}, &Rep), 0u);
+  EXPECT_TRUE(Rep.empty());
+  EXPECT_EQ(instructionCount(*M), Insts);
+  EXPECT_EQ(M->functions().size(), Funcs);
+}
+
+TEST(NewPassMechanism, IndirectCallsRouteThroughShuffledTable) {
+  const Program &P = TestPrograms[1]; // "calls": square/cube/mix sites.
+  Behaviour Base = baselineRun(P.Source);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  PassReport Rep;
+  unsigned N = runIndirectCalls(*M, {}, &Rep);
+  EXPECT_GT(N, 0u);
+  EXPECT_EQ(Rep.SitesRewritten, N);
+
+  bool SawTable = false;
+  for (const auto &G : M->globals())
+    if (startsWith(G->getName(), "ind.table"))
+      SawTable = true;
+  EXPECT_TRUE(SawTable);
+
+  // Every rewritten site is now a call through a value, not a Function.
+  unsigned Indirect = 0;
+  for (const auto &F : M->functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->insts())
+        if (I->getOpcode() == Opcode::Call &&
+            !cast<CallInst>(I.get())->getCalledFunction())
+          ++Indirect;
+  EXPECT_EQ(Indirect, N);
+
+  EXPECT_TRUE(verifyModule(*M).empty());
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+  EXPECT_EQ(R.Stdout, Base.Stdout);
+}
+
+TEST(NewPassMechanism, SplitBasicBlocksAddsBlocksAndComposesWithFla) {
+  const Program &P = TestPrograms[0];
+  Behaviour Base = baselineRun(P.Source);
+  Context Ctx;
+  std::string Error;
+  auto M = compileMiniC(P.Source, Ctx, "t", Error);
+  ASSERT_TRUE(M) << Error;
+  size_t Before = blockCount(*M);
+  PassReport Rep;
+  unsigned N = runSplitBasicBlocks(*M, {}, &Rep);
+  EXPECT_GT(N, 0u);
+  EXPECT_EQ(Rep.BlocksSplit, N);
+  EXPECT_GT(Rep.BlocksInserted, 0u);
+  EXPECT_EQ(blockCount(*M), Before + Rep.BlocksInserted);
+  EXPECT_TRUE(verifyModule(*M).empty());
+
+  // The pass's real role: a pre-pass handing Fla more blocks to flatten.
+  OLLVMOptions FlaOpts;
+  EXPECT_GT(runFlattening(*M, FlaOpts), 0u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+  ExecResult R = runModule(*M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Base.Exit);
+  EXPECT_EQ(R.Stdout, Base.Stdout);
+}
+
+/// The mode-level seam the scheduler consumes: obfuscateModule must fill
+/// ObfuscationResult::Report for the new modes (the scheduler rolls these
+/// into EvalRunStats and the [passes] stderr line).
+TEST(NewPassMechanism, ObfuscateModulePopulatesPassReport) {
+  const std::pair<ObfuscationMode, const char *> Cases[] = {
+      {ObfuscationMode::MBA, "sites"},
+      {ObfuscationMode::StrEnc, "strings"},
+      {ObfuscationMode::IndCall, "sites"},
+      {ObfuscationMode::SplitBB, "blocks"},
+  };
+  for (const auto &Case : Cases) {
+    // The strings program feeds every mode something to transform.
+    Context Ctx;
+    std::string Error;
+    auto M = compileMiniC(TestPrograms[5].Source, Ctx, "t", Error);
+    ASSERT_TRUE(M) << Error;
+    KhaosOptions Opts;
+    Opts.RunPostOpt = false;
+    ObfuscationResult R = obfuscateModule(*M, Case.first, Opts);
+    EXPECT_FALSE(R.Report.empty())
+        << obfuscationModeName(Case.first) << " reported no " << Case.second;
+  }
 }
 
 TEST(KhaosStatistics, Table2ShapesAreSane) {

@@ -39,6 +39,12 @@ ProgramSpec specForSeed(uint64_t Seed) {
   S.UseIndirectCalls = Seed % 2 == 0;
   S.UseExceptions = Seed % 3 == 0;
   S.UseSetjmp = Seed % 5 == 0;
+  // The newer idiom knobs, staggered so each appears alone and combined
+  // across the sweep (string-heavy code feeds StrEnc something real;
+  // switch-dense and goto-dense shapes stress Fla/SplitBB rewiring).
+  S.StringRatio = (Seed % 4 == 1) ? 0.5 : 0.0;
+  S.UseSwitchDispatch = Seed % 4 == 2;
+  S.UseGotos = Seed % 4 == 3;
   S.MainIterations = 6;
   return S;
 }

@@ -93,6 +93,11 @@ int main(int argc, char **argv) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  // EvalServer::start already installed SIG_IGN for SIGPIPE, but the
+  // daemon's survival must not hinge on a library detail: a client that
+  // disconnects while its response frame is in flight turns the write
+  // into EPIPE, and the default SIGPIPE disposition would kill us.
+  std::signal(SIGPIPE, SIG_IGN);
 
   std::fprintf(stderr,
                "[khaos-evald] listening on %s engine=%s cache=%s disk=%s\n",
