@@ -18,9 +18,12 @@
 /// prints identical stdout), `--connect SOCKET` (route eval work to a
 /// running khaos-evald daemon instead of computing in-process; stdout is
 /// byte-identical either way), `--tool-timeout-ms T` (the
-/// round-trip budget of out-of-process diffing backends) and `--vm
+/// round-trip budget of out-of-process diffing backends), `--vm
 /// reference|precompiled` (which execution engine runs programs; both
-/// produce byte-identical stdout). `--json PATH` makes supporting benches
+/// produce byte-identical stdout), `--baseline-opt L[,L...]` (the baseline
+/// build level; a comma list is the confound axis of benches that take
+/// one) and `--codegen T[,T...]` (codegen tweaks layered onto the
+/// baseline config). `--json PATH` makes supporting benches
 /// additionally write a machine-readable BENCH_*.json result file (the
 /// committed perf trajectory — see bench/vm_engines.cpp); their stdout is
 /// byte-identical at every thread count (scheduler diagnostics, including
@@ -47,6 +50,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -108,54 +112,179 @@ inline uint64_t parseByteCount(const char *V, const char *Flag,
   return static_cast<uint64_t>(N);
 }
 
-/// Parses `--threads N`, `--seed S`, `--no-cache`, `--shards N`,
-/// `--shard-index I`, `--store-max-bytes B`, `--cache-dir DIR`,
-/// `--disk-max-bytes B`, `--connect SOCKET` and `--vm ENGINE` (both
-/// `--flag V` and `--flag=V` spellings). Capacity flags go through
-/// parseByteCount (exit 2 on garbage); other unrecognized arguments are
-/// ignored so benches stay forgiving in scripts.
-inline EvalScheduler::Config parseSchedulerArgs(int Argc, char **Argv) {
-  EvalScheduler::Config C;
-  const char *Bench = Argc > 0 ? Argv[0] : "bench";
-  auto Value = [&](const std::string &, const char *Flag,
-                   int &I) -> const char * {
-    return flagValue(Argc, Argv, I, Flag);
-  };
+/// One declarative flag: spelling, optional value placeholder (null for
+/// boolean flags), one-line help, and the action run when it matches. The
+/// single table in schedulerFlagSpecs is what every bench and tool
+/// front-end parses and prints usage from — a new flag added there gets
+/// validation and usage text everywhere at once.
+struct BenchFlagSpec {
+  const char *Name;      ///< "--threads"
+  const char *ValueName; ///< "N", or nullptr for a boolean flag.
+  const char *Help;      ///< One-line description for usage text.
+  std::function<void(const char *)> Apply; ///< Value (nullptr if boolean).
+};
+
+/// Applies every matching spec across \p Argv (`--flag V` and `--flag=V`
+/// spellings; boolean flags match exactly). Arguments matching no spec are
+/// ignored so benches stay forgiving in scripts and front-ends can layer
+/// their own tables over the shared one.
+inline void applyBenchFlags(int Argc, char **Argv,
+                            const std::vector<BenchFlagSpec> &Specs) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (const char *V = Value(Arg, "--threads", I))
-      C.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    else if (const char *V2 = Value(Arg, "--seed", I))
-      C.Seed = std::strtoull(V2, nullptr, 0);
-    else if (Arg == "--no-cache")
-      C.CacheEnabled = false;
-    else if (const char *V3 = Value(Arg, "--shards", I))
-      C.Shards = static_cast<unsigned>(std::strtoul(V3, nullptr, 10));
-    else if (const char *V4 = Value(Arg, "--shard-index", I))
-      C.ShardIdx = static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
-    else if (const char *V5 = Value(Arg, "--store-max-bytes", I))
-      C.StoreMaxBytes = parseByteCount(V5, "--store-max-bytes", Bench);
-    else if (const char *VD = Value(Arg, "--cache-dir", I))
-      C.CacheDir = VD;
-    else if (const char *VB = Value(Arg, "--disk-max-bytes", I))
-      C.DiskMaxBytes = parseByteCount(VB, "--disk-max-bytes", Bench);
-    else if (const char *VC = Value(Arg, "--connect", I))
-      C.ConnectPath = VC;
-    else if (const char *V6 = Value(Arg, "--tool-timeout-ms", I))
-      // Round-trip budget of subprocess diffing backends: a process-wide
-      // knob of the worker pool, not scheduler state.
-      setDiffWorkerTimeoutMs(
-          static_cast<unsigned>(std::strtoul(V6, nullptr, 10)));
-    else if (const char *V7 = Value(Arg, "--vm", I)) {
-      if (!parseVMEngineName(V7, C.Engine)) {
-        std::fprintf(stderr,
-                     "unknown --vm engine '%s' (expected 'reference' or "
-                     "'precompiled')\n",
-                     V7);
-        std::exit(2);
+    for (const BenchFlagSpec &S : Specs) {
+      if (S.ValueName) {
+        if (const char *V = flagValue(Argc, Argv, I, S.Name)) {
+          S.Apply(V);
+          break;
+        }
+      } else if (Arg == S.Name) {
+        S.Apply(nullptr);
+        break;
       }
     }
   }
+}
+
+/// Renders aligned "  --flag V   help" lines for \p Specs — the usage text
+/// is generated from the same table that parses, so the two cannot drift.
+inline std::string benchFlagUsage(const std::vector<BenchFlagSpec> &Specs) {
+  std::string Out;
+  for (const BenchFlagSpec &S : Specs) {
+    std::string Head = "  ";
+    Head += S.Name;
+    if (S.ValueName) {
+      Head += ' ';
+      Head += S.ValueName;
+    }
+    while (Head.size() < 28)
+      Head += ' ';
+    Out += Head;
+    Out += S.Help;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// The shared scheduler/pipeline flag table. Raw `--baseline-opt` /
+/// `--codegen` values are stashed into the two string outs during the walk
+/// and resolved afterwards by resolveBaselineFlags (their validity does
+/// not depend on argv order that way).
+inline std::vector<BenchFlagSpec>
+schedulerFlagSpecs(EvalScheduler::Config &C, const char *Bench,
+                   std::string &BaselineSpec, std::string &CodegenSpec) {
+  return {
+      {"--threads", "N", "scheduler worker threads (0 = hardware)",
+       [&C](const char *V) {
+         C.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       }},
+      {"--seed", "S", "base run seed (cell seeds derive from it)",
+       [&C](const char *V) { C.Seed = std::strtoull(V, nullptr, 0); }},
+      {"--no-cache", nullptr, "recompute every artifact (identical output)",
+       [&C](const char *) { C.CacheEnabled = false; }},
+      {"--shards", "N", "split the matrix across N processes",
+       [&C](const char *V) {
+         C.Shards = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       }},
+      {"--shard-index", "I", "which shard this process owns (0-based)",
+       [&C](const char *V) {
+         C.ShardIdx = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       }},
+      {"--store-max-bytes", "B", "LRU-bound the in-memory artifact store",
+       [&C, Bench](const char *V) {
+         C.StoreMaxBytes = parseByteCount(V, "--store-max-bytes", Bench);
+       }},
+      {"--cache-dir", "DIR", "persist serializable artifacts on disk",
+       [&C](const char *V) { C.CacheDir = V; }},
+      {"--disk-max-bytes", "B", "capacity of the on-disk cache tier",
+       [&C, Bench](const char *V) {
+         C.DiskMaxBytes = parseByteCount(V, "--disk-max-bytes", Bench);
+       }},
+      {"--connect", "SOCKET", "route eval work to a khaos-evald daemon",
+       [&C](const char *V) { C.ConnectPath = V; }},
+      {"--tool-timeout-ms", "T", "round-trip budget of -oop diff backends",
+       [](const char *V) {
+         // A process-wide knob of the worker pool, not scheduler state.
+         setDiffWorkerTimeoutMs(
+             static_cast<unsigned>(std::strtoul(V, nullptr, 10)));
+       }},
+      {"--vm", "ENGINE", "execution engine: reference|precompiled",
+       [&C](const char *V) {
+         if (!parseVMEngineName(V, C.Engine)) {
+           std::fprintf(stderr,
+                        "unknown --vm engine '%s' (expected 'reference' or "
+                        "'precompiled')\n",
+                        V);
+           std::exit(2);
+         }
+       }},
+      {"--baseline-opt", "L[,L...]",
+       "baseline build level(s) O0..O3; a comma list is a confound axis",
+       [&BaselineSpec](const char *V) { BaselineSpec = V; }},
+      {"--codegen", "T[,T...]",
+       "baseline codegen tweaks: [no-]{spill,lea,cmov,jump-tables,"
+       "align-loops}",
+       [&CodegenSpec](const char *V) { CodegenSpec = V; }},
+  };
+}
+
+/// Resolves the stashed `--baseline-opt` / `--codegen` values. A single
+/// level becomes the run's pipeline baseline (Config::Baseline — checked
+/// against a --connect daemon's ping). A multi-level list is a confound
+/// axis: only benches passing \p BaselineAxis accept it; everywhere else
+/// it is a usage error, not a silent truncation.
+inline void resolveBaselineFlags(EvalScheduler::Config &C, const char *Bench,
+                                 const std::string &BaselineSpec,
+                                 const std::string &CodegenSpec,
+                                 std::vector<BuildConfig> *BaselineAxis) {
+  std::string Err;
+  std::vector<BuildConfig> Configs;
+  if (!BaselineSpec.empty() &&
+      !parseBaselineOptList(BaselineSpec, Configs, Err)) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: --baseline-opt LEVEL[,LEVEL...] with LEVEL "
+                 "one of O0 O1 O2 O3\n",
+                 Bench, Err.c_str());
+    std::exit(2);
+  }
+  if (!CodegenSpec.empty()) {
+    CodegenOptions Probe = C.Baseline.Codegen;
+    if (!applyCodegenTokens(CodegenSpec, Probe, Err)) {
+      std::fprintf(stderr, "%s: %s\n", Bench, Err.c_str());
+      std::exit(2);
+    }
+    C.Baseline.Codegen = Probe;
+    for (BuildConfig &BC : Configs)
+      applyCodegenTokens(CodegenSpec, BC.Codegen, Err); // Validated above.
+  }
+  if (Configs.size() == 1)
+    C.Baseline = Configs[0];
+  else if (Configs.size() > 1 && !BaselineAxis) {
+    std::fprintf(stderr,
+                 "%s: --baseline-opt with multiple levels is a confound "
+                 "axis; this bench takes a single baseline config\n",
+                 Bench);
+    std::exit(2);
+  }
+  if (BaselineAxis && !Configs.empty())
+    *BaselineAxis = std::move(Configs);
+}
+
+/// Parses the shared scheduler/pipeline flags (see the file comment for
+/// the roster; both `--flag V` and `--flag=V` spellings). Capacity flags
+/// go through parseByteCount, `--baseline-opt`/`--codegen` through the
+/// BuildConfig parsers (exit 2 on garbage); unrecognized arguments are
+/// ignored. Benches with a build-config axis pass \p BaselineAxis to
+/// receive the `--baseline-opt` comma list as BuildConfigs.
+inline EvalScheduler::Config
+parseSchedulerArgs(int Argc, char **Argv,
+                   std::vector<BuildConfig> *BaselineAxis = nullptr) {
+  EvalScheduler::Config C;
+  const char *Bench = Argc > 0 ? Argv[0] : "bench";
+  std::string BaselineSpec, CodegenSpec;
+  applyBenchFlags(Argc, Argv,
+                  schedulerFlagSpecs(C, Bench, BaselineSpec, CodegenSpec));
+  resolveBaselineFlags(C, Bench, BaselineSpec, CodegenSpec, BaselineAxis);
   return C;
 }
 

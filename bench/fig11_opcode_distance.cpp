@@ -57,15 +57,19 @@ void runSuite(EvalPipeline &Pipe, const char *Caption,
     for (size_t CI = 0; CI != std::size(Configs); ++CI) {
       std::vector<double> ObfHist;
       if (Configs[CI].BinTuner) {
-        BinTunerOptions BTOpts;
+        BinTuner::Options BTOpts;
         BTOpts.Budget = quickMode() ? 4 : 12;
-        BinTunerResult BT = runBinTuner(W, BTOpts);
+        BinTuner Tuner(Pipe, BTOpts);
+        // This bench takes no scheduler flags; derive the tuner seed the
+        // way a scheduler cell would under the default run seed.
+        BinTunerResult BT = Tuner.run(
+            W, deriveCellSeed(0xc906, W.Name, ObfuscationMode::None));
         if (!BT.Ok)
           continue;
-        bool Ok = false;
-        ObfHist = buildWithConfig(W, BT.Best, Ok).opcodeHistogram();
-        if (!Ok)
+        auto BestImg = Pipe.baselineImage(W, BT.Best);
+        if (!BestImg->Ok)
           continue;
+        ObfHist = BestImg->Image.opcodeHistogram();
       } else {
         CompiledWorkload Obf = Pipe.obfuscate(W, Configs[CI].Mode);
         if (!Obf)

@@ -33,9 +33,7 @@ const char *Fig9Names[] = {
 /// cached reference build at the given level.
 double khaosSimilarityVsLevel(EvalPipeline &Pipe, const EvalCell &C,
                               OptLevel Level) {
-  CodegenOptions RefCG;
-  RefCG.SpillEverything = Level == OptLevel::O0;
-  auto Ref = Pipe.baselineImage(*C.W, Level, RefCG);
+  auto Ref = Pipe.baselineImage(*C.W, BuildConfig::forLevel(Level));
   auto Obf = Pipe.obfuscatedImage(*C.W, ObfuscationMode::FuFiAll, C.Seed);
   if (!Ref->Ok || !Obf->Ok)
     return 0.0;
@@ -76,9 +74,12 @@ int main(int argc, char **argv) {
   std::vector<RowResult> Rows(Picked.size());
   Sched.forEachCell(Picked, RowMode, [&](const EvalCell &C) {
     RowResult &Row = Rows[C.WorkloadIdx];
-    BinTunerOptions Opts;
+    BinTuner::Options Opts;
     Opts.Budget = quickMode() ? 6 : 24;
-    Row.BT = runBinTuner(*C.W, Opts);
+    // The tuner runs on the scheduler's pipeline (candidate builds are
+    // cached Baseline artifacts) and draws from the cell's derived seed.
+    BinTuner Tuner(Sched.pipeline(), Opts);
+    Row.BT = Tuner.run(*C.W, C.Seed);
     for (int L = 0; L != 4; ++L)
       Row.KhaosSim[L] =
           khaosSimilarityVsLevel(Sched.pipeline(), C,

@@ -22,10 +22,12 @@
 ///
 ///   | jtrans      | function    | no      | no         | time         |
 ///   | orcas       | function    | no      | yes        | time         |
+///   | semdiff     | function    | no      | yes        | time         |
 ///
 /// Each in-process tool also has a subprocess-served twin (`safe-oop`,
-/// `jtrans-oop`, `orcas-oop`) registered by the SubprocessDiffTool
-/// adapter, bit-identical to its in-process counterpart.
+/// `jtrans-oop`, `orcas-oop`, `semdiff-oop`) registered by the
+/// SubprocessDiffTool adapter, bit-identical to its in-process
+/// counterpart.
 ///
 /// Each tool ranks, for every function of binary A (the un-obfuscated
 /// reference), the functions of binary B (the obfuscated build) by
@@ -98,6 +100,7 @@ std::unique_ptr<DiffTool> createSafeTool();
 std::unique_ptr<DiffTool> createDeepBinDiffTool();
 std::unique_ptr<DiffTool> createJTransTool();
 std::unique_ptr<DiffTool> createOrcasTool();
+std::unique_ptr<DiffTool> createSemDiffTool();
 
 //===----------------------------------------------------------------------===//
 // Tool registry: a string-keyed factory table. The five paper tools are

@@ -1,0 +1,322 @@
+//===- diffing/SemDiffTool.cpp - Key-semantics-graph diffing ---------------===//
+//
+// Part of the Khaos reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SemDiff-style backend: semantic slicing before matching. The observable
+/// behaviour of a function flows through few places — the values it feeds
+/// into calls, the stores it makes to memory, and what it returns — so the
+/// tool reduces every function to its *key-semantics graph* first: the
+/// blocks that host a call, an indirect call, a memory write or a return
+/// (plus the entry and any block without successors), connected by the
+/// contracted CFG paths between them. Everything else — the opaque
+/// predicates, the dispatcher scaffolding, the flattening switch blocks
+/// that intra-procedural obfuscators add — is plumbing between key blocks
+/// and collapses into edges of the reduced graph.
+///
+/// Nodes keep three labels: the semantic-category histogram of the block
+/// (semanticHistogram), the block's dominator depth in the *full* CFG
+/// (computeBlockIDoms / dominatorDepths — depth survives block insertion
+/// far better than layout order), and a kind bitmask recording *why* the
+/// block is key (call / store / return / entry / exit). Reduced graphs are
+/// matched with the same seeded greedy graph-edit scheme as the ORCAS
+/// backend — entries seed, matched pairs propose their reduced successors,
+/// ties break on index order so the result is a pure function of the two
+/// graphs — and the per-pair score mixes the graph-edit similarity with a
+/// whole-function opcode-histogram cosine and a call-graph context term.
+///
+/// Inter-procedural obfuscation attacks exactly this reduction: fission
+/// turns a store-reaching path into a call to a new function (the key
+/// block's kind flips from store to call), and fusion merges two key
+/// graphs under one dispatcher — which is why the paper's thesis predicts
+/// even semantics-sliced matchers degrade under Khaos.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diffing/DiffTool.h"
+#include "codegen/TargetISA.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace khaos;
+
+namespace {
+
+/// Why a block is part of the key-semantics graph.
+enum KeyKind : uint8_t {
+  KindCall = 1,   ///< Hosts a direct or indirect call.
+  KindStore = 2,  ///< Writes memory.
+  KindReturn = 4, ///< Returns.
+  KindEntry = 8,  ///< Function entry (always key: the seed pair).
+  KindExit = 16,  ///< No successors (the function's sinks are observable).
+};
+
+/// Reduced key-semantics graph of one function.
+struct KeyGraph {
+  std::vector<std::vector<double>> NodeSem; ///< Semantic hists of key blocks.
+  std::vector<int32_t> Depth; ///< Dominator depth in the full CFG.
+  std::vector<uint8_t> Kind;  ///< KeyKind bitmask.
+  std::vector<std::vector<uint32_t>> Succs; ///< Contracted CFG edges.
+  size_t NumEdges = 0;
+};
+
+size_t hist(const std::vector<double> &H, MOp Op) {
+  size_t I = static_cast<size_t>(Op);
+  return I < H.size() && H[I] > 0.0 ? 1 : 0;
+}
+
+KeyGraph buildKeyGraph(const FunctionFeatures &FF) {
+  KeyGraph G;
+  size_t N = FF.BlockHists.size();
+  if (N == 0)
+    return G;
+
+  // Classify blocks. The entry and every successor-less block are key even
+  // without key instructions, so the graph always has a seed node and the
+  // function's sinks survive the contraction.
+  std::vector<uint8_t> Kind(N, 0);
+  std::vector<int32_t> KeyIdx(N, -1);
+  for (size_t B = 0; B != N; ++B) {
+    const std::vector<double> &H = FF.BlockHists[B];
+    uint8_t K = 0;
+    if (hist(H, MOp::Call) || hist(H, MOp::CallIndirect))
+      K |= KindCall;
+    if (hist(H, MOp::StoreM))
+      K |= KindStore;
+    if (hist(H, MOp::Ret))
+      K |= KindReturn;
+    if (B == 0)
+      K |= KindEntry;
+    if (B >= FF.BlockSuccs.size() || FF.BlockSuccs[B].empty())
+      K |= KindExit;
+    Kind[B] = K;
+    if (K) {
+      KeyIdx[B] = static_cast<int32_t>(G.Kind.size());
+      G.Kind.push_back(K);
+    }
+  }
+
+  std::vector<int32_t> IDoms = computeBlockIDoms(FF.BlockSuccs);
+  std::vector<int32_t> Depths = dominatorDepths(IDoms);
+  size_t NK = G.Kind.size();
+  G.NodeSem.reserve(NK);
+  G.Depth.reserve(NK);
+  G.Succs.resize(NK);
+  for (size_t B = 0; B != N; ++B) {
+    if (KeyIdx[B] < 0)
+      continue;
+    G.NodeSem.push_back(semanticHistogram(FF.BlockHists[B]));
+    G.Depth.push_back(Depths[B]);
+  }
+
+  // Contract: key block K gains an edge to every key block reachable from
+  // its CFG successors through non-key blocks only. BFS with a visited
+  // set, targets sorted for determinism.
+  std::vector<uint8_t> Visited(N, 0);
+  std::vector<uint32_t> Work;
+  for (size_t B = 0; B != N; ++B) {
+    if (KeyIdx[B] < 0)
+      continue;
+    std::fill(Visited.begin(), Visited.end(), 0);
+    Work.clear();
+    if (B < FF.BlockSuccs.size())
+      for (uint32_t S : FF.BlockSuccs[B])
+        if (S < N && !Visited[S]) {
+          Visited[S] = 1;
+          Work.push_back(S);
+        }
+    std::vector<uint32_t> &Out = G.Succs[static_cast<size_t>(KeyIdx[B])];
+    for (size_t W = 0; W != Work.size(); ++W) {
+      uint32_t Cur = Work[W];
+      if (KeyIdx[Cur] >= 0) {
+        Out.push_back(static_cast<uint32_t>(KeyIdx[Cur]));
+        continue; // Paths stop at the first key block they hit.
+      }
+      if (Cur < FF.BlockSuccs.size())
+        for (uint32_t S : FF.BlockSuccs[Cur])
+          if (S < N && !Visited[S]) {
+            Visited[S] = 1;
+            Work.push_back(S);
+          }
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    G.NumEdges += Out.size();
+  }
+  return G;
+}
+
+/// Node similarity: semantic-label cosine, scaled by kind agreement
+/// (Jaccard over the KeyKind bits — a store block matching a call block is
+/// weaker evidence than store-for-store) and damped by dominator-depth
+/// distance.
+double nodeSimilarity(const KeyGraph &A, uint32_t I, const KeyGraph &B,
+                      uint32_t J) {
+  double Sem = cosineSimilarity(A.NodeSem[I], B.NodeSem[J]);
+  if (Sem <= 0.0)
+    return 0.0;
+  unsigned Inter = static_cast<unsigned>(A.Kind[I] & B.Kind[J]);
+  unsigned Union = static_cast<unsigned>(A.Kind[I] | B.Kind[J]);
+  double Jac = Union ? (double)__builtin_popcount(Inter) /
+                           (double)__builtin_popcount(Union)
+                     : 1.0;
+  double Sim = Sem * (0.5 + 0.5 * Jac);
+  int32_t DA = A.Depth[I], DB = B.Depth[J];
+  if (DA < 0 || DB < 0)
+    return 0.25 * Sim; // Unreachable block: weak evidence only.
+  return Sim * std::exp(-0.2 * std::abs(DA - DB));
+}
+
+/// Seeded greedy matching over two reduced graphs; graph-edit similarity
+/// in [0, 1]. Structure mirrors OrcasTool::graphEditSimilarity; the
+/// frontier expands along contracted edges only.
+double keyGraphSimilarity(const KeyGraph &A, const KeyGraph &B) {
+  size_t NA = A.NodeSem.size(), NB = B.NodeSem.size();
+  if (NA == 0 || NB == 0)
+    return NA == NB ? 1.0 : 0.0;
+
+  constexpr double MinNodeSim = 0.1;
+  std::vector<int32_t> MatchA(NA, -1), MatchB(NB, -1);
+  std::vector<std::pair<uint32_t, uint32_t>> Matched;
+  Matched.reserve(std::min(NA, NB));
+  double NodeScore = 0.0;
+
+  struct Candidate {
+    std::pair<uint32_t, uint32_t> Pair;
+    double Sim;
+  };
+  std::vector<Candidate> Frontier;
+  auto Adopt = [&](uint32_t I, uint32_t J, double Sim) {
+    MatchA[I] = static_cast<int32_t>(J);
+    MatchB[J] = static_cast<int32_t>(I);
+    Matched.push_back({I, J});
+    NodeScore += Sim;
+    for (uint32_t SA : A.Succs[I])
+      for (uint32_t SB : B.Succs[J]) {
+        double S = nodeSimilarity(A, SA, B, SB);
+        if (S > MinNodeSim)
+          Frontier.push_back({{SA, SB}, S});
+      }
+  };
+  // Entries always correspond (node 0 is the entry's key index: block 0 is
+  // key and classified first).
+  double EntrySim = nodeSimilarity(A, 0, B, 0);
+  Adopt(0, 0, std::max(EntrySim, MinNodeSim));
+
+  for (;;) {
+    Frontier.erase(std::remove_if(Frontier.begin(), Frontier.end(),
+                                  [&](const Candidate &C) {
+                                    return MatchA[C.Pair.first] >= 0 ||
+                                           MatchB[C.Pair.second] >= 0;
+                                  }),
+                   Frontier.end());
+    double BestSim = MinNodeSim;
+    size_t BestIdx = SIZE_MAX;
+    for (size_t C = 0; C != Frontier.size(); ++C) {
+      if (Frontier[C].Sim > BestSim ||
+          (Frontier[C].Sim == BestSim && BestIdx != SIZE_MAX &&
+           Frontier[C].Pair < Frontier[BestIdx].Pair))
+        BestSim = Frontier[C].Sim, BestIdx = C;
+    }
+    if (BestIdx == SIZE_MAX)
+      break;
+    auto [I, J] = Frontier[BestIdx].Pair;
+    Adopt(I, J, BestSim);
+  }
+
+  size_t Preserved = 0;
+  auto HasEdge = [](const std::vector<uint32_t> &Edges, uint32_t To) {
+    return std::find(Edges.begin(), Edges.end(), To) != Edges.end();
+  };
+  for (auto [I, J] : Matched)
+    for (uint32_t SA : A.Succs[I])
+      if (MatchA[SA] >= 0 &&
+          HasEdge(B.Succs[J], static_cast<uint32_t>(MatchA[SA])))
+        ++Preserved;
+  double EdgeScore = A.NumEdges + B.NumEdges == 0
+                         ? 1.0
+                         : 2.0 * (double)Preserved /
+                               (double)(A.NumEdges + B.NumEdges);
+  double MatchedNodeScore = 2.0 * NodeScore / (double)(NA + NB);
+  return 0.65 * MatchedNodeScore + 0.35 * EdgeScore;
+}
+
+/// Call-graph context agreement in (0, 1]: in/out degree similarity.
+double callContext(const FunctionFeatures &X, const FunctionFeatures &Y) {
+  double In = 1.0 - std::abs((double)X.CallGraphIn - (double)Y.CallGraphIn) /
+                        (X.CallGraphIn + Y.CallGraphIn + 1.0);
+  double Out = 1.0 -
+               std::abs((double)X.CallGraphOut - (double)Y.CallGraphOut) /
+                   (X.CallGraphOut + Y.CallGraphOut + 1.0);
+  return In * Out;
+}
+
+class SemDiffTool : public DiffTool {
+public:
+  const char *getName() const override { return "semdiff"; }
+  ToolTraits getTraits() const override {
+    ToolTraits T;
+    T.TimeConsuming = true; // Per-pair graph contraction + matching.
+    T.UsesCallGraph = true; // Call-context term + call-kind node labels.
+    return T;
+  }
+  DiffResult diff(const BinaryImage &A, const ImageFeatures &FA,
+                  const BinaryImage &B,
+                  const ImageFeatures &FB) const override;
+};
+
+DiffResult SemDiffTool::diff(const BinaryImage & /*A*/, const ImageFeatures &FA,
+                             const BinaryImage & /*B*/,
+                             const ImageFeatures &FB) const {
+  DiffResult R;
+  size_t NA = FA.Funcs.size(), NB = FB.Funcs.size();
+  R.Rankings.resize(NA);
+
+  std::vector<KeyGraph> GA(NA), GB(NB);
+  for (size_t I = 0; I != NA; ++I)
+    GA[I] = buildKeyGraph(FA.Funcs[I]);
+  for (size_t J = 0; J != NB; ++J)
+    GB[J] = buildKeyGraph(FB.Funcs[J]);
+
+  double TopSum = 0.0;
+  for (size_t I = 0; I != NA; ++I) {
+    std::vector<double> Sim(NB);
+    for (size_t J = 0; J != NB; ++J) {
+      // Cheap pre-filter as in the ORCAS backend: hopeless pairs never
+      // reach the matcher, and their fallback score stays below any
+      // matched pair's.
+      double Gate = cosineSimilarity(FA.Funcs[I].SemanticVec,
+                                     FB.Funcs[J].SemanticVec) *
+                    shapeAffinity(FA.Funcs[I], FB.Funcs[J]);
+      if (Gate < 0.005) {
+        Sim[J] = 0.05 * std::max(Gate, 0.0);
+        continue;
+      }
+      double Graph = keyGraphSimilarity(GA[I], GB[J]);
+      double OpCos = cosineSimilarity(FA.Funcs[I].OpcodeHist,
+                                      FB.Funcs[J].OpcodeHist);
+      Sim[J] = (0.8 * Graph + 0.2 * std::max(OpCos, 0.0)) *
+               (0.85 + 0.15 * callContext(FA.Funcs[I], FB.Funcs[J]));
+    }
+    std::vector<uint32_t> Order(NB);
+    for (size_t J = 0; J != NB; ++J)
+      Order[J] = static_cast<uint32_t>(J);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](uint32_t X, uint32_t Y) { return Sim[X] > Sim[Y]; });
+    if (!Order.empty())
+      TopSum += std::min(std::max(Sim[Order.front()], 0.0), 1.0);
+    R.Rankings[I] = std::move(Order);
+  }
+  R.WholeBinarySimilarity = NA ? TopSum / NA : 0.0;
+  return R;
+}
+
+} // namespace
+
+std::unique_ptr<DiffTool> khaos::createSemDiffTool() {
+  return std::make_unique<SemDiffTool>();
+}

@@ -381,4 +381,5 @@ void khaos::appendBuiltinSubprocessTools(
   Twin("safe-oop", "SAFE", createSafeTool());
   Twin("jtrans-oop", "jtrans", createJTransTool());
   Twin("orcas-oop", "orcas", createOrcasTool());
+  Twin("semdiff-oop", "semdiff", createSemDiffTool());
 }

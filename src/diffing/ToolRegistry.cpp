@@ -65,6 +65,9 @@ Registry &registry() {
     // semantic-graph matcher.
     R.Tools.emplace_back("jtrans", createJTransTool);
     R.Tools.emplace_back("orcas", createOrcasTool);
+    // SemDiff-style key-semantics-graph matcher: slices each function to
+    // the blocks feeding calls, memory writes and returns before matching.
+    R.Tools.emplace_back("semdiff", createSemDiffTool);
     // Subprocess-backed builtins seed after the Table-1 block
     // (registration order is the figure order). Appended directly — a
     // registerDiffTool call from inside this initializer would re-enter

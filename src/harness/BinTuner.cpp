@@ -1,4 +1,4 @@
-//===- harness/BinTuner.cpp - Iterative compilation search -----------------------===//
+//===- harness/BinTuner.cpp - Iterative compilation search ----------------===//
 //
 // Part of the Khaos reproduction project.
 //
@@ -7,47 +7,28 @@
 #include "harness/BinTuner.h"
 
 #include "diffing/Metrics.h"
-#include "frontend/IRGen.h"
 #include "support/RNG.h"
 
 using namespace khaos;
 
-BinaryImage khaos::buildWithConfig(const Workload &W,
-                                   const CompilerConfig &Config, bool &Ok) {
-  Ok = false;
-  Context Ctx;
-  std::string Error;
-  auto M = compileMiniC(W.Source, Ctx, W.Name, Error);
-  if (!M)
-    return {};
-  optimizeModule(*M, Config.Level);
-  Ok = true;
-  return lowerToBinary(*M, Config.Codegen);
-}
-
-BinTunerResult khaos::runBinTuner(const Workload &W,
-                                  const BinTunerOptions &Opts) {
+BinTunerResult BinTuner::run(const Workload &W, uint64_t Seed) const {
   BinTunerResult Res;
-  RNG Rng(Opts.Seed);
+  RNG Rng(Seed);
 
-  // Baseline build the candidates are scored against.
-  CompilerConfig BaseCfg;
-  BaseCfg.Level = Opts.BaselineLevel;
-  BaseCfg.Codegen.SpillEverything = Opts.BaselineLevel == OptLevel::O0;
-  bool Ok = false;
-  BinaryImage Baseline = buildWithConfig(W, BaseCfg, Ok);
-  if (!Ok)
+  // Baseline build the candidates are scored against — a pipeline
+  // artifact like every other reference build, so repeated tuning runs
+  // (and the confound matrix sharing this pipeline) compile it once.
+  auto Base = Pipe.baselineImage(W, BuildConfig::forLevel(Opts.BaselineLevel));
+  if (!Base->Ok)
     return Res;
-  ImageFeatures BaselineF = extractFeatures(Baseline);
   auto BinDiff = createBinDiffTool();
 
-  auto Score = [&](const CompilerConfig &Cfg, double &SimOut) {
-    bool BOk = false;
-    BinaryImage Img = buildWithConfig(W, Cfg, BOk);
-    if (!BOk)
+  auto Score = [&](const BuildConfig &Cfg, double &SimOut) {
+    auto Img = Pipe.baselineImage(W, Cfg);
+    if (!Img->Ok)
       return false;
-    ImageFeatures F = extractFeatures(Img);
-    DiffResult R = BinDiff->diff(Baseline, BaselineF, Img, F);
+    DiffResult R =
+        BinDiff->diff(Base->Image, Base->Features, Img->Image, Img->Features);
     SimOut = R.WholeBinarySimilarity;
     return true;
   };
@@ -57,7 +38,7 @@ BinTunerResult khaos::runBinTuner(const Workload &W,
   // result: options alone cannot push similarity very low).
   double BestSim = 2.0;
   for (unsigned I = 0; I != Opts.Budget; ++I) {
-    CompilerConfig Cfg;
+    BuildConfig Cfg;
     Cfg.Level = static_cast<OptLevel>(Rng.nextBelow(4));
     Cfg.Codegen.SpillEverything = Rng.nextBool(0.3);
     Cfg.Codegen.UseLea = Rng.nextBool();
@@ -76,47 +57,31 @@ BinTunerResult khaos::runBinTuner(const Workload &W,
   if (!Res.Ok)
     return Res;
 
-  // Similarity of the winning build against O0..O3 reference builds.
-  bool BOk = false;
-  BinaryImage BestImg = buildWithConfig(W, Res.Best, BOk);
-  ImageFeatures BestF = extractFeatures(BestImg);
+  // Similarity of the winning build against O0..O3 reference builds —
+  // the same per-level artifacts the confound matrix diffs against.
+  auto BestImg = Pipe.baselineImage(W, Res.Best);
   for (int L = 0; L != 4; ++L) {
-    CompilerConfig Ref;
-    Ref.Level = static_cast<OptLevel>(L);
-    Ref.Codegen.SpillEverything = Ref.Level == OptLevel::O0;
-    bool ROk = false;
-    BinaryImage RefImg = buildWithConfig(W, Ref, ROk);
-    if (!ROk)
+    auto Ref =
+        Pipe.baselineImage(W, BuildConfig::forLevel(static_cast<OptLevel>(L)));
+    if (!Ref->Ok)
       continue;
-    ImageFeatures RefF = extractFeatures(RefImg);
-    DiffResult R = BinDiff->diff(RefImg, RefF, BestImg, BestF);
+    DiffResult R = BinDiff->diff(Ref->Image, Ref->Features, BestImg->Image,
+                                 BestImg->Features);
     Res.SimilarityVsLevel[L] = R.WholeBinarySimilarity;
   }
 
-  // Overhead of the winning configuration vs the paper's O2+LTO baseline.
-  {
-    Context Ctx;
-    std::string Error;
-    auto MBase = compileMiniC(W.Source, Ctx, W.Name, Error);
-    if (MBase) {
-      optimizeModule(*MBase, OptLevel::O2);
-      ExecResult RBase = runModule(*MBase);
-      Context Ctx2;
-      auto MBest = compileMiniC(W.Source, Ctx2, W.Name, Error);
-      if (MBest && RBase.Ok && RBase.Cost > 0) {
-        optimizeModule(*MBest, Res.Best.Level);
-        ExecResult RBest = runModule(*MBest);
-        // -O0-style spill codegen costs extra beyond the IR-level cost;
-        // reflect the spill traffic with a fixed multiplier.
-        double Cost = static_cast<double>(RBest.Cost);
-        if (Res.Best.Codegen.SpillEverything)
-          Cost *= 1.25;
-        if (RBest.Ok)
-          Res.OverheadPercent =
-              (Cost - static_cast<double>(RBase.Cost)) /
-              static_cast<double>(RBase.Cost) * 100.0;
-      }
-    }
+  // Overhead of the winning configuration vs the paper's O2+LTO baseline,
+  // both sides cached BaselineRun artifacts.
+  auto BaseRun = Pipe.baselineRun(W, OptLevel::O2);
+  auto BestRun = Pipe.baselineRun(W, Res.Best.Level);
+  if (BaseRun->Ok && BestRun->Ok) {
+    // -O0-style spill codegen costs extra beyond the IR-level cost;
+    // reflect the spill traffic with a fixed multiplier.
+    double Cost = static_cast<double>(BestRun->Run.Cost);
+    if (Res.Best.Codegen.SpillEverything)
+      Cost *= 1.25;
+    Res.OverheadPercent = (Cost - static_cast<double>(BaseRun->Run.Cost)) /
+                          static_cast<double>(BaseRun->Run.Cost) * 100.0;
   }
   return Res;
 }

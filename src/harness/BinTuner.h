@@ -11,6 +11,12 @@
 /// similarity. The paper compares Khaos against BinTuner in Fig. 9 and
 /// reports BinTuner's ~30% overhead.
 ///
+/// The search runs on an EvalPipeline: every candidate build is a cached
+/// Baseline/BaselineImage artifact keyed on its BuildConfig, so a tuning
+/// run shares builds with the confound matrix (and with its own repeats —
+/// a warm re-run performs zero recompiles), and seeds come from the
+/// caller (derive them from the run seed; there is no default).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KHAOS_HARNESS_BINTUNER_H
@@ -20,34 +26,37 @@
 
 namespace khaos {
 
-/// One point in BinTuner's search space.
-struct CompilerConfig {
-  OptLevel Level = OptLevel::O2;
-  CodegenOptions Codegen;
-};
-
-struct BinTunerOptions {
-  unsigned Budget = 24; ///< Candidate configurations to evaluate.
-  uint64_t Seed = 0x717;
-  OptLevel BaselineLevel = OptLevel::O0; ///< The paper tunes against O0.
-};
-
 struct BinTunerResult {
   bool Ok = false;
-  CompilerConfig Best;
+  /// The configuration the search judged most dissimilar to the baseline.
+  BuildConfig Best;
   /// BinDiff similarity of the best candidate against builds at O0..O3.
   double SimilarityVsLevel[4] = {0, 0, 0, 0};
   /// Runtime overhead of the best candidate vs the O2 baseline (percent).
   double OverheadPercent = 0.0;
 };
 
-/// Runs the search on one workload.
-BinTunerResult runBinTuner(const Workload &W,
-                           const BinTunerOptions &Opts = {});
+/// The search, bound to the pipeline whose ArtifactStore caches its
+/// candidate builds.
+class BinTuner {
+public:
+  struct Options {
+    unsigned Budget = 24; ///< Candidate configurations to evaluate.
+    OptLevel BaselineLevel = OptLevel::O0; ///< The paper tunes against O0.
+  };
 
-/// Builds \p W at \p Config (compile + optimize + lower).
-BinaryImage buildWithConfig(const Workload &W, const CompilerConfig &Config,
-                            bool &Ok);
+  explicit BinTuner(EvalPipeline &Pipe) : Pipe(Pipe) {}
+  BinTuner(EvalPipeline &Pipe, Options Opts) : Pipe(Pipe), Opts(Opts) {}
+
+  /// Runs the search on one workload. \p Seed drives the candidate draw;
+  /// pass a scheduler-derived seed (deriveCellSeed) so results are stable
+  /// across thread counts but still keyed to the run seed.
+  BinTunerResult run(const Workload &W, uint64_t Seed) const;
+
+private:
+  EvalPipeline &Pipe;
+  Options Opts;
+};
 
 } // namespace khaos
 

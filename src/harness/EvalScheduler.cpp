@@ -98,6 +98,7 @@ EvalScheduler::EvalScheduler(Config C) : Cfg(std::move(C)) {
   PC.Engine = Cfg.Engine;
   PC.CacheDir = Cfg.CacheDir;
   PC.DiskMaxBytes = Cfg.DiskMaxBytes;
+  PC.Baseline = Cfg.Baseline;
   Pipe = std::make_shared<EvalPipeline>(PC);
 
   if (!Cfg.ConnectPath.empty()) {
@@ -127,6 +128,21 @@ EvalScheduler::EvalScheduler(Config C) : Cfg(std::move(C)) {
                    Resp.CacheEnabled ? "on" : "off",
                    vmEngineName(Cfg.Engine),
                    Cfg.CacheEnabled ? "on" : "off");
+      std::abort();
+    }
+    // The baseline build config is an axis of the artifact keys: a client
+    // wanting O0 cells from a daemon warmed at O2 must abort loudly here,
+    // never silently mix keys.
+    BuildConfig DaemonBC;
+    DaemonBC.Level = static_cast<OptLevel>(Resp.BaselineLevel);
+    DaemonBC.Codegen = BuildConfig::unpackCodegen(Resp.BaselineCodegen);
+    if (DaemonBC != Cfg.Baseline) {
+      std::fprintf(stderr,
+                   "EvalScheduler: khaos-evald at '%s' runs baseline=%s "
+                   "but this run wants baseline=%s — results would not "
+                   "be comparable\n",
+                   Cfg.ConnectPath.c_str(), DaemonBC.name().c_str(),
+                   Cfg.Baseline.name().c_str());
       std::abort();
     }
     std::lock_guard<std::mutex> Lock(ClientsM);
@@ -338,6 +354,8 @@ std::vector<uint8_t> EvalScheduler::remoteCellToolPlane(
         Req.Seed = T.Cell.Seed;
         if (T.ToolIdx < ToolNames.size())
           Req.Tool = ToolNames[T.ToolIdx];
+        Req.BaselineLevel = static_cast<uint8_t>(Cfg.Baseline.Level);
+        Req.BaselineCodegen = Cfg.Baseline.packedCodegen();
         EvalResponse Resp;
         std::string Err;
         if (!Client->call(Req, Resp, Err) || !Resp.Ok) {
@@ -485,6 +503,140 @@ EvalScheduler::precisionMatrix(const std::vector<Workload> &Workloads,
                      RunStats);
 
   for (size_t Flat = 0; Flat != Out.size(); ++Flat)
+    if (Out[Flat].Ran)
+      Out[Flat].Ok = CellOk[Flat] != 0;
+  return Out;
+}
+
+std::vector<EvalScheduler::ConfoundCell>
+EvalScheduler::confoundMatrix(const std::vector<Workload> &Workloads,
+                              const std::vector<BuildConfig> &Configs,
+                              const std::vector<ObfuscationMode> &Modes,
+                              const std::vector<std::string> &ToolNames,
+                              EvalRunStats *RunStats) const {
+  for (const std::string &Name : ToolNames) {
+    if (!isDiffToolRegistered(Name)) {
+      std::fprintf(stderr, "EvalScheduler: unknown diffing tool '%s'\n",
+                   Name.c_str());
+      std::abort();
+    }
+  }
+
+  // One cell per (workload, config, mode); the config axis is the middle
+  // dimension so a workload's rows stay contiguous in figure output.
+  struct CCell {
+    const Workload *W;
+    const BuildConfig *BC;
+    ObfuscationMode Mode;
+    uint64_t Seed;
+    size_t FlatIdx;
+  };
+  const size_t NumCells = Workloads.size() * Configs.size() * Modes.size();
+  std::vector<ConfoundCell> Out(NumCells);
+  std::vector<CCell> Cells;
+  for (size_t WI = 0; WI != Workloads.size(); ++WI)
+    for (size_t CI = 0; CI != Configs.size(); ++CI)
+      for (size_t MI = 0; MI != Modes.size(); ++MI) {
+        size_t Flat = (WI * Configs.size() + CI) * Modes.size() + MI;
+        if (!ownsCell(Flat))
+          continue;
+        Out[Flat].Ran = true;
+        Out[Flat].PerToolPrecision.assign(ToolNames.size(), -1.0);
+        Out[Flat].PerToolSimilarity.assign(ToolNames.size(), -1.0);
+        // Seeds are derived from (workload, mode) alone — NOT the config
+        // — so every config row diffs against the same obfuscated image,
+        // which is both the experiment's point and what makes a sweep
+        // over N configs build each B-side exactly once.
+        Cells.push_back({&Workloads[WI], &Configs[CI], Modes[MI],
+                         deriveCellSeed(Cfg.Seed, Workloads[WI].Name,
+                                        Modes[MI]),
+                         Flat});
+      }
+
+  const size_t NumTools = ToolNames.empty() ? 1 : ToolNames.size();
+  std::vector<uint8_t> CellOk(NumCells, 0);
+  ArtifactStore::Snapshot Before = Pipe->store().stats();
+
+  runPool(Cells.size() * NumTools, [&](size_t I) {
+    const CCell &C = Cells[I / NumTools];
+    const size_t TI = I % NumTools;
+    if (remote()) {
+      std::unique_ptr<EvalClient> Client = acquireClient();
+      EvalRequest Req;
+      Req.Kind = EvalWireKind::DiffTask;
+      Req.WorkloadName = C.W->Name;
+      Req.WorkloadSource = C.W->Source;
+      Req.VulnFunctions = C.W->VulnFunctions;
+      Req.Mode = C.Mode;
+      Req.Seed = C.Seed;
+      if (TI < ToolNames.size())
+        Req.Tool = ToolNames[TI];
+      Req.BaselineLevel = static_cast<uint8_t>(C.BC->Level);
+      Req.BaselineCodegen = C.BC->packedCodegen();
+      EvalResponse Resp;
+      std::string Err;
+      if (!Client->call(Req, Resp, Err) || !Resp.Ok) {
+        std::fprintf(stderr,
+                     "EvalScheduler: evald diff request failed: %s\n",
+                     Err.empty() ? Resp.Error.c_str() : Err.c_str());
+        std::abort();
+      }
+      releaseClient(std::move(Client));
+      if (TI == 0)
+        CellOk[C.FlatIdx] = Resp.ImagesOk != 0 ? 1 : 0;
+      if (!Resp.ImagesOk || TI >= ToolNames.size())
+        return;
+      if (!Resp.ToolOk) {
+        std::fprintf(stderr,
+                     "[scheduler] tool '%s' failed on %s/%s/%s: %s\n",
+                     ToolNames[TI].c_str(), C.W->Name.c_str(),
+                     C.BC->name().c_str(), obfuscationModeName(C.Mode),
+                     Resp.ToolError.c_str());
+        if (RunStats)
+          RunStats->countToolFailure();
+        return;
+      }
+      Out[C.FlatIdx].PerToolPrecision[TI] = Resp.Precision;
+      Out[C.FlatIdx].PerToolSimilarity[TI] = Resp.Similarity;
+      return;
+    }
+    auto A = Pipe->baselineImage(*C.W, *C.BC);
+    auto B = Pipe->obfuscatedImage(*C.W, C.Mode, C.Seed);
+    bool ImagesOk = A->Ok && B->Ok;
+    if (TI == 0) {
+      CellOk[C.FlatIdx] = ImagesOk ? 1 : 0;
+      if (RunStats && ImagesOk)
+        RunStats->mergePasses(B->Report);
+    }
+    if (!ImagesOk || TI >= ToolNames.size())
+      return;
+    auto D =
+        Pipe->diffOutcome(*C.W, *C.BC, C.Mode, C.Seed, ToolNames[TI], A, B);
+    if (!D->Ok) {
+      std::fprintf(stderr, "[scheduler] tool '%s' failed on %s/%s/%s: %s\n",
+                   ToolNames[TI].c_str(), C.W->Name.c_str(),
+                   C.BC->name().c_str(), obfuscationModeName(C.Mode),
+                   D->Error.c_str());
+      if (RunStats)
+        RunStats->countToolFailure();
+      return;
+    }
+    Out[C.FlatIdx].PerToolPrecision[TI] = D->Outcome.Precision;
+    Out[C.FlatIdx].PerToolSimilarity[TI] = D->Outcome.Similarity;
+  });
+
+  // Deterministic post-pass, mirroring the other planes. Remote runs keep
+  // cache counters zero — the artifacts live in the daemon's store.
+  if (RunStats) {
+    for (size_t Flat = 0; Flat != NumCells; ++Flat)
+      if (ownsCell(Flat))
+        RunStats->countCell(!CellOk[Flat]);
+    if (!remote())
+      RunStats->mergeCache(
+          ArtifactStore::Snapshot::delta(Pipe->store().stats(), Before));
+  }
+
+  for (size_t Flat = 0; Flat != NumCells; ++Flat)
     if (Out[Flat].Ran)
       Out[Flat].Ok = CellOk[Flat] != 0;
   return Out;

@@ -142,9 +142,13 @@ public:
     /// seeds are derived locally and shipped in the request, so remote
     /// results — and bench stdout — are byte-identical to in-process
     /// runs. The constructor pings the daemon and aborts on a
-    /// configuration mismatch (engine or cache setting), which would
-    /// silently break that identity.
+    /// configuration mismatch (engine, cache setting or baseline build
+    /// config), which would silently break that identity.
     std::string ConnectPath = {};
+    /// The default baseline build config for every front-end that does
+    /// not sweep the axis explicitly (--baseline-opt / --codegen).
+    /// Forwarded to the pipeline and checked against the daemon's ping.
+    BuildConfig Baseline = {};
   };
 
   explicit EvalScheduler(Config C);
@@ -249,6 +253,34 @@ public:
   /// registered (hard error otherwise).
   std::vector<CellRanks>
   vulnRankMatrix(const std::vector<Workload> &Workloads,
+                 const std::vector<ObfuscationMode> &Modes,
+                 const std::vector<std::string> &ToolNames,
+                 EvalRunStats *RunStats = nullptr) const;
+
+  /// One cell of the (workload × baseline config × mode) confound matrix.
+  /// Sentinel -1.0 marks a tool that failed at runtime.
+  struct ConfoundCell {
+    bool Ran = false;
+    bool Ok = false;
+    std::vector<double> PerToolPrecision;
+    std::vector<double> PerToolSimilarity;
+  };
+
+  /// The confound front-end: diffs every (workload, baseline config,
+  /// mode, tool) combination, so a figure can separate what the *build
+  /// delta* does to a tool (Mode == None columns) from what the
+  /// *obfuscation* adds on top. Cells are row-major over
+  /// (workload, config, mode) — Flat = (WI * NumConfigs + CI) * NumModes
+  /// + MI — and sharded/executed with precisionMatrix's determinism
+  /// guarantees. Per-cell seeds are derived from (workload, mode) alone,
+  /// deliberately config-independent: every config row diffs against the
+  /// *same* obfuscated B-side, so a warm sweep over N configs builds each
+  /// obfuscated image once and each baseline once per config, nothing
+  /// more. Works in --connect mode (the per-cell config travels in the
+  /// DiffTask request).
+  std::vector<ConfoundCell>
+  confoundMatrix(const std::vector<Workload> &Workloads,
+                 const std::vector<BuildConfig> &Configs,
                  const std::vector<ObfuscationMode> &Modes,
                  const std::vector<std::string> &ToolNames,
                  EvalRunStats *RunStats = nullptr) const;

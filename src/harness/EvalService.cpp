@@ -95,6 +95,8 @@ std::vector<uint8_t> khaos::encodeEvalRequest(const EvalRequest &Req) {
     W.u8(static_cast<uint8_t>(Req.Mode));
     W.u64(Req.Seed);
     W.str(Req.Tool);
+    W.u8(Req.BaselineLevel);
+    W.u8(Req.BaselineCodegen);
     break;
   case EvalWireKind::FuzzBatch:
     W.u64(Req.FuzzSeed);
@@ -134,6 +136,8 @@ bool khaos::decodeEvalRequest(const std::vector<uint8_t> &Payload,
     Req.Mode = static_cast<ObfuscationMode>(R.u8());
     Req.Seed = R.u64();
     Req.Tool = R.str();
+    Req.BaselineLevel = R.u8();
+    Req.BaselineCodegen = R.u8();
     break;
   case EvalWireKind::FuzzBatch:
     Req.FuzzSeed = R.u64();
@@ -170,6 +174,8 @@ std::vector<uint8_t> khaos::encodeEvalResponse(const EvalResponse &Resp) {
     W.u8(Resp.Engine);
     W.u8(Resp.CacheEnabled);
     W.u8(Resp.HasDiskTier);
+    W.u8(Resp.BaselineLevel);
+    W.u8(Resp.BaselineCodegen);
     break;
   case EvalWireKind::Overhead:
     W.u8(Resp.Measured);
@@ -221,6 +227,8 @@ bool khaos::decodeEvalResponse(const std::vector<uint8_t> &Payload,
     Resp.Engine = R.u8();
     Resp.CacheEnabled = R.u8();
     Resp.HasDiskTier = R.u8();
+    Resp.BaselineLevel = R.u8();
+    Resp.BaselineCodegen = R.u8();
     break;
   case EvalWireKind::Overhead:
     Resp.Measured = R.u8();
@@ -449,6 +457,9 @@ EvalResponse EvalServer::handle(const EvalRequest &Req) {
       Resp.Engine = static_cast<uint8_t>(Pipe.config().Engine);
       Resp.CacheEnabled = Pipe.config().CacheEnabled ? 1 : 0;
       Resp.HasDiskTier = Pipe.config().CacheDir.empty() ? 0 : 1;
+      Resp.BaselineLevel =
+          static_cast<uint8_t>(Pipe.config().Baseline.Level);
+      Resp.BaselineCodegen = Pipe.config().Baseline.packedCodegen();
       return Resp;
     }
     case EvalWireKind::Overhead: {
@@ -475,13 +486,19 @@ EvalResponse EvalServer::handle(const EvalRequest &Req) {
       W.Name = Req.WorkloadName;
       W.Source = Req.WorkloadSource;
       W.VulnFunctions = Req.VulnFunctions;
-      auto A = Pipe.baselineImage(W);
+      // The request carries its cell's baseline build config explicitly,
+      // so one daemon serves a confound sweep over many configs; the
+      // artifact keys never alias across configs.
+      BuildConfig BC;
+      BC.Level = static_cast<OptLevel>(Req.BaselineLevel);
+      BC.Codegen = BuildConfig::unpackCodegen(Req.BaselineCodegen);
+      auto A = Pipe.baselineImage(W, BC);
       auto B = Pipe.obfuscatedImage(W, Req.Mode, Req.Seed);
       Resp.Ok = true;
       Resp.ImagesOk = (A->Ok && B->Ok) ? 1 : 0;
       if (!Resp.ImagesOk || Req.Tool.empty())
         return Resp;
-      auto D = Pipe.diffOutcome(W, Req.Mode, Req.Seed, Req.Tool, A, B);
+      auto D = Pipe.diffOutcome(W, BC, Req.Mode, Req.Seed, Req.Tool, A, B);
       Resp.ToolOk = D->Ok ? 1 : 0;
       if (!D->Ok) {
         Resp.ToolError = D->Error;

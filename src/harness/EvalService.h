@@ -18,7 +18,8 @@
 /// payload begins with a fixed header:
 ///
 ///   u32 magic   0x4B455631 ("KEV1" read as bytes 31 56 45 4B)
-///   u16 version 1
+///   u16 version 2 (v2 added the baseline build config to DiffTask
+///                  requests and Ping responses)
 ///   u8  type    1 = request, 2 = response (ok), 3 = response (error)
 ///   u8  kind    EvalWireKind
 ///
@@ -56,7 +57,7 @@ namespace khaos {
 
 /// Protocol constants.
 constexpr uint32_t EvalWireMagic = 0x4B455631; // "KEV1"
-constexpr uint16_t EvalWireVersion = 1;
+constexpr uint16_t EvalWireVersion = 2;
 
 enum class EvalWireKind : uint8_t {
   /// Liveness + configuration probe: the response carries the daemon's
@@ -95,6 +96,11 @@ struct EvalRequest {
   ObfuscationMode Mode = ObfuscationMode::None;
   uint64_t Seed = 0;
   std::string Tool; ///< DiffTask registry tool ("" = images only).
+  /// DiffTask baseline build config (wire form): the A-side is built at
+  /// this opt level + packed codegen knobs. Defaults mirror BuildConfig{}
+  /// (O2, reference codegen) so pre-confound callers are unchanged.
+  uint8_t BaselineLevel = 2;     ///< static_cast<uint8_t>(OptLevel::O2).
+  uint8_t BaselineCodegen = 0x1e; ///< BuildConfig{}.packedCodegen().
 
   // FuzzBatch.
   uint64_t FuzzSeed = 0;
@@ -115,6 +121,8 @@ struct EvalResponse {
   uint8_t Engine = 0;       ///< VMEngine the daemon's pipeline runs.
   uint8_t CacheEnabled = 0;
   uint8_t HasDiskTier = 0;
+  uint8_t BaselineLevel = 0;   ///< Daemon default baseline opt level.
+  uint8_t BaselineCodegen = 0; ///< Daemon default packed codegen knobs.
 
   // Overhead.
   uint8_t Measured = 0; ///< overheadPercent() succeeded.

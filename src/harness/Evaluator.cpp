@@ -29,25 +29,24 @@ uint64_t fingerprintSource(const Workload &W) {
   return F;
 }
 
-/// Stage-key fingerprint of (opt level, codegen style): one bit per knob.
-uint64_t fingerprintCodegen(OptLevel Level, const CodegenOptions &CG) {
-  uint64_t F = static_cast<uint64_t>(Level);
-  F |= static_cast<uint64_t>(CG.SpillEverything) << 8;
-  F |= static_cast<uint64_t>(CG.UseLea) << 9;
-  F |= static_cast<uint64_t>(CG.UseCmov) << 10;
-  F |= static_cast<uint64_t>(CG.UseJumpTables) << 11;
-  F |= static_cast<uint64_t>(CG.AlignLoops) << 12;
-  return F;
-}
-
-/// FNV-1a of a tool name, the DiffOutcome stage's Extra: two tools over
-/// the same cell must not alias.
+/// FNV-1a of a tool name, half of the DiffOutcome stage's Extra: two
+/// tools over the same cell must not alias.
 uint64_t fingerprintToolName(const std::string &Name) {
   uint64_t F = 0xcbf29ce484222325ull;
   for (char C : Name) {
     F ^= static_cast<unsigned char>(C);
     F *= 0x100000001b3ull;
   }
+  return F;
+}
+
+/// The DiffOutcome stage's Extra: tool name mixed with the baseline
+/// build config. A cell diffed against an O0 reference is a different
+/// experiment than the same cell against O2 — the keys must say so.
+uint64_t fingerprintToolAndConfig(const std::string &Name,
+                                  const BuildConfig &BC) {
+  uint64_t F = fingerprintToolName(Name);
+  F ^= BC.fingerprint() + 0x9e3779b97f4a7c15ull + (F << 6) + (F >> 2);
   return F;
 }
 
@@ -208,6 +207,11 @@ const ArtifactCodec &diffOutcomeCodec() {
 } // namespace
 
 std::shared_ptr<const CompiledWorkload>
+EvalPipeline::baseline(const Workload &W) {
+  return baseline(W, Cfg.Baseline.Level);
+}
+
+std::shared_ptr<const CompiledWorkload>
 EvalPipeline::baseline(const Workload &W, OptLevel Level) {
   ArtifactKey K{W.Name, ObfuscationMode::None, 0, ArtifactStage::Baseline,
                 static_cast<uint64_t>(Level), fingerprintSource(W)};
@@ -224,14 +228,19 @@ EvalPipeline::baseline(const Workload &W, OptLevel Level) {
 
 std::shared_ptr<const EvalPipeline::PrecompiledArtifact>
 EvalPipeline::precompiledBaseline(const Workload &W) {
+  return precompiledBaseline(W, Cfg.Baseline.Level);
+}
+
+std::shared_ptr<const EvalPipeline::PrecompiledArtifact>
+EvalPipeline::precompiledBaseline(const Workload &W, OptLevel Level) {
   ArtifactKey K{W.Name, ObfuscationMode::None, 0,
                 ArtifactStage::PrecompiledModule,
-                static_cast<uint64_t>(OptLevel::O2), fingerprintSource(W)};
+                static_cast<uint64_t>(Level), fingerprintSource(W)};
   return Store.getOrCompute<PrecompiledArtifact>(
       K, W.Source.size(),
       [&]() -> std::shared_ptr<const PrecompiledArtifact> {
         auto Out = std::make_shared<PrecompiledArtifact>();
-        Out->Base = baseline(W);
+        Out->Base = baseline(W, Level);
         if (!*Out->Base)
           return Out;
         precompileModule(*Out->Base->M, Out->BM);
@@ -242,11 +251,17 @@ EvalPipeline::precompiledBaseline(const Workload &W) {
 
 std::shared_ptr<const EvalPipeline::BaselineRunArtifact>
 EvalPipeline::baselineRun(const Workload &W) {
+  return baselineRun(W, Cfg.Baseline.Level);
+}
+
+std::shared_ptr<const EvalPipeline::BaselineRunArtifact>
+EvalPipeline::baselineRun(const Workload &W, OptLevel Level) {
   // The engine is part of the key: both engines produce identical results
   // on verified IR (the cross-VM oracle pins that), but an A/B pipeline
-  // must never let one engine's run satisfy the other's request.
+  // must never let one engine's run satisfy the other's request. Ditto
+  // the opt level: O0 and O2 runs have different costs.
   ArtifactKey K{W.Name, ObfuscationMode::None, 0, ArtifactStage::BaselineRun,
-                static_cast<uint64_t>(OptLevel::O2) |
+                static_cast<uint64_t>(Level) |
                     (static_cast<uint64_t>(Cfg.Engine) << 8),
                 fingerprintSource(W)};
   return Store.getOrCompute<BaselineRunArtifact>(
@@ -257,12 +272,12 @@ EvalPipeline::baselineRun(const Workload &W) {
           // Run from the shared bytecode artifact: the decode cost is paid
           // once per workload, not per execution.
           std::shared_ptr<const PrecompiledArtifact> PB =
-              precompiledBaseline(W);
+              precompiledBaseline(W, Level);
           if (!PB->Ok)
             return Out;
           Out->Run = runPrecompiled(PB->BM);
         } else {
-          std::shared_ptr<const CompiledWorkload> Base = baseline(W);
+          std::shared_ptr<const CompiledWorkload> Base = baseline(W, Level);
           if (!*Base)
             return Out;
           ExecOptions EO;
@@ -276,18 +291,23 @@ EvalPipeline::baselineRun(const Workload &W) {
 }
 
 std::shared_ptr<const EvalPipeline::ImageArtifact>
-EvalPipeline::baselineImage(const Workload &W, OptLevel Level,
-                            const CodegenOptions &CG) {
+EvalPipeline::baselineImage(const Workload &W) {
+  return baselineImage(W, Cfg.Baseline);
+}
+
+std::shared_ptr<const EvalPipeline::ImageArtifact>
+EvalPipeline::baselineImage(const Workload &W, const BuildConfig &BC) {
   ArtifactKey K{W.Name, ObfuscationMode::None, 0,
-                ArtifactStage::BaselineImage, fingerprintCodegen(Level, CG),
+                ArtifactStage::BaselineImage, BC.fingerprint(),
                 fingerprintSource(W)};
   return Store.getOrCompute<ImageArtifact>(
       K, W.Source.size(), [&]() -> std::shared_ptr<const ImageArtifact> {
         auto Out = std::make_shared<ImageArtifact>();
-        std::shared_ptr<const CompiledWorkload> Base = baseline(W, Level);
+        std::shared_ptr<const CompiledWorkload> Base =
+            baseline(W, BC.Level);
         if (!*Base)
           return Out;
-        Out->Image = lowerToBinary(*Base->M, CG);
+        Out->Image = lowerToBinary(*Base->M, BC.Codegen);
         Out->Features = extractFeatures(Out->Image);
         Out->Ok = true;
         return Out;
@@ -397,8 +417,18 @@ EvalPipeline::diffOutcome(const Workload &W, ObfuscationMode Mode,
                           uint64_t Seed, const std::string &ToolName,
                           const std::shared_ptr<const ImageArtifact> &A,
                           const std::shared_ptr<const ImageArtifact> &B) {
+  return diffOutcome(W, Cfg.Baseline, Mode, Seed, ToolName, A, B);
+}
+
+std::shared_ptr<const EvalPipeline::DiffArtifact>
+EvalPipeline::diffOutcome(const Workload &W, const BuildConfig &BC,
+                          ObfuscationMode Mode, uint64_t Seed,
+                          const std::string &ToolName,
+                          const std::shared_ptr<const ImageArtifact> &A,
+                          const std::shared_ptr<const ImageArtifact> &B) {
   ArtifactKey K{W.Name, Mode, Seed, ArtifactStage::DiffOutcome,
-                fingerprintToolName(ToolName), fingerprintSource(W)};
+                fingerprintToolAndConfig(ToolName, BC),
+                fingerprintSource(W)};
   return Store.getOrCompute<DiffArtifact>(
       K, W.Source.size(), [&]() -> std::shared_ptr<const DiffArtifact> {
         auto Out = std::make_shared<DiffArtifact>();

@@ -21,8 +21,12 @@
 /// FuFi modes clone the cached fission-stage module instead of re-running
 /// the whole fission prefix. Cached and uncached runs execute the same
 /// code path — a disabled store recomputes per request — so results are
-/// bit-identical with the cache on or off. The baseline configuration
-/// matches the paper: O2 with whole-program (LTO-style) visibility.
+/// bit-identical with the cache on or off. The default baseline
+/// configuration matches the paper — O2 with whole-program (LTO-style)
+/// visibility — but the baseline build config (opt level + codegen style)
+/// is a first-class axis: every baseline-derived stage is keyed per
+/// config, so one pipeline serves O0 and O2 cells side by side without
+/// the keys aliasing (the confound experiments depend on it).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +36,7 @@
 #include "codegen/ISel.h"
 #include "diffing/DiffTool.h"
 #include "harness/ArtifactStore.h"
+#include "harness/BuildConfig.h"
 #include "ir/Module.h"
 #include "obfuscation/KhaosDriver.h"
 #include "vm/Bytecode.h"
@@ -96,6 +101,11 @@ public:
     std::string CacheDir = {};
     /// Disk-tier byte cap (--disk-max-bytes); 0 = unbounded.
     uint64_t DiskMaxBytes = 0;
+    /// The pipeline's default baseline build configuration
+    /// (--baseline-opt / --codegen). Stage entry points that take no
+    /// explicit config build against this one; explicit-config variants
+    /// exist for callers sweeping the axis (confoundMatrix, BinTuner).
+    BuildConfig Baseline = {};
   };
 
   explicit EvalPipeline(Config C)
@@ -109,22 +119,30 @@ public:
   // Cached stages. Artifacts are shared and immutable.
   //===--------------------------------------------------------------------===//
 
-  /// Stage Baseline: compile \p W and optimize at \p Level, no obfuscation.
-  std::shared_ptr<const CompiledWorkload>
-  baseline(const Workload &W, OptLevel Level = OptLevel::O2);
+  /// Stage Baseline: compile \p W and optimize at \p Level, no
+  /// obfuscation. Keyed per level; the no-argument form builds at the
+  /// pipeline's configured baseline level.
+  std::shared_ptr<const CompiledWorkload> baseline(const Workload &W);
+  std::shared_ptr<const CompiledWorkload> baseline(const Workload &W,
+                                                   OptLevel Level);
 
-  /// Stage BaselineRun: VM execution of the O2 baseline. Ok requires a
-  /// clean run with a nonzero cost (the overhead denominator).
+  /// Stage BaselineRun: VM execution of the baseline at \p Level (the
+  /// overhead denominator). Ok requires a clean run with a nonzero cost.
+  /// Keyed per (level, engine); the no-argument form runs the pipeline's
+  /// configured baseline level.
   struct BaselineRunArtifact {
     bool Ok = false;
     ExecResult Run;
   };
   std::shared_ptr<const BaselineRunArtifact> baselineRun(const Workload &W);
+  std::shared_ptr<const BaselineRunArtifact> baselineRun(const Workload &W,
+                                                         OptLevel Level);
 
-  /// Stage PrecompiledModule: the O2 baseline lowered to bytecode. Decoding
-  /// happens once per workload; every precompiled-engine run (BaselineRun,
-  /// repeated bench iterations) then starts from the cached BytecodeModule.
-  /// The artifact pins the Baseline artifact it points into.
+  /// Stage PrecompiledModule: the baseline at \p Level lowered to
+  /// bytecode. Decoding happens once per (workload, level); every
+  /// precompiled-engine run (BaselineRun, repeated bench iterations) then
+  /// starts from the cached BytecodeModule. The artifact pins the
+  /// Baseline artifact it points into.
   struct PrecompiledArtifact {
     bool Ok = false;
     std::shared_ptr<const CompiledWorkload> Base; ///< Keeps BM's module alive.
@@ -132,9 +150,13 @@ public:
   };
   std::shared_ptr<const PrecompiledArtifact>
   precompiledBaseline(const Workload &W);
+  std::shared_ptr<const PrecompiledArtifact>
+  precompiledBaseline(const Workload &W, OptLevel Level);
 
-  /// Stage BaselineImage: the A-side binary + features at \p Level under
-  /// \p CG codegen (fig9 diffs reference builds at O0..O3).
+  /// Stage BaselineImage: the A-side binary + features under build config
+  /// \p BC (the confound axis sweeps these; fig9 diffs reference builds
+  /// at O0..O3). Keyed on the config fingerprint — O0 and O2 baselines
+  /// never alias, in memory or in the disk tier.
   struct ImageArtifact {
     bool Ok = false;
     BinaryImage Image;
@@ -145,9 +167,9 @@ public:
     /// see cached images still aggregate pass telemetry.
     PassReport Report;
   };
+  std::shared_ptr<const ImageArtifact> baselineImage(const Workload &W);
   std::shared_ptr<const ImageArtifact>
-  baselineImage(const Workload &W, OptLevel Level = OptLevel::O2,
-                const CodegenOptions &CG = {});
+  baselineImage(const Workload &W, const BuildConfig &BC);
 
   /// Stage FissionStage: compile + fission prefix, shared by the Fission
   /// and FuFi.{sep,ori,all} modes (fission takes no seed, so the stage is
@@ -173,11 +195,12 @@ public:
                   uint64_t Seed = 0xc906);
 
   /// Stage DiffOutcome: one registry tool's DiffOutcome over the cell's
-  /// cached image pair, keyed on (workload, mode, seed, tool name). This
-  /// is the stage that makes out-of-process backends cheap to re-run: a
-  /// warm re-run hits here and performs zero worker round trips. A tool
-  /// that throws DiffToolError (worker timeout/crash) yields Ok = false
-  /// with the message — failures are artifacts too, computed once.
+  /// cached image pair, keyed on (workload, mode, seed, tool name,
+  /// baseline build config). This is the stage that makes out-of-process
+  /// backends cheap to re-run: a warm re-run hits here and performs zero
+  /// worker round trips. A tool that throws DiffToolError (worker
+  /// timeout/crash) yields Ok = false with the message — failures are
+  /// artifacts too, computed once.
   struct DiffArtifact {
     bool Ok = false;      ///< Tool ran to completion.
     std::string Error;    ///< DiffToolError message when !Ok.
@@ -190,10 +213,17 @@ public:
   /// Variant for callers that already hold the cell's image artifacts
   /// (the scheduler's task plane): skips the stage re-fetch, which with
   /// the store disabled (--no-cache) would recompile the pair a second
-  /// time. \p A and \p B must be the stages of (W) and (W, Mode, Seed).
+  /// time. \p A and \p B must be the stages of (W, config) and
+  /// (W, Mode, Seed); the config-free form keys against the pipeline's
+  /// configured baseline.
   std::shared_ptr<const DiffArtifact>
   diffOutcome(const Workload &W, ObfuscationMode Mode, uint64_t Seed,
               const std::string &ToolName,
+              const std::shared_ptr<const ImageArtifact> &A,
+              const std::shared_ptr<const ImageArtifact> &B);
+  std::shared_ptr<const DiffArtifact>
+  diffOutcome(const Workload &W, const BuildConfig &BC, ObfuscationMode Mode,
+              uint64_t Seed, const std::string &ToolName,
               const std::shared_ptr<const ImageArtifact> &A,
               const std::shared_ptr<const ImageArtifact> &B);
 

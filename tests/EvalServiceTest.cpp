@@ -57,16 +57,17 @@ EvalPipeline::Config inProcessConfig() {
 //===----------------------------------------------------------------------===//
 
 /// The 8-byte header is the protocol's anchor: "KEV1" little-endian,
-/// version 1, type, kind. Pinning the exact bytes of a Ping request means
+/// version 2, type, kind. Pinning the exact bytes of a Ping request means
 /// any layout change must bump EvalWireVersion rather than silently
-/// desync daemon and clients built from different revisions.
+/// desync daemon and clients built from different revisions (v2 added
+/// the baseline build config to DiffTask requests and Ping responses).
 TEST(EvalWire, GoldenPingRequestBytes) {
   EvalRequest Req;
   Req.Kind = EvalWireKind::Ping;
   std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
   const std::vector<uint8_t> Expected = {
       0x31, 0x56, 0x45, 0x4B, // magic "KEV1" little-endian
-      0x01, 0x00,             // version 1
+      0x02, 0x00,             // version 2
       0x01,                   // type = request
       0x01,                   // kind = Ping
   };
@@ -82,7 +83,7 @@ TEST(EvalWire, GoldenOverheadRequestBytes) {
   Req.Seed = 0x0102030405060708ull;
   std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
   std::vector<uint8_t> Expected = {
-      0x31, 0x56, 0x45, 0x4B, 0x01, 0x00, 0x01, 0x02, // header, kind=2
+      0x31, 0x56, 0x45, 0x4B, 0x02, 0x00, 0x01, 0x02, // header, kind=2
       0x02, 0x00, 0x00, 0x00, 'a',  'b',              // name
       0x01, 0x00, 0x00, 0x00, 'x',                    // source
       static_cast<uint8_t>(ObfuscationMode::Fission), // mode
@@ -100,6 +101,8 @@ TEST(EvalWire, RequestRoundTripsEveryKind) {
   Diff.Mode = ObfuscationMode::Fusion;
   Diff.Seed = 77;
   Diff.Tool = "SAFE";
+  Diff.BaselineLevel = 0;    // An O0 confound cell.
+  Diff.BaselineCodegen = 0x1f;
 
   EvalRequest Fuzz;
   Fuzz.Kind = EvalWireKind::FuzzBatch;
@@ -120,6 +123,8 @@ TEST(EvalWire, RequestRoundTripsEveryKind) {
     EXPECT_EQ(Out.Mode, Req.Mode);
     EXPECT_EQ(Out.Seed, Req.Seed);
     EXPECT_EQ(Out.Tool, Req.Tool);
+    EXPECT_EQ(Out.BaselineLevel, Req.BaselineLevel);
+    EXPECT_EQ(Out.BaselineCodegen, Req.BaselineCodegen);
     EXPECT_EQ(Out.FuzzSeed, Req.FuzzSeed);
     EXPECT_EQ(Out.FuzzBudget, Req.FuzzBudget);
     EXPECT_EQ(Out.FuzzEngine, Req.FuzzEngine);
@@ -201,6 +206,13 @@ TEST(EvalServer, PingReportsDaemonConfiguration) {
   EXPECT_EQ(Resp.Engine, static_cast<uint8_t>(VMEngine::Precompiled));
   EXPECT_EQ(Resp.CacheEnabled, 1);
   EXPECT_EQ(Resp.HasDiskTier, 0);
+  // The daemon advertises its baseline build config (the confound axis);
+  // the default pipeline runs the paper's O2 reference build. The wire
+  // defaults in EvalRequest must stay in lockstep with BuildConfig{}.
+  EXPECT_EQ(Resp.BaselineLevel, static_cast<uint8_t>(OptLevel::O2));
+  EXPECT_EQ(Resp.BaselineCodegen, BuildConfig{}.packedCodegen());
+  EXPECT_EQ(EvalRequest{}.BaselineLevel, Resp.BaselineLevel);
+  EXPECT_EQ(EvalRequest{}.BaselineCodegen, Resp.BaselineCodegen);
   EXPECT_EQ(Server.requestsServed(), 1u);
 }
 

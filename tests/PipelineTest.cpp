@@ -343,14 +343,25 @@ TEST(Harness, OverheadMeasurementSane) {
 
 TEST(Harness, BinTunerFindsSomething) {
   Workload W = specCpu2006Suite()[3];
-  BinTunerOptions Opts;
+  EvalPipeline Pipe;
+  BinTuner::Options Opts;
   Opts.Budget = 4;
-  BinTunerResult R = runBinTuner(W, Opts);
+  BinTuner Tuner(Pipe, Opts);
+  BinTunerResult R = Tuner.run(W, /*Seed=*/0x717);
   ASSERT_TRUE(R.Ok);
   for (int L = 0; L != 4; ++L) {
     EXPECT_GE(R.SimilarityVsLevel[L], 0.0);
     EXPECT_LE(R.SimilarityVsLevel[L], 1.0);
   }
+  // The candidate builds are pipeline artifacts: re-running the search
+  // with the same seed performs zero baseline recompiles.
+  auto Before = Pipe.store().stats();
+  BinTunerResult R2 = Tuner.run(W, /*Seed=*/0x717);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R2.Best, R.Best);
+  auto Delta = ArtifactStore::Snapshot::delta(Pipe.store().stats(), Before);
+  EXPECT_EQ(Delta.stage(ArtifactStage::Baseline).Misses, 0u);
+  EXPECT_EQ(Delta.stage(ArtifactStage::BaselineImage).Misses, 0u);
 }
 
 TEST(Harness, TableRendererAlignsColumns) {

@@ -14,10 +14,13 @@
 ///   khaos-evald --socket PATH [--vm reference|precompiled] [--no-cache]
 ///               [--store-max-bytes B] [--cache-dir DIR]
 ///               [--disk-max-bytes B] [--tool-timeout-ms T]
+///               [--baseline-opt LEVEL] [--codegen T[,T...]]
 ///
 /// Clients are the benches and khaos-fuzz run with `--connect PATH`;
 /// their stdout is byte-identical to in-process runs (the client refuses
-/// a daemon whose engine/cache configuration differs from its own).
+/// a daemon whose engine/cache or baseline build configuration differs
+/// from its own — a client wanting O0 cells against a daemon warmed at O2
+/// aborts loudly instead of comparing incomparable results).
 ///
 /// Lifecycle: prints one "[khaos-evald] listening on PATH" line to stderr
 /// once ready (scripts wait for it), then serves until SIGINT/SIGTERM,
@@ -44,12 +47,14 @@ volatile std::sig_atomic_t SignalSeen = 0;
 void onSignal(int) { SignalSeen = 1; }
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: khaos-evald --socket PATH [--vm reference|precompiled]\n"
-      "                   [--no-cache] [--store-max-bytes B]\n"
-      "                   [--cache-dir DIR] [--disk-max-bytes B]\n"
-      "                   [--tool-timeout-ms T]\n");
+  EvalScheduler::Config Sched;
+  std::string S1, S2;
+  std::fprintf(stderr,
+               "usage: khaos-evald --socket PATH [flags]\nshared scheduler "
+               "flags (--shards/--shard-index/--connect are client-side):\n"
+               "%s",
+               benchFlagUsage(schedulerFlagSpecs(Sched, "khaos-evald", S1, S2))
+                   .c_str());
   return 2;
 }
 
@@ -62,13 +67,15 @@ int main(int argc, char **argv) {
   EvalScheduler::Config Sched = parseSchedulerArgs(argc, argv);
 
   std::string SocketPath;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (const char *V = flagValue(argc, argv, I, "--socket"))
-      SocketPath = V;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-  }
+  bool Help = false;
+  applyBenchFlags(
+      argc, argv,
+      {{"--socket", "PATH", "Unix-domain socket to bind (required)",
+        [&SocketPath](const char *V) { SocketPath = V; }},
+       {"--help", nullptr, "print this usage text",
+        [&Help](const char *) { Help = true; }}});
+  if (Help || hasBenchFlag(argc, argv, "-h"))
+    return usage();
   if (SocketPath.empty()) {
     std::fprintf(stderr, "khaos-evald: --socket PATH is required\n");
     return usage();
@@ -83,8 +90,8 @@ int main(int argc, char **argv) {
   EvalServer Server(EvalServer::Config{
       SocketPath,
       EvalPipeline::Config{Sched.CacheEnabled, Sched.StoreMaxBytes,
-                           Sched.Engine, Sched.CacheDir,
-                           Sched.DiskMaxBytes}});
+                           Sched.Engine, Sched.CacheDir, Sched.DiskMaxBytes,
+                           Sched.Baseline}});
   std::string Err;
   if (!Server.start(Err)) {
     std::fprintf(stderr, "khaos-evald: %s\n", Err.c_str());
@@ -100,10 +107,12 @@ int main(int argc, char **argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   std::fprintf(stderr,
-               "[khaos-evald] listening on %s engine=%s cache=%s disk=%s\n",
+               "[khaos-evald] listening on %s engine=%s cache=%s disk=%s "
+               "baseline=%s\n",
                SocketPath.c_str(), vmEngineName(Sched.Engine),
                Sched.CacheEnabled ? "on" : "off",
-               Sched.CacheDir.empty() ? "(none)" : Sched.CacheDir.c_str());
+               Sched.CacheDir.empty() ? "(none)" : Sched.CacheDir.c_str(),
+               Sched.Baseline.name().c_str());
 
   while (!SignalSeen)
     ::pause();

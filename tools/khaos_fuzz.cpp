@@ -46,15 +46,48 @@ using namespace khaos;
 
 namespace {
 
+/// The fuzzer's own flags, declared in the same table form the shared
+/// scheduler flags use (BenchFlagSpec); usage text renders from both
+/// tables, so every flag is documented where it is parsed.
+std::vector<BenchFlagSpec>
+fuzzerFlagSpecs(DifferentialFuzzer::Config &Cfg, std::string &ModesSpec,
+                std::string &ListStepsMode, std::string &ReplayPath,
+                bool &Help) {
+  return {
+      {"--budget", "N", "fuzz cases to generate (required)",
+       [&Cfg](const char *V) {
+         Cfg.Budget = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       }},
+      {"--modes", "A,B,...", "restrict the obfuscation modes exercised",
+       [&ModesSpec](const char *V) { ModesSpec = V; }},
+      {"--repro-dir", "DIR", "write divergence repro files here",
+       [&Cfg](const char *V) { Cfg.ReproDir = V; }},
+      {"--list-steps", "MODE", "print MODE's obfuscation steps and exit",
+       [&ListStepsMode](const char *V) { ListStepsMode = V; }},
+      {"--replay", "FILE", "re-run one repro file and exit",
+       [&ReplayPath](const char *V) { ReplayPath = V; }},
+      {"--no-shrink", nullptr, "keep divergent cases unshrunk",
+       [&Cfg](const char *) { Cfg.Shrink = false; }},
+      {"--quiet", nullptr, "suppress per-case progress on stderr",
+       [&Cfg](const char *) { Cfg.Verbose = false; }},
+      {"--cross-vm", nullptr, "run each check on BOTH engines",
+       [&Cfg](const char *) { Cfg.CrossVM = true; }},
+      {"--help", nullptr, "print this usage text",
+       [&Help](const char *) { Help = true; }},
+  };
+}
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: khaos-fuzz [--seed S] [--budget N] [--threads N]\n"
-      "                  [--modes A,B,...] [--no-shrink] [--repro-dir DIR]\n"
-      "                  [--store-max-bytes B] [--quiet]\n"
-      "                  [--vm reference|precompiled] [--cross-vm]\n"
-      "                  [--list-steps MODE] [--replay FILE]\n"
-      "                  [--connect SOCKET]\n");
+  EvalScheduler::Config Sched;
+  DifferentialFuzzer::Config Cfg;
+  std::string S1, S2, S3, S4, S5;
+  bool Help = false;
+  std::fprintf(stderr,
+               "usage: khaos-fuzz [flags]\nfuzzer flags:\n%sshared "
+               "scheduler flags:\n%s",
+               benchFlagUsage(fuzzerFlagSpecs(Cfg, S1, S2, S3, Help)).c_str(),
+               benchFlagUsage(schedulerFlagSpecs(Sched, "khaos-fuzz", S4, S5))
+                   .c_str());
   return 2;
 }
 
@@ -152,27 +185,12 @@ int main(int argc, char **argv) {
                                           : Cfg.StoreMaxBytes;
 
   std::string ModesSpec, ListStepsMode, ReplayPath;
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (const char *V = flagValue(argc, argv, I, "--budget"))
-      Cfg.Budget = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-    else if (const char *V2 = flagValue(argc, argv, I, "--modes"))
-      ModesSpec = V2;
-    else if (const char *V3 = flagValue(argc, argv, I, "--repro-dir"))
-      Cfg.ReproDir = V3;
-    else if (const char *V4 = flagValue(argc, argv, I, "--list-steps"))
-      ListStepsMode = V4;
-    else if (const char *V5 = flagValue(argc, argv, I, "--replay"))
-      ReplayPath = V5;
-    else if (Arg == "--no-shrink")
-      Cfg.Shrink = false;
-    else if (Arg == "--quiet")
-      Cfg.Verbose = false;
-    else if (Arg == "--cross-vm")
-      Cfg.CrossVM = true;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-  }
+  bool Help = false;
+  applyBenchFlags(argc, argv,
+                  fuzzerFlagSpecs(Cfg, ModesSpec, ListStepsMode, ReplayPath,
+                                  Help));
+  if (Help || hasBenchFlag(argc, argv, "-h"))
+    return usage();
 
   if (!ListStepsMode.empty())
     return listSteps(ListStepsMode);
