@@ -22,8 +22,11 @@
 /// reference|precompiled` (which execution engine runs programs; both
 /// produce byte-identical stdout), `--baseline-opt L[,L...]` (the baseline
 /// build level; a comma list is the confound axis of benches that take
-/// one) and `--codegen T[,T...]` (codegen tweaks layered onto the
-/// baseline config). `--json PATH` makes supporting benches
+/// one), `--codegen T[,T...]` (codegen tweaks layered onto the
+/// baseline config) and `--compiler-style S[,S...]` (the clang|gcc
+/// lowering personality; a comma list is the cross-compiler confound
+/// axis of benches that take one). `--json PATH` makes supporting
+/// benches
 /// additionally write a machine-readable BENCH_*.json result file (the
 /// committed perf trajectory — see bench/vm_engines.cpp); their stdout is
 /// byte-identical at every thread count (scheduler diagnostics, including
@@ -167,12 +170,13 @@ inline std::string benchFlagUsage(const std::vector<BenchFlagSpec> &Specs) {
 }
 
 /// The shared scheduler/pipeline flag table. Raw `--baseline-opt` /
-/// `--codegen` values are stashed into the two string outs during the walk
-/// and resolved afterwards by resolveBaselineFlags (their validity does
-/// not depend on argv order that way).
+/// `--codegen` / `--compiler-style` values are stashed into the string
+/// outs during the walk and resolved afterwards by resolveBaselineFlags
+/// (their validity does not depend on argv order that way).
 inline std::vector<BenchFlagSpec>
 schedulerFlagSpecs(EvalScheduler::Config &C, const char *Bench,
-                   std::string &BaselineSpec, std::string &CodegenSpec) {
+                   std::string &BaselineSpec, std::string &CodegenSpec,
+                   std::string &StyleSpec) {
   return {
       {"--threads", "N", "scheduler worker threads (0 = hardware)",
        [&C](const char *V) {
@@ -225,18 +229,26 @@ schedulerFlagSpecs(EvalScheduler::Config &C, const char *Bench,
        "baseline codegen tweaks: [no-]{spill,lea,cmov,jump-tables,"
        "align-loops}",
        [&CodegenSpec](const char *V) { CodegenSpec = V; }},
+      {"--compiler-style", "S[,S...]",
+       "baseline lowering personality clang|gcc; a comma list is a "
+       "confound axis",
+       [&StyleSpec](const char *V) { StyleSpec = V; }},
   };
 }
 
-/// Resolves the stashed `--baseline-opt` / `--codegen` values. A single
-/// level becomes the run's pipeline baseline (Config::Baseline — checked
-/// against a --connect daemon's ping). A multi-level list is a confound
-/// axis: only benches passing \p BaselineAxis accept it; everywhere else
-/// it is a usage error, not a silent truncation.
+/// Resolves the stashed `--baseline-opt` / `--codegen` /
+/// `--compiler-style` values. A single level (and a single style) becomes
+/// the run's pipeline baseline (Config::Baseline — checked against a
+/// --connect daemon's ping). A multi-entry list is a confound axis: only
+/// benches passing \p BaselineAxis (levels) / \p StyleAxis (styles)
+/// accept one; everywhere else it is a usage error, not a silent
+/// truncation.
 inline void resolveBaselineFlags(EvalScheduler::Config &C, const char *Bench,
                                  const std::string &BaselineSpec,
                                  const std::string &CodegenSpec,
-                                 std::vector<BuildConfig> *BaselineAxis) {
+                                 const std::string &StyleSpec,
+                                 std::vector<BuildConfig> *BaselineAxis,
+                                 std::vector<CompilerStyle> *StyleAxis) {
   std::string Err;
   std::vector<BuildConfig> Configs;
   if (!BaselineSpec.empty() &&
@@ -257,6 +269,26 @@ inline void resolveBaselineFlags(EvalScheduler::Config &C, const char *Bench,
     for (BuildConfig &BC : Configs)
       applyCodegenTokens(CodegenSpec, BC.Codegen, Err); // Validated above.
   }
+  std::vector<CompilerStyle> Styles;
+  if (!StyleSpec.empty() &&
+      !parseCompilerStyleList(StyleSpec, Styles, Err)) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: --compiler-style STYLE[,STYLE...] with "
+                 "STYLE one of clang gcc\n",
+                 Bench, Err.c_str());
+    std::exit(2);
+  }
+  if (Styles.size() == 1) {
+    C.Baseline.Codegen.Style = Styles[0];
+    for (BuildConfig &BC : Configs)
+      BC.Codegen.Style = Styles[0];
+  } else if (Styles.size() > 1 && !StyleAxis) {
+    std::fprintf(stderr,
+                 "%s: --compiler-style with multiple styles is a confound "
+                 "axis; this bench takes a single baseline style\n",
+                 Bench);
+    std::exit(2);
+  }
   if (Configs.size() == 1)
     C.Baseline = Configs[0];
   else if (Configs.size() > 1 && !BaselineAxis) {
@@ -268,23 +300,29 @@ inline void resolveBaselineFlags(EvalScheduler::Config &C, const char *Bench,
   }
   if (BaselineAxis && !Configs.empty())
     *BaselineAxis = std::move(Configs);
+  if (StyleAxis && Styles.size() > 1)
+    *StyleAxis = std::move(Styles);
 }
 
 /// Parses the shared scheduler/pipeline flags (see the file comment for
 /// the roster; both `--flag V` and `--flag=V` spellings). Capacity flags
-/// go through parseByteCount, `--baseline-opt`/`--codegen` through the
-/// BuildConfig parsers (exit 2 on garbage); unrecognized arguments are
-/// ignored. Benches with a build-config axis pass \p BaselineAxis to
-/// receive the `--baseline-opt` comma list as BuildConfigs.
+/// go through parseByteCount, `--baseline-opt`/`--codegen`/
+/// `--compiler-style` through the BuildConfig parsers (exit 2 on
+/// garbage); unrecognized arguments are ignored. Benches with a
+/// build-config axis pass \p BaselineAxis to receive the `--baseline-opt`
+/// comma list as BuildConfigs, and \p StyleAxis to receive a multi-entry
+/// `--compiler-style` list.
 inline EvalScheduler::Config
 parseSchedulerArgs(int Argc, char **Argv,
-                   std::vector<BuildConfig> *BaselineAxis = nullptr) {
+                   std::vector<BuildConfig> *BaselineAxis = nullptr,
+                   std::vector<CompilerStyle> *StyleAxis = nullptr) {
   EvalScheduler::Config C;
   const char *Bench = Argc > 0 ? Argv[0] : "bench";
-  std::string BaselineSpec, CodegenSpec;
-  applyBenchFlags(Argc, Argv,
-                  schedulerFlagSpecs(C, Bench, BaselineSpec, CodegenSpec));
-  resolveBaselineFlags(C, Bench, BaselineSpec, CodegenSpec, BaselineAxis);
+  std::string BaselineSpec, CodegenSpec, StyleSpec;
+  applyBenchFlags(Argc, Argv, schedulerFlagSpecs(C, Bench, BaselineSpec,
+                                                 CodegenSpec, StyleSpec));
+  resolveBaselineFlags(C, Bench, BaselineSpec, CodegenSpec, StyleSpec,
+                       BaselineAxis, StyleAxis);
   return C;
 }
 

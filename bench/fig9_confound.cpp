@@ -8,10 +8,13 @@
 /// The cross-optimization-level confound experiment: how much of a diffing
 /// tool's score drop is the *obfuscation* and how much is the *build
 /// delta*? Every cell diffs a baseline built at an explicit BuildConfig
-/// (the `--baseline-opt` axis, default O0,O1,O2) against the obfuscated
-/// build — and the `none` mode column diffs it against a plain post-opt
-/// rebuild, isolating the pure build-configuration confound the paper's
-/// cross-level comparisons have to control for.
+/// (the `--baseline-opt` axis, default O0,O1,O2, optionally crossed with
+/// the `--compiler-style clang,gcc` axis) against the obfuscated build —
+/// and the `none` mode column diffs it against a plain post-opt rebuild,
+/// isolating the pure build-configuration confound the paper's
+/// cross-level comparisons have to control for. With both styles on the
+/// axis the aggregate tables add a pure style-delta row per level: the
+/// score shift the lowering personality alone causes (gcc minus clang).
 ///
 /// Aggregate mode prints, per tool, a (config × mode) table of mean
 /// Precision@1 and one of mean top-1 similarity. With --print-cells (or
@@ -81,15 +84,36 @@ int main(int argc, char **argv) {
   const std::vector<std::string> Tools = parseToolNames(
       argc, argv, "fig9_confound", {"BinDiff", "semdiff"});
   std::vector<BuildConfig> Configs;
-  EvalScheduler Sched(parseSchedulerArgs(argc, argv, &Configs));
+  std::vector<CompilerStyle> Styles;
+  EvalScheduler::Config SC = parseSchedulerArgs(argc, argv, &Configs, &Styles);
+  EvalScheduler Sched(SC);
   if (Configs.empty()) {
     // Default confound axis: the levels the paper's cross-level
-    // comparisons span (quick mode keeps the endpoints).
+    // comparisons span (quick mode keeps the endpoints). A single
+    // --compiler-style applies here too (resolveBaselineFlags folded it
+    // into the run baseline).
     for (OptLevel L : quickMode()
                           ? std::vector<OptLevel>{OptLevel::O0, OptLevel::O2}
                           : std::vector<OptLevel>{OptLevel::O0, OptLevel::O1,
-                                                  OptLevel::O2})
-      Configs.push_back(BuildConfig::forLevel(L));
+                                                  OptLevel::O2}) {
+      BuildConfig BC = BuildConfig::forLevel(L);
+      BC.Codegen.Style = SC.Baseline.Codegen.Style;
+      Configs.push_back(BC);
+    }
+  }
+  if (!Styles.empty()) {
+    // `--compiler-style clang,gcc` is the cross-compiler confound axis:
+    // cross it over the level axis, styles innermost, so each level's
+    // rows stay adjacent and a pure style delta reads within one level.
+    std::vector<BuildConfig> Crossed;
+    Crossed.reserve(Configs.size() * Styles.size());
+    for (const BuildConfig &BC : Configs)
+      for (CompilerStyle S : Styles) {
+        BuildConfig C2 = BC;
+        C2.Codegen.Style = S;
+        Crossed.push_back(C2);
+      }
+    Configs = std::move(Crossed);
   }
   const bool CellMode =
       hasBenchFlag(argc, argv, "--print-cells") || Sched.shardCount() > 1;
@@ -121,9 +145,24 @@ int main(int argc, char **argv) {
   for (ObfuscationMode M : Modes)
     Headers.push_back(obfuscationModeName(M));
 
+  // Config-index pairs that differ only in compiler style: the operands
+  // of the pure style-delta rows (gcc minus clang at the same level and
+  // codegen knobs).
+  std::vector<std::pair<size_t, size_t>> StylePairs;
+  for (size_t CI = 0; CI != Configs.size(); ++CI)
+    for (size_t CJ = 0; CJ != Configs.size(); ++CJ) {
+      if (Configs[CI].Codegen.Style != CompilerStyle::ClangLike ||
+          Configs[CJ].Codegen.Style != CompilerStyle::GccLike)
+        continue;
+      BuildConfig Restyled = Configs[CJ];
+      Restyled.Codegen.Style = CompilerStyle::ClangLike;
+      if (Restyled == Configs[CI])
+        StylePairs.emplace_back(CI, CJ);
+    }
+
   for (bool Precision : {true, false}) {
     TableRenderer Table(Headers);
-    for (size_t TI = 0; TI != Tools.size(); ++TI)
+    for (size_t TI = 0; TI != Tools.size(); ++TI) {
       for (size_t CI = 0; CI != Configs.size(); ++CI) {
         std::vector<std::string> Row{Tools[TI], Configs[CI].name()};
         for (size_t MI = 0; MI != Modes.size(); ++MI)
@@ -132,6 +171,24 @@ int main(int argc, char **argv) {
                          Modes.size(), CI, MI, TI, Precision)));
         Table.addRow(std::move(Row));
       }
+      // Pure style-delta rows: what switching the lowering personality
+      // alone (same level, same knobs) does to the tool's score — the
+      // gcc-vs-clang columns of the provenance literature.
+      for (const auto &Pair : StylePairs) {
+        std::vector<std::string> Row{
+            Tools[TI], "style-delta@" + Configs[Pair.first].name()};
+        for (size_t MI = 0; MI != Modes.size(); ++MI) {
+          double Clang =
+              meanMetric(Cells, Workloads.size(), Configs.size(),
+                         Modes.size(), Pair.first, MI, TI, Precision);
+          double Gcc =
+              meanMetric(Cells, Workloads.size(), Configs.size(),
+                         Modes.size(), Pair.second, MI, TI, Precision);
+          Row.push_back(formatStr("%+.3f", Gcc - Clang));
+        }
+        Table.addRow(std::move(Row));
+      }
+    }
     std::printf("\nMean %s per (tool x baseline config x mode):\n",
                 Precision ? "Precision@1" : "top-1 similarity");
     Table.print();
@@ -139,7 +196,11 @@ int main(int argc, char **argv) {
   std::printf("\nReading: the 'none' column is the pure build-configuration "
               "delta. A mode\ncolumn approaching 'none' at the same config "
               "means the tool's loss is mostly\nthe build confound, not the "
-              "obfuscation.\n");
+              "obfuscation.");
+  if (!StylePairs.empty())
+    std::printf(" A style-delta row is the score shift the\ncompiler "
+                "style alone causes at that level (gcc minus clang).");
+  std::printf("\n");
   reportScheduler(Sched, Run);
   return 0;
 }

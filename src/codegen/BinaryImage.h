@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace khaos {
@@ -86,6 +87,9 @@ struct BinaryImage {
   std::vector<DataRelocation> DataRelocs;
   std::map<std::string, uint32_t> FunctionIndex; ///< Name -> Functions idx.
 
+  /// Interns \p S into Symbols, O(1) amortized per call via SymbolIndex
+  /// (rebuilt lazily when Symbols was filled directly, e.g. by the wire
+  /// codec). Returns the existing id for a known symbol.
   int32_t internSymbol(const std::string &S);
   const MFunction *findFunction(const std::string &Name) const;
 
@@ -94,6 +98,10 @@ struct BinaryImage {
 
   /// Disassembly-style dump for debugging and the examples.
   std::string disassemble() const;
+
+private:
+  /// Derived lookup index over Symbols; never serialized.
+  std::unordered_map<std::string, int32_t> SymbolIndex;
 };
 
 } // namespace khaos

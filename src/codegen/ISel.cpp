@@ -117,12 +117,26 @@ const char *khaos::mopName(MOp Op) {
   return "?";
 }
 
+const char *khaos::compilerStyleName(CompilerStyle Style) {
+  return Style == CompilerStyle::GccLike ? "gcc" : "clang";
+}
+
 int32_t BinaryImage::internSymbol(const std::string &S) {
-  for (size_t I = 0; I != Symbols.size(); ++I)
-    if (Symbols[I] == S)
-      return static_cast<int32_t>(I);
+  // Symbols may have been filled directly (the wire codec does when
+  // decoding an image); rebuild the index lazily when it is stale instead
+  // of requiring every writer to maintain it.
+  if (SymbolIndex.size() != Symbols.size()) {
+    SymbolIndex.clear();
+    for (size_t I = 0; I != Symbols.size(); ++I)
+      SymbolIndex.emplace(Symbols[I], static_cast<int32_t>(I));
+  }
+  auto It = SymbolIndex.find(S);
+  if (It != SymbolIndex.end())
+    return It->second;
+  int32_t Id = static_cast<int32_t>(Symbols.size());
   Symbols.push_back(S);
-  return static_cast<int32_t>(Symbols.size() - 1);
+  SymbolIndex.emplace(S, Id);
+  return Id;
 }
 
 const MFunction *BinaryImage::findFunction(const std::string &Name) const {
@@ -154,7 +168,7 @@ std::string BinaryImage::disassemble() const {
         if (I.HasMemOperand)
           Out += " [mem]";
         if (I.HasImmediate)
-          Out += " $imm";
+          Out += formatStr(" $%lld", (long long)I.Imm);
         Out += "\n";
       }
     }
@@ -183,6 +197,7 @@ private:
     const auto *C = dyn_cast<ConstantInt>(V);
     return C ? C->getValue() : 0;
   }
+  bool gccLike() const { return Opts.Style == CompilerStyle::GccLike; }
   /// Operand fetch/spill traffic in -O0 style.
   void touchOperand(const Value *V);
   void spillResult() {
@@ -229,13 +244,22 @@ void FunctionLowering::lowerBinOp(const BinaryInst *B) {
     emit(MOp::Sub, false, RImm, -1, RVal);
     break;
   case BinOp::Mul: {
-    // Strength-reduce multiplications by powers of two.
+    // Strength-reduce multiplications by powers of two. The immediate is
+    // the shift count — the value a real encoder emits (and what
+    // immediate-keyed diffing features see).
     const auto *C = dyn_cast<ConstantInt>(B->getRHS());
     int64_t V = C ? C->getValue() : 0;
-    if (C && V > 0 && (V & (V - 1)) == 0)
-      emit(MOp::Shl, false, true);
-    else
-      emit(MOp::IMul);
+    if (C && V > 0 && (V & (V - 1)) == 0) {
+      int64_t Shift = 0;
+      while ((int64_t(1) << Shift) < V)
+        ++Shift;
+      emit(MOp::Shl, false, true, -1, Shift);
+    } else if (gccLike() && (V == 3 || V == 5 || V == 9)) {
+      // gcc strength-reduces x3/x5/x9 to lea r, [r + r*(V-1)].
+      emit(MOp::Lea, /*Mem=*/true);
+    } else {
+      emit(MOp::IMul, false, RImm, -1, RVal);
+    }
     break;
   }
   case BinOp::SDiv:
@@ -366,10 +390,12 @@ void FunctionLowering::lowerInst(const Instruction *I) {
     else
       emit(MOp::Cmp, false, isa<ConstantInt>(cast<CmpInst>(I)->getRHS()),
            -1, immOf(cast<CmpInst>(I)->getRHS()));
-    // Materialize the flag only when used as a plain value (not solely by
-    // a branch in the same block).
-    emit(MOp::SetCC);
-    spillResult();
+    // Clang-like materializes the flag into a register (setcc); gcc-like
+    // keeps it in EFLAGS for the consuming fused compare-branch.
+    if (!gccLike()) {
+      emit(MOp::SetCC);
+      spillResult();
+    }
     break;
   case Opcode::Cast:
     lowerCast(cast<CastInst>(I));
@@ -389,14 +415,24 @@ void FunctionLowering::lowerInst(const Instruction *I) {
     touchOperand(I->getOperand(0));
     touchOperand(I->getOperand(1));
     touchOperand(I->getOperand(2));
-    emit(MOp::Test);
-    if (Opts.UseCmov) {
-      emit(MOp::Cmov);
-    } else {
+    if (gccLike()) {
+      // Branchy mov chain off a cmp-with-zero — gcc's select idiom,
+      // regardless of the cmov tuning flag.
+      emit(MOp::Cmp, false, true, -1, 0);
       emit(MOp::Jcc);
       emit(MOp::Mov);
       emit(MOp::Jmp);
       emit(MOp::Mov);
+    } else {
+      emit(MOp::Test);
+      if (Opts.UseCmov) {
+        emit(MOp::Cmov);
+      } else {
+        emit(MOp::Jcc);
+        emit(MOp::Mov);
+        emit(MOp::Jmp);
+        emit(MOp::Mov);
+      }
     }
     spillResult();
     break;
@@ -418,7 +454,10 @@ void FunctionLowering::lowerInst(const Instruction *I) {
     const auto *BR = cast<BranchInst>(I);
     if (BR->isConditional()) {
       touchOperand(BR->getCondition());
-      emit(MOp::Test);
+      // Clang-like re-tests the materialized flag; gcc-like branches on
+      // the EFLAGS its compare already set (fused cmp+jcc).
+      if (!gccLike())
+        emit(MOp::Test);
       emit(MOp::Jcc);
       emit(MOp::Jmp);
     } else {
@@ -429,7 +468,8 @@ void FunctionLowering::lowerInst(const Instruction *I) {
   case Opcode::Switch: {
     const auto *SW = cast<SwitchInst>(I);
     touchOperand(SW->getCondition());
-    if (Opts.UseJumpTables && SW->getNumCases() >= 4) {
+    // gcc-like always lowers switches to linear cmp/jcc ladders.
+    if (!gccLike() && Opts.UseJumpTables && SW->getNumCases() >= 4) {
       emit(MOp::Cmp, false, true);
       emit(MOp::Jcc); // Bounds check.
       emit(MOp::Lea, true);
@@ -448,7 +488,13 @@ void FunctionLowering::lowerInst(const Instruction *I) {
       touchOperand(cast<ReturnInst>(I)->getReturnValue());
       emit(MOp::Mov); // Into rax/xmm0.
     }
-    emit(MOp::Leave);
+    if (gccLike()) {
+      // add rsp, frame; pop rbp — gcc's explicit epilogue.
+      emit(MOp::Add, false, true);
+      emit(MOp::Pop);
+    } else {
+      emit(MOp::Leave);
+    }
     emit(MOp::Ret);
     break;
   case Opcode::Unreachable:
@@ -472,19 +518,30 @@ MFunction FunctionLowering::run() {
     Cur = &MF.Blocks.back();
     Cur->Name = BB->getName();
     if (First) {
-      // Prologue.
+      // Prologue. Clang-like: push rbp; mov rbp,rsp; sub rsp, frame.
+      // Gcc-like reserves the frame with add rsp, -frame instead.
       emit(MOp::Push);
       emit(MOp::Mov);
-      emit(MOp::Sub, false, true); // sub rsp, frame
+      if (Opts.Style == CompilerStyle::GccLike)
+        emit(MOp::Add, false, true); // add rsp, -frame
+      else
+        emit(MOp::Sub, false, true); // sub rsp, frame
       First = false;
     } else if (Opts.AlignLoops && !BB->predecessors().empty() &&
                BB->predecessors().size() > 1) {
-      emit(MOp::Nop); // Alignment padding before join/loop heads.
+      // Alignment padding before join/loop heads: clang-like one wide
+      // nop, gcc-like a pair of short ones (.p2align filler).
+      emit(MOp::Nop);
+      if (Opts.Style == CompilerStyle::GccLike)
+        emit(MOp::Nop);
     }
     for (const auto &I : BB->insts())
       lowerInst(I.get());
+    // Checked lookup: a successor outside this function's block list is
+    // malformed IR, and operator[] would silently default-insert index 0
+    // (a phantom edge to the entry block) instead of failing.
     for (const BasicBlock *S : BB->successors())
-      Cur->Succs.push_back(BlockIndex[const_cast<BasicBlock *>(S)]);
+      Cur->Succs.push_back(BlockIndex.at(S));
   }
   return MF;
 }

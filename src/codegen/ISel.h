@@ -21,13 +21,35 @@ namespace khaos {
 
 class Module;
 
-/// Codegen style; defaults model -O2.
+/// Which compiler's lowering idioms the ISel personality imitates. The
+/// provenance literature (BinTuner, the binary-similarity survey) shows
+/// gcc-vs-clang idiom deltas move diffing scores as much as obfuscation
+/// does; modeling both makes that confound a first-class axis.
+enum class CompilerStyle : uint8_t {
+  /// test/setcc flag materialization, push/mov/sub prologue + leave/ret
+  /// epilogue, cmov selects, jump tables, single-nop alignment.
+  ClangLike = 0,
+  /// Fused cmp+jcc compare-branches (no test/setcc/cmov), add reg,-N
+  /// prologue + add/pop/ret epilogue, branchy mov-chain selects, linear
+  /// cmp/jcc switch ladders, paired-nop alignment, lea-based
+  /// strength reduction for x3/x5/x9 multiplies.
+  GccLike = 1,
+};
+
+/// "clang" / "gcc".
+const char *compilerStyleName(CompilerStyle Style);
+
+/// Codegen style; defaults model clang -O2.
 struct CodegenOptions {
   bool SpillEverything = false; ///< -O0-style: reload/spill around each op.
   bool UseLea = true;           ///< Address math via lea.
   bool UseCmov = true;          ///< Branchless selects.
   bool UseJumpTables = true;    ///< Switches >= 4 cases become jump tables.
   bool AlignLoops = true;       ///< Nop padding in front of loop heads.
+  /// The lowering personality. GccLike overrides UseCmov/UseJumpTables
+  /// the way a real compiler's idioms trump tuning flags: selects are
+  /// always branchy, switches always linear ladders.
+  CompilerStyle Style = CompilerStyle::ClangLike;
 };
 
 /// Lowers \p M. Function addresses are assigned in order, 16-byte aligned.

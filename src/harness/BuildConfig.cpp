@@ -24,6 +24,7 @@ uint64_t BuildConfig::fingerprint() const {
   F |= static_cast<uint64_t>(Codegen.UseCmov) << 10;
   F |= static_cast<uint64_t>(Codegen.UseJumpTables) << 11;
   F |= static_cast<uint64_t>(Codegen.AlignLoops) << 12;
+  F |= static_cast<uint64_t>(Codegen.Style == CompilerStyle::GccLike) << 13;
   return F;
 }
 
@@ -34,6 +35,7 @@ uint8_t BuildConfig::packedCodegen() const {
   P |= static_cast<uint8_t>(Codegen.UseCmov) << 2;
   P |= static_cast<uint8_t>(Codegen.UseJumpTables) << 3;
   P |= static_cast<uint8_t>(Codegen.AlignLoops) << 4;
+  P |= static_cast<uint8_t>(Codegen.Style == CompilerStyle::GccLike) << 5;
   return P;
 }
 
@@ -44,6 +46,8 @@ CodegenOptions BuildConfig::unpackCodegen(uint8_t Packed) {
   CG.UseCmov = (Packed >> 2) & 1;
   CG.UseJumpTables = (Packed >> 3) & 1;
   CG.AlignLoops = (Packed >> 4) & 1;
+  CG.Style = ((Packed >> 5) & 1) ? CompilerStyle::GccLike
+                                 : CompilerStyle::ClangLike;
   return CG;
 }
 
@@ -60,6 +64,8 @@ std::string BuildConfig::name() const {
     N += "-jt";
   if (!Codegen.AlignLoops)
     N += "-align";
+  if (Codegen.Style == CompilerStyle::GccLike)
+    N += "+gcc";
   return N;
 }
 
@@ -138,6 +144,12 @@ bool khaos::parseBaselineOptList(const std::string &Text,
 bool khaos::applyCodegenTokens(const std::string &Text, CodegenOptions &CG,
                                std::string &Err) {
   for (const std::string &Tok : splitCommas(Text)) {
+    if (Tok.empty()) {
+      // A trailing comma would otherwise surface as the baffling
+      // "unknown codegen token ''".
+      Err = "empty entry in codegen token list '" + Text + "'";
+      return false;
+    }
     bool On = true;
     std::string Name = Tok;
     if (Name.rfind("no-", 0) == 0) {
@@ -160,5 +172,47 @@ bool khaos::applyCodegenTokens(const std::string &Text, CodegenOptions &CG,
       return false;
     }
   }
+  return true;
+}
+
+bool khaos::parseCompilerStyleName(const std::string &Text,
+                                   CompilerStyle &Out) {
+  std::string Lower;
+  for (char C : Text)
+    Lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+  if (Lower == "clang") {
+    Out = CompilerStyle::ClangLike;
+    return true;
+  }
+  if (Lower == "gcc") {
+    Out = CompilerStyle::GccLike;
+    return true;
+  }
+  return false;
+}
+
+bool khaos::parseCompilerStyleList(const std::string &Text,
+                                   std::vector<CompilerStyle> &Out,
+                                   std::string &Err) {
+  std::vector<CompilerStyle> Parsed;
+  for (const std::string &Tok : splitCommas(Text)) {
+    if (Tok.empty()) {
+      Err = "empty entry in compiler-style list '" + Text + "'";
+      return false;
+    }
+    CompilerStyle Style;
+    if (!parseCompilerStyleName(Tok, Style)) {
+      Err = "unknown compiler style '" + Tok + "' (expected clang or gcc)";
+      return false;
+    }
+    for (CompilerStyle Seen : Parsed)
+      if (Seen == Style) {
+        Err = "duplicate compiler style '" + Tok + "'";
+        return false;
+      }
+    Parsed.push_back(Style);
+  }
+  Out = std::move(Parsed);
   return true;
 }

@@ -46,13 +46,14 @@ struct BuildConfig {
 
   /// The codegen knobs packed into one byte for the wire protocol
   /// (bit 0 = SpillEverything, 1 = UseLea, 2 = UseCmov, 3 = UseJumpTables,
-  /// 4 = AlignLoops).
+  /// 4 = AlignLoops, 5 = GccLike compiler style — the KEV1 v3 addition).
   uint8_t packedCodegen() const;
   static CodegenOptions unpackCodegen(uint8_t Packed);
 
   /// Human-readable name, stable and space-free so it can be a column in
-  /// byte-identical bench output: "O2", "O0+spill", "O1+spill-lea", …
-  /// Deviations from the level's reference convention are appended.
+  /// byte-identical bench output: "O2", "O0+spill", "O1+spill-lea",
+  /// "O2+gcc", … Deviations from the level's reference convention are
+  /// appended; the gcc compiler style always is.
   std::string name() const;
 
   bool operator==(const BuildConfig &O) const;
@@ -77,6 +78,17 @@ bool parseBaselineOptList(const std::string &Text,
 /// diagnostic in \p Err.
 bool applyCodegenTokens(const std::string &Text, CodegenOptions &CG,
                         std::string &Err);
+
+/// Parses "clang" / "gcc" (case-insensitive). Returns false on anything
+/// else.
+bool parseCompilerStyleName(const std::string &Text, CompilerStyle &Out);
+
+/// Parses a `--compiler-style` comma list ("clang,gcc") into styles
+/// (duplicates and empty entries rejected). On failure returns false with
+/// a diagnostic in \p Err.
+bool parseCompilerStyleList(const std::string &Text,
+                            std::vector<CompilerStyle> &Out,
+                            std::string &Err);
 
 } // namespace khaos
 

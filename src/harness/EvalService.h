@@ -18,8 +18,11 @@
 /// payload begins with a fixed header:
 ///
 ///   u32 magic   0x4B455631 ("KEV1" read as bytes 31 56 45 4B)
-///   u16 version 2 (v2 added the baseline build config to DiffTask
-///                  requests and Ping responses)
+///   u16 version 3 (v2 added the baseline build config to DiffTask
+///                  requests and Ping responses; v3 added the compiler
+///                  style — bit 5 of the baseline codegen byte — so a v2
+///                  peer, which would silently ignore the style and alias
+///                  clang/gcc artifact keys, is rejected at the header)
 ///   u8  type    1 = request, 2 = response (ok), 3 = response (error)
 ///   u8  kind    EvalWireKind
 ///
@@ -57,7 +60,7 @@ namespace khaos {
 
 /// Protocol constants.
 constexpr uint32_t EvalWireMagic = 0x4B455631; // "KEV1"
-constexpr uint16_t EvalWireVersion = 2;
+constexpr uint16_t EvalWireVersion = 3;
 
 enum class EvalWireKind : uint8_t {
   /// Liveness + configuration probe: the response carries the daemon's
@@ -97,8 +100,9 @@ struct EvalRequest {
   uint64_t Seed = 0;
   std::string Tool; ///< DiffTask registry tool ("" = images only).
   /// DiffTask baseline build config (wire form): the A-side is built at
-  /// this opt level + packed codegen knobs. Defaults mirror BuildConfig{}
-  /// (O2, reference codegen) so pre-confound callers are unchanged.
+  /// this opt level + packed codegen knobs (bit 5 carries the compiler
+  /// style since v3). Defaults mirror BuildConfig{} (O2, clang-like
+  /// reference codegen) so pre-confound callers are unchanged.
   uint8_t BaselineLevel = 2;     ///< static_cast<uint8_t>(OptLevel::O2).
   uint8_t BaselineCodegen = 0x1e; ///< BuildConfig{}.packedCodegen().
 

@@ -7,7 +7,8 @@
 /// \file
 /// The build-config confound axis contract: per-config baselines are
 /// isolated in the memory and disk cache tiers (O0 and O2 artifacts never
-/// alias), a warm confound run recompiles nothing (exactly one baseline
+/// alias, nor do clang-like and gcc-like lowerings of the same level), a
+/// warm confound run recompiles nothing (exactly one baseline
 /// compile per (workload, config), ever), the union of sharded confound
 /// runs equals the unsharded run, thread count does not change a single
 /// number, and the semdiff backend is registered with its subprocess twin.
@@ -126,6 +127,73 @@ TEST(ConfoundCache, PerConfigBaselinesNeverAliasOnDisk) {
   ASSERT_TRUE(J2->Ok);
   EXPECT_EQ(J0->Image.opcodeHistogram(), H0);
   EXPECT_EQ(J2->Image.opcodeHistogram(), H2);
+  ArtifactStore::Snapshot S = Warm.store().stats();
+  EXPECT_EQ(S.stage(ArtifactStage::BaselineImage).DiskHits, 2u);
+  EXPECT_EQ(S.stage(ArtifactStage::Baseline).Misses, 0u);
+}
+
+/// The compiler-style axis: an O2+clang and an O2+gcc baseline of the
+/// SAME workload at the SAME level are distinct cache entries with
+/// genuinely different lowerings.
+TEST(ConfoundCache, PerStyleBaselinesNeverAliasInMemory) {
+  Workload W = smallSuite(1).front();
+  BuildConfig Clang = BuildConfig::forLevel(OptLevel::O2);
+  BuildConfig Gcc = BuildConfig::forLevel(OptLevel::O2);
+  Gcc.Codegen.Style = CompilerStyle::GccLike;
+
+  EvalPipeline Pipe;
+  auto IC = Pipe.baselineImage(W, Clang);
+  auto IG = Pipe.baselineImage(W, Gcc);
+  ASSERT_TRUE(IC->Ok);
+  ASSERT_TRUE(IG->Ok);
+
+  ArtifactStore::Snapshot S = Pipe.store().stats();
+  EXPECT_EQ(S.stage(ArtifactStage::BaselineImage).Misses, 2u);
+  EXPECT_NE(IC->Image.opcodeHistogram(), IG->Image.opcodeHistogram());
+
+  // Re-requesting either style is a hit on its own entry.
+  auto IGAgain = Pipe.baselineImage(W, Gcc);
+  EXPECT_EQ(IGAgain->Image.opcodeHistogram(), IG->Image.opcodeHistogram());
+  S = Pipe.store().stats();
+  EXPECT_EQ(S.stage(ArtifactStage::BaselineImage).Misses, 2u);
+  EXPECT_GE(S.stage(ArtifactStage::BaselineImage).Hits, 1u);
+}
+
+TEST(ConfoundCache, PerStyleBaselinesNeverAliasOnDisk) {
+  Workload W = smallSuite(1).front();
+  std::string Dir = freshDir("style-aliasing");
+  BuildConfig Clang = BuildConfig::forLevel(OptLevel::O2);
+  BuildConfig Gcc = BuildConfig::forLevel(OptLevel::O2);
+  Gcc.Codegen.Style = CompilerStyle::GccLike;
+
+  std::vector<double> HC, HG;
+  {
+    EvalPipeline Cold(EvalPipeline::Config{
+        /*CacheEnabled=*/true, 0, VMEngine::Precompiled, Dir, 0});
+    auto IC = Cold.baselineImage(W, Clang);
+    auto IG = Cold.baselineImage(W, Gcc);
+    ASSERT_TRUE(IC->Ok);
+    ASSERT_TRUE(IG->Ok);
+    HC = IC->Image.opcodeHistogram();
+    HG = IG->Image.opcodeHistogram();
+    ASSERT_NE(HC, HG);
+    EXPECT_EQ(Cold.store()
+                  .stats()
+                  .stage(ArtifactStage::BaselineImage)
+                  .DiskMisses,
+              2u);
+  }
+
+  // Warm pipeline on the same cache dir: each style round-trips to its
+  // own disk artifact, byte-for-byte, with zero recompiles.
+  EvalPipeline Warm(EvalPipeline::Config{
+      /*CacheEnabled=*/true, 0, VMEngine::Precompiled, Dir, 0});
+  auto JC = Warm.baselineImage(W, Clang);
+  auto JG = Warm.baselineImage(W, Gcc);
+  ASSERT_TRUE(JC->Ok);
+  ASSERT_TRUE(JG->Ok);
+  EXPECT_EQ(JC->Image.opcodeHistogram(), HC);
+  EXPECT_EQ(JG->Image.opcodeHistogram(), HG);
   ArtifactStore::Snapshot S = Warm.store().stats();
   EXPECT_EQ(S.stage(ArtifactStage::BaselineImage).DiskHits, 2u);
   EXPECT_EQ(S.stage(ArtifactStage::Baseline).Misses, 0u);

@@ -57,17 +57,18 @@ EvalPipeline::Config inProcessConfig() {
 //===----------------------------------------------------------------------===//
 
 /// The 8-byte header is the protocol's anchor: "KEV1" little-endian,
-/// version 2, type, kind. Pinning the exact bytes of a Ping request means
+/// version 3, type, kind. Pinning the exact bytes of a Ping request means
 /// any layout change must bump EvalWireVersion rather than silently
 /// desync daemon and clients built from different revisions (v2 added
-/// the baseline build config to DiffTask requests and Ping responses).
+/// the baseline build config to DiffTask requests and Ping responses;
+/// v3 gave bit 5 of the baseline codegen byte to the compiler style).
 TEST(EvalWire, GoldenPingRequestBytes) {
   EvalRequest Req;
   Req.Kind = EvalWireKind::Ping;
   std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
   const std::vector<uint8_t> Expected = {
       0x31, 0x56, 0x45, 0x4B, // magic "KEV1" little-endian
-      0x02, 0x00,             // version 2
+      0x03, 0x00,             // version 3
       0x01,                   // type = request
       0x01,                   // kind = Ping
   };
@@ -83,7 +84,7 @@ TEST(EvalWire, GoldenOverheadRequestBytes) {
   Req.Seed = 0x0102030405060708ull;
   std::vector<uint8_t> Bytes = encodeEvalRequest(Req);
   std::vector<uint8_t> Expected = {
-      0x31, 0x56, 0x45, 0x4B, 0x02, 0x00, 0x01, 0x02, // header, kind=2
+      0x31, 0x56, 0x45, 0x4B, 0x03, 0x00, 0x01, 0x02, // header, kind=2
       0x02, 0x00, 0x00, 0x00, 'a',  'b',              // name
       0x01, 0x00, 0x00, 0x00, 'x',                    // source
       static_cast<uint8_t>(ObfuscationMode::Fission), // mode
@@ -101,8 +102,8 @@ TEST(EvalWire, RequestRoundTripsEveryKind) {
   Diff.Mode = ObfuscationMode::Fusion;
   Diff.Seed = 77;
   Diff.Tool = "SAFE";
-  Diff.BaselineLevel = 0;    // An O0 confound cell.
-  Diff.BaselineCodegen = 0x1f;
+  Diff.BaselineLevel = 0;      // An O0 confound cell.
+  Diff.BaselineCodegen = 0x3f; // Spill + every knob + gcc style (bit 5).
 
   EvalRequest Fuzz;
   Fuzz.Kind = EvalWireKind::FuzzBatch;
@@ -185,6 +186,23 @@ TEST(EvalWire, MalformedFramesAreRejectedNotCrashed) {
   std::vector<uint8_t> Trailing = Valid;
   Trailing.push_back(0);
   EXPECT_FALSE(decodeEvalRequest(Trailing, Req, Err));
+}
+
+TEST(EvalWire, Version2PeersAreRejectedByName) {
+  // A v2 client would silently ignore the compiler-style bit and alias
+  // clang/gcc artifact keys, so a v3 daemon must refuse its frames at the
+  // header — and say which version it saw, so the mismatch is debuggable
+  // from the client's error line alone.
+  EvalRequest Whole;
+  Whole.Kind = EvalWireKind::Ping;
+  std::vector<uint8_t> V2Frame = encodeEvalRequest(Whole);
+  V2Frame[4] = 0x02; // Rewind the header to version 2.
+  V2Frame[5] = 0x00;
+  EvalRequest Req;
+  std::string Err;
+  EXPECT_FALSE(decodeEvalRequest(V2Frame, Req, Err));
+  EXPECT_NE(Err.find("unsupported protocol version 2"), std::string::npos)
+      << Err;
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,6 +15,7 @@
 ///               [--store-max-bytes B] [--cache-dir DIR]
 ///               [--disk-max-bytes B] [--tool-timeout-ms T]
 ///               [--baseline-opt LEVEL] [--codegen T[,T...]]
+///               [--compiler-style clang|gcc]
 ///
 /// Clients are the benches and khaos-fuzz run with `--connect PATH`;
 /// their stdout is byte-identical to in-process runs (the client refuses
@@ -48,12 +49,13 @@ void onSignal(int) { SignalSeen = 1; }
 
 int usage() {
   EvalScheduler::Config Sched;
-  std::string S1, S2;
+  std::string S1, S2, S3;
   std::fprintf(stderr,
                "usage: khaos-evald --socket PATH [flags]\nshared scheduler "
                "flags (--shards/--shard-index/--connect are client-side):\n"
                "%s",
-               benchFlagUsage(schedulerFlagSpecs(Sched, "khaos-evald", S1, S2))
+               benchFlagUsage(
+                   schedulerFlagSpecs(Sched, "khaos-evald", S1, S2, S3))
                    .c_str());
   return 2;
 }

@@ -80,13 +80,14 @@ fuzzerFlagSpecs(DifferentialFuzzer::Config &Cfg, std::string &ModesSpec,
 int usage() {
   EvalScheduler::Config Sched;
   DifferentialFuzzer::Config Cfg;
-  std::string S1, S2, S3, S4, S5;
+  std::string S1, S2, S3, S4, S5, S6;
   bool Help = false;
   std::fprintf(stderr,
                "usage: khaos-fuzz [flags]\nfuzzer flags:\n%sshared "
                "scheduler flags:\n%s",
                benchFlagUsage(fuzzerFlagSpecs(Cfg, S1, S2, S3, Help)).c_str(),
-               benchFlagUsage(schedulerFlagSpecs(Sched, "khaos-fuzz", S4, S5))
+               benchFlagUsage(
+                   schedulerFlagSpecs(Sched, "khaos-fuzz", S4, S5, S6))
                    .c_str());
   return 2;
 }
